@@ -1,0 +1,222 @@
+//! One Criterion benchmark per table/figure pipeline.
+//!
+//! Each group benches the hot inner loop of the corresponding experiment:
+//!
+//! * `table1_scan`       — the cross-validation walk + differential diff
+//! * `table2_metrics`    — entropy computation over a 60-point trace
+//! * `table3_unixbench`  — the full UnixBench overhead replay
+//! * `fig2_tick`         — one simulated second of an 8-host fleet
+//! * `fig3_attack_step`  — one attack-campaign control step (RAPL sample)
+//! * `fig4_staircase`    — launching + measuring one attack container
+//! * `fig6_training`     — one training-interval sample collection
+//! * `fig8_model_eval`   — power-model inference per perf-counter delta
+//! * `fig9_ns_update`    — one power-namespace calibration interval
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
+use containerleaks::container_runtime::ContainerSpec;
+use containerleaks::leakscan::metrics::joint_entropy;
+use containerleaks::leakscan::{CrossValidator, Lab};
+use containerleaks::powerns::nsfs::{DefendedHost, PowerNamespace};
+use containerleaks::powerns::{run_table3, Trainer};
+use containerleaks::powersim::RaplMonitor;
+use containerleaks::simkernel::cgroup::PerfCounters;
+use containerleaks::simkernel::{Kernel, MachineConfig};
+use containerleaks::workloads::models;
+
+fn bench_table1_scan(c: &mut Criterion) {
+    let lab = Lab::new(1, 1);
+    let host = lab.host(0);
+    let view = host.container_view();
+    let validator = CrossValidator::new();
+    c.bench_function("table1_scan", |b| {
+        b.iter(|| black_box(validator.scan(&host.kernel, &view)))
+    });
+}
+
+fn bench_table2_metrics(c: &mut Criterion) {
+    // 60 snapshots × 40 fields, the Formula-1 entropy input shape.
+    let snaps: Vec<Vec<f64>> = (0..60)
+        .map(|t| (0..40).map(|f| ((t * 7 + f * 13) % 23) as f64).collect())
+        .collect();
+    c.bench_function("table2_metrics_entropy", |b| {
+        b.iter(|| black_box(joint_entropy(&snaps)))
+    });
+}
+
+fn bench_table3_unixbench(c: &mut Criterion) {
+    let machine = MachineConfig::testbed_i7_6700();
+    c.bench_function("table3_unixbench", |b| {
+        b.iter(|| black_box(run_table3(&machine)))
+    });
+}
+
+fn bench_fig2_tick(c: &mut Criterion) {
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), 2);
+    c.bench_function("fig2_tick_8_hosts_1s", |b| {
+        b.iter(|| {
+            cloud.advance_secs(1);
+            black_box(cloud.rack_power_w(0))
+        })
+    });
+}
+
+fn bench_fig3_attack_step(c: &mut Criterion) {
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(4), 3);
+    let obs = cloud
+        .launch("spy", InstanceSpec::new("obs").vcpus(1))
+        .expect("launch");
+    let mut monitor = RaplMonitor::new();
+    let mut t = 0.0f64;
+    let _ = monitor.sample_watts(&cloud, obs, t);
+    c.bench_function("fig3_attack_step_rapl_sample", |b| {
+        b.iter(|| {
+            cloud.advance_secs(1);
+            t += 1.0;
+            black_box(monitor.sample_watts(&cloud, obs, t).expect("readable"))
+        })
+    });
+}
+
+fn bench_fig4_staircase(c: &mut Criterion) {
+    c.bench_function("fig4_container_launch_and_load", |b| {
+        b.iter_batched(
+            || {
+                let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), 4);
+                cloud.advance_secs(1);
+                cloud
+            },
+            |mut cloud| {
+                let inst = cloud.launch("a", InstanceSpec::new("atk")).expect("launch");
+                for i in 0..4 {
+                    cloud
+                        .exec(inst, &format!("p{i}"), models::prime())
+                        .expect("exec");
+                }
+                cloud.advance_secs(5);
+                black_box(cloud.host_power_w(containerleaks::cloudsim::HostId(0)))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig6_training(c: &mut Criterion) {
+    let trainer = Trainer::new(6);
+    let workload = models::stress_small();
+    c.bench_function("fig6_training_sample_collection", |b| {
+        b.iter(|| black_box(trainer.collect_samples(&workload)))
+    });
+}
+
+fn bench_fig8_model_eval(c: &mut Criterion) {
+    let model = Trainer::new(8).train();
+    let delta = PerfCounters {
+        instructions: 9_000_000_000,
+        cache_misses: 14_000_000,
+        branch_misses: 19_000_000,
+        cycles: 13_600_000_000,
+    };
+    c.bench_function("fig8_model_eval", |b| {
+        b.iter(|| black_box(model.package_uj(&delta)))
+    });
+}
+
+fn bench_fig9_ns_update(c: &mut Criterion) {
+    let model = Trainer::new(9).train();
+    let mut host = DefendedHost::new(MachineConfig::testbed_i7_6700(), 9, model);
+    let cont = host
+        .create_container(ContainerSpec::new("c"))
+        .expect("container");
+    host.exec(cont, "w", models::stress_small())
+        .expect("workload");
+    c.bench_function("fig9_namespace_update_interval", |b| {
+        b.iter(|| {
+            host.advance_secs(1);
+            black_box(host.container_energy_uj(cont))
+        })
+    });
+}
+
+fn bench_covert_bit(c: &mut Criterion) {
+    use containerleaks::leakscan::{CovertLink, CovertMedium};
+    c.bench_function("covert_timer_list_bit", |b| {
+        b.iter_batched(
+            || {
+                let mut k = Kernel::new(MachineConfig::testbed_i7_6700(), 13);
+                let mut rt = containerleaks::container_runtime::Runtime::new();
+                let tx = rt.create(&mut k, ContainerSpec::new("tx")).expect("tx");
+                let rx = rt.create(&mut k, ContainerSpec::new("rx")).expect("rx");
+                rt.exec(&mut k, tx, "a", models::sleeper()).expect("a");
+                rt.exec(&mut k, rx, "a", models::sleeper()).expect("a");
+                (k, rt, tx, rx)
+            },
+            |(mut k, mut rt, tx, rx)| {
+                let mut link = CovertLink::new(CovertMedium::TimerList).slot_secs(1);
+                black_box(
+                    link.transmit(&mut k, &mut rt, tx, rx, &[true])
+                        .expect("bit"),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hardening(c: &mut Criterion) {
+    use containerleaks::leakscan::Hardener;
+    let lab = Lab::new(1, 14);
+    let host = lab.host(0);
+    let view = host.container_view();
+    c.bench_function("hardening_policy_generation", |b| {
+        b.iter(|| black_box(Hardener::new().harden(&host.kernel, &view)))
+    });
+}
+
+fn bench_kernel_tick(c: &mut Criterion) {
+    // The substrate's base cost: one loaded kernel-second.
+    let mut k = Kernel::new(MachineConfig::cloud_server(), 10);
+    for i in 0..8 {
+        k.spawn_host_process(&format!("w{i}"), models::web_service(0.4))
+            .expect("spawn");
+    }
+    c.bench_function("substrate_kernel_tick_1s", |b| {
+        b.iter(|| {
+            k.advance_secs(1);
+            black_box(k.wall_watts())
+        })
+    });
+}
+
+fn bench_namespace_install(c: &mut Criterion) {
+    let model = Trainer::new(11).train();
+    c.bench_function("defense_namespace_install", |b| {
+        b.iter_batched(
+            || Kernel::new(MachineConfig::testbed_i7_6700(), 11),
+            |mut k| black_box(PowerNamespace::install(&mut k, model.clone()).expect("install")),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = pipelines;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1_scan,
+        bench_table2_metrics,
+        bench_table3_unixbench,
+        bench_fig2_tick,
+        bench_fig3_attack_step,
+        bench_fig4_staircase,
+        bench_fig6_training,
+        bench_fig8_model_eval,
+        bench_fig9_ns_update,
+        bench_covert_bit,
+        bench_hardening,
+        bench_kernel_tick,
+        bench_namespace_install,
+);
+criterion_main!(pipelines);

@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! Criterion benchmarks for the reproduction pipelines.
+//!
+//! One benchmark per table/figure pipeline lives in `benches/pipelines.rs`
+//! — these measure the *cost of regenerating* each experiment's inner
+//! loop (kernel ticks, channel scans, model training, namespace updates),
+//! not the experiments' scientific outputs (those live in the
+//! `containerleaks-experiments` binaries and `EXPERIMENTS.md`).

@@ -1,0 +1,833 @@
+#![warn(missing_docs)]
+
+//! Multi-tenancy container-cloud simulation.
+//!
+//! Models the environment the paper's cloud measurements ran against: a
+//! fleet of physical hosts (each a full [`simkernel::Kernel`] with its own
+//! boot id, uptime, and energy counters), a placement scheduler, per-cloud
+//! channel-masking profiles replicating the Table I matrix (CC1–CC5), and
+//! the utilization-metered billing models that make continuous power
+//! attacks expensive (§IV-B).
+//!
+//! # Example
+//!
+//! ```
+//! use cloudsim::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
+//! use workloads::models;
+//!
+//! let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(4), 99);
+//! let a = cloud.launch("tenant-a", InstanceSpec::new("web").vcpus(2))?;
+//! cloud.exec(a, "nginx", models::web_service(0.3))?;
+//! cloud.advance_secs(10);
+//! let boot_id = cloud.read_file(a, "/proc/sys/kernel/random/boot_id")?;
+//! assert!(!boot_id.is_empty());
+//! # Ok::<(), cloudsim::CloudError>(())
+//! ```
+
+pub mod billing;
+pub mod placement;
+pub mod profile;
+
+pub use billing::{BillingModel, TenantBill};
+pub use placement::PlacementPolicy;
+pub use profile::CloudProfile;
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use container_runtime::{ContainerId, ContainerSpec, Runtime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simkernel::{HostPid, Kernel, MachineConfig, NANOS_PER_SEC};
+use workloads::WorkloadSpec;
+
+/// Identifies a physical host in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host#{}", self.0)
+    }
+}
+
+/// Identifies a tenant-visible container instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance#{}", self.0)
+    }
+}
+
+/// Errors from cloud operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// Unknown instance.
+    NoSuchInstance(InstanceId),
+    /// No host has capacity for the request.
+    CapacityExhausted,
+    /// Underlying runtime failure.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::NoSuchInstance(id) => write!(f, "no such instance: {id}"),
+            CloudError::CapacityExhausted => write!(f, "no host has remaining capacity"),
+            CloudError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for CloudError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CloudError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for CloudError {
+    fn from(e: RuntimeError) -> Self {
+        CloudError::Runtime(e)
+    }
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    profile: CloudProfile,
+    hosts: usize,
+    hosts_per_rack: usize,
+    machine: MachineConfig,
+    placement: PlacementPolicy,
+    billing: BillingModel,
+    background_per_host: bool,
+}
+
+impl CloudConfig {
+    /// A config for the given provider profile with paper-scale defaults:
+    /// 8 cloud servers per rack, spread placement, utilization billing.
+    pub fn new(profile: CloudProfile) -> Self {
+        CloudConfig {
+            profile,
+            hosts: 8,
+            hosts_per_rack: 8,
+            machine: profile.default_machine(),
+            placement: PlacementPolicy::Spread,
+            billing: BillingModel::default(),
+            background_per_host: true,
+        }
+    }
+
+    /// Sets the fleet size.
+    #[must_use]
+    pub fn hosts(mut self, n: usize) -> Self {
+        self.hosts = n.max(1);
+        self
+    }
+
+    /// Sets rack width.
+    #[must_use]
+    pub fn hosts_per_rack(mut self, n: usize) -> Self {
+        self.hosts_per_rack = n.max(1);
+        self
+    }
+
+    /// Overrides the machine type.
+    #[must_use]
+    pub fn machine(mut self, m: MachineConfig) -> Self {
+        self.machine = m;
+        self
+    }
+
+    /// Sets the placement policy.
+    #[must_use]
+    pub fn placement(mut self, p: PlacementPolicy) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Sets the billing model.
+    #[must_use]
+    pub fn billing(mut self, b: BillingModel) -> Self {
+        self.billing = b;
+        self
+    }
+
+    /// Disables the per-host background tenant workload (pure lab fleets).
+    #[must_use]
+    pub fn without_background(mut self) -> Self {
+        self.background_per_host = false;
+        self
+    }
+}
+
+/// One physical host.
+#[derive(Debug)]
+pub struct Host {
+    id: HostId,
+    kernel: Kernel,
+    runtime: Runtime,
+    rack: u32,
+    background: Vec<HostPid>,
+    instances: usize,
+}
+
+impl Host {
+    /// The host's kernel (read access for experiment harnesses).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+    /// The host's container runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+    /// The host id.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+    /// The rack this host sits in (shares a branch circuit breaker).
+    pub fn rack(&self) -> u32 {
+        self.rack
+    }
+    /// Number of instances placed here.
+    pub fn instance_count(&self) -> usize {
+        self.instances
+    }
+}
+
+/// A tenant-visible instance record.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    id: InstanceId,
+    tenant: String,
+    host: HostId,
+    container: ContainerId,
+    vcpus: u16,
+    launched_at_ns: u64,
+}
+
+impl Instance {
+    /// The instance id.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+    /// The owning tenant.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+    /// vCPUs allotted.
+    pub fn vcpus(&self) -> u16 {
+        self.vcpus
+    }
+    /// Boot-relative launch time on its host.
+    pub fn launched_at_ns(&self) -> u64 {
+        self.launched_at_ns
+    }
+    /// The host (simulation-side ground truth; a real tenant cannot see
+    /// this — inferring it is the point of the co-residence channels).
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+    /// The backing container id on its host runtime.
+    pub fn container(&self) -> ContainerId {
+        self.container
+    }
+}
+
+/// Specification for launching an instance.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    name: String,
+    vcpus: u16,
+}
+
+impl InstanceSpec {
+    /// An instance named `name` with 4 vCPUs (the paper's CC1 shape).
+    pub fn new(name: impl Into<String>) -> Self {
+        InstanceSpec {
+            name: name.into(),
+            vcpus: 4,
+        }
+    }
+
+    /// Sets the vCPU count.
+    #[must_use]
+    pub fn vcpus(mut self, v: u16) -> Self {
+        self.vcpus = v.max(1);
+        self
+    }
+}
+
+/// The cloud: fleet + scheduler + billing.
+#[derive(Debug)]
+pub struct Cloud {
+    cfg: CloudConfig,
+    hosts: Vec<Host>,
+    instances: BTreeMap<InstanceId, Instance>,
+    next_instance: u64,
+    rng: StdRng,
+    billing: billing::Ledger,
+}
+
+impl Cloud {
+    /// Boots a fleet. Hosts get distinct kernel seeds (distinct boot ids,
+    /// energy trajectories) and realistic staggered uptimes: racks are
+    /// installed together, so hosts in one rack boot within minutes of
+    /// each other while racks differ by days — the structure the paper's
+    /// §IV-C uptime analysis exploits.
+    pub fn new(cfg: CloudConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc10_0d5eed);
+        let mut hosts = Vec::with_capacity(cfg.hosts);
+        for i in 0..cfg.hosts {
+            let rack = (i / cfg.hosts_per_rack) as u32;
+            let mut machine = cfg.machine.clone();
+            machine.hostname = format!("{}-node{i}", cfg.profile.slug());
+            // Rack install epochs days apart; in-rack jitter of minutes.
+            machine.boot_wall_secs =
+                1_450_000_000 + u64::from(rack) * 86_400 * 9 + rng.random_range(0..1_200);
+            let mut kernel = Kernel::new(
+                machine,
+                seed.wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64),
+            );
+            // Uptime: rack-correlated (a rack is installed and booted
+            // together, within the hour), racks days apart — the structure
+            // §IV-C's uptime grouping exploits. Idle times diverge later
+            // from load.
+            let uptime_days = 40 + u64::from(rack) * 13;
+            kernel.fast_forward_boot(uptime_days * 86_400 + rng.random_range(0..1_800));
+            let mut runtime = Runtime::new();
+            // Background tenants: 12 service processes per host so that
+            // fleet-level diurnal demand can swing most of the machine
+            // (the paper's Fig. 2 sees a 34.7% week-scale power band).
+            let background = if cfg.background_per_host {
+                let cid = runtime
+                    .create(&mut kernel, ContainerSpec::new("bg-tenant"))
+                    .expect("background container");
+                (0..12)
+                    .map(|j| {
+                        runtime
+                            .exec(
+                                &mut kernel,
+                                cid,
+                                &format!("bg-service-{j}"),
+                                workloads::models::web_service(0.15),
+                            )
+                            .expect("background workload")
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            hosts.push(Host {
+                id: HostId(i as u32),
+                kernel,
+                runtime,
+                rack,
+                background,
+                instances: 0,
+            });
+        }
+        Cloud {
+            cfg,
+            hosts,
+            instances: BTreeMap::new(),
+            next_instance: 0,
+            rng,
+            billing: billing::Ledger::new(),
+        }
+    }
+
+    /// The provider profile.
+    pub fn profile(&self) -> CloudProfile {
+        self.cfg.profile
+    }
+
+    /// The fleet.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// A host by id.
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.hosts.get(id.0 as usize)
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> u32 {
+        self.hosts.last().map(|h| h.rack + 1).unwrap_or(0)
+    }
+
+    /// Launches an instance for `tenant`, choosing a host per the
+    /// placement policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::CapacityExhausted`] when no host can take the vCPUs;
+    /// runtime errors otherwise.
+    pub fn launch(&mut self, tenant: &str, spec: InstanceSpec) -> Result<InstanceId, CloudError> {
+        let host_idx = self
+            .cfg
+            .placement
+            .choose(&self.hosts, spec.vcpus, &mut self.rng)
+            .ok_or(CloudError::CapacityExhausted)?;
+        let host = &mut self.hosts[host_idx];
+        let ncpus = host.kernel.config().cpus;
+        // Allot a deterministic contiguous cpuset.
+        let base = (host.instances as u16 * spec.vcpus) % ncpus;
+        let cpus: Vec<u16> = (0..spec.vcpus).map(|i| (base + i) % ncpus).collect();
+        let mem_limit = host.kernel.config().mem_bytes / 8;
+        let cspec = ContainerSpec::new(&spec.name)
+            .cpus(cpus)
+            .mem_limit(mem_limit)
+            .policy(self.cfg.profile.mask_policy());
+        let container = host.runtime.create(&mut host.kernel, cspec)?;
+        host.instances += 1;
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let launched_at_ns = host.kernel.clock().since_boot_ns();
+        self.instances.insert(
+            id,
+            Instance {
+                id,
+                tenant: tenant.to_string(),
+                host: HostId(host_idx as u32),
+                container,
+                vcpus: spec.vcpus,
+                launched_at_ns,
+            },
+        );
+        self.billing.open(tenant, id);
+        Ok(id)
+    }
+
+    /// Runs a process inside an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`] or runtime errors.
+    pub fn exec(
+        &mut self,
+        id: InstanceId,
+        name: &str,
+        workload: WorkloadSpec,
+    ) -> Result<HostPid, CloudError> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(CloudError::NoSuchInstance(id))?
+            .clone();
+        let host = &mut self.hosts[inst.host.0 as usize];
+        Ok(host
+            .runtime
+            .exec(&mut host.kernel, inst.container, name, workload)?)
+    }
+
+    /// Reads a pseudo file from inside an instance (tenant's eye view,
+    /// including the provider's masking).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`] or fs errors.
+    pub fn read_file(&self, id: InstanceId, path: &str) -> Result<String, CloudError> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(CloudError::NoSuchInstance(id))?;
+        let host = &self.hosts[inst.host.0 as usize];
+        Ok(host.runtime.read_file(&host.kernel, inst.container, path)?)
+    }
+
+    /// Lists pseudo files visible inside an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`].
+    pub fn list_files(&self, id: InstanceId) -> Result<Vec<String>, CloudError> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(CloudError::NoSuchInstance(id))?;
+        let host = &self.hosts[inst.host.0 as usize];
+        Ok(host.runtime.list_files(&host.kernel, inst.container)?)
+    }
+
+    /// Implants a timer signature from inside an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`] or runtime errors.
+    pub fn implant_timer(&mut self, id: InstanceId, comm: &str) -> Result<(), CloudError> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(CloudError::NoSuchInstance(id))?
+            .clone();
+        let host = &mut self.hosts[inst.host.0 as usize];
+        Ok(host
+            .runtime
+            .implant_timer(&mut host.kernel, inst.container, comm, NANOS_PER_SEC)?)
+    }
+
+    /// Swaps the workload of a process previously started in `id` via
+    /// [`Cloud::exec`] (how an attack payload flips between lying dormant
+    /// and bursting).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`] or kernel errors for dead pids.
+    pub fn set_process_workload(
+        &mut self,
+        id: InstanceId,
+        pid: HostPid,
+        workload: WorkloadSpec,
+    ) -> Result<(), CloudError> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(CloudError::NoSuchInstance(id))?
+            .clone();
+        let host = &mut self.hosts[inst.host.0 as usize];
+        host.kernel
+            .set_workload(pid, workload)
+            .map_err(|e| CloudError::Runtime(RuntimeError::Kernel(e)))
+    }
+
+    /// Terminates an instance and closes its billing record.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`] or runtime errors.
+    pub fn terminate(&mut self, id: InstanceId) -> Result<(), CloudError> {
+        let inst = self
+            .instances
+            .remove(&id)
+            .ok_or(CloudError::NoSuchInstance(id))?;
+        let host = &mut self.hosts[inst.host.0 as usize];
+        host.runtime.remove(&mut host.kernel, inst.container)?;
+        host.instances = host.instances.saturating_sub(1);
+        self.billing.close(id);
+        Ok(())
+    }
+
+    /// An instance record (ground truth: includes host placement).
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id)
+    }
+
+    /// Whether two instances share a physical host (ground truth for
+    /// evaluating co-residence detectors).
+    pub fn coresident(&self, a: InstanceId, b: InstanceId) -> Option<bool> {
+        Some(self.instances.get(&a)?.host == self.instances.get(&b)?.host)
+    }
+
+    /// Advances the whole fleet by `secs`, metering utilization billing.
+    pub fn advance_secs(&mut self, secs: u64) {
+        for host in &mut self.hosts {
+            host.kernel.advance_secs(secs);
+        }
+        // Meter: charge each open instance its cpu-time delta.
+        let mut charges = Vec::new();
+        for inst in self.instances.values() {
+            let host = &self.hosts[inst.host.0 as usize];
+            if let Some(used) = host.runtime.cpu_usage_ns(&host.kernel, inst.container) {
+                charges.push((inst.id, inst.tenant.clone(), used, secs));
+            }
+        }
+        for (id, tenant, used_ns, dt) in charges {
+            self.billing
+                .meter(&tenant, id, used_ns, dt, &self.cfg.billing);
+        }
+    }
+
+    /// Reboots a physical host: every instance on it is lost (as in a
+    /// real power cycle), the kernel comes back with a fresh boot id and
+    /// zeroed accumulators, and the wall clock continues from where the
+    /// old kernel left off. Background tenants are restarted.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchInstance`] never occurs here; the method
+    /// returns the ids of the instances that were lost.
+    pub fn reboot_host(&mut self, id: HostId) -> Vec<InstanceId> {
+        let Some(host) = self.hosts.get_mut(id.0 as usize) else {
+            return Vec::new();
+        };
+        // Casualties: every instance placed here.
+        let lost: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.host == id)
+            .map(|i| i.id)
+            .collect();
+        for inst in &lost {
+            self.instances.remove(inst);
+            self.billing.close(*inst);
+        }
+        // Fresh kernel on the same hardware: boot time = now.
+        let mut machine = host.kernel.config().clone();
+        machine.boot_wall_secs = host.kernel.clock().wall_secs();
+        let reboot_seed = host
+            .kernel
+            .seed()
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(1);
+        let mut kernel = Kernel::new(machine, reboot_seed);
+        let mut runtime = Runtime::new();
+        let background = if self.cfg.background_per_host {
+            let cid = runtime
+                .create(&mut kernel, ContainerSpec::new("bg-tenant"))
+                .expect("background container");
+            (0..12)
+                .map(|j| {
+                    runtime
+                        .exec(
+                            &mut kernel,
+                            cid,
+                            &format!("bg-service-{j}"),
+                            workloads::models::web_service(0.15),
+                        )
+                        .expect("background workload")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        host.kernel = kernel;
+        host.runtime = runtime;
+        host.background = background;
+        host.instances = 0;
+        lost
+    }
+
+    /// Adjusts the background tenant demand on one host (diurnal traces).
+    /// `demand` in `[0, 1]` is the per-service duty cycle; the 12 services
+    /// together can occupy up to 12 of the host's cores.
+    pub fn set_background_demand(&mut self, host: HostId, demand: f64) {
+        if let Some(h) = self.hosts.get_mut(host.0 as usize) {
+            let w = workloads::models::web_service(demand);
+            for pid in h.background.clone() {
+                let _ = h.kernel.set_workload(pid, w.clone());
+            }
+        }
+    }
+
+    /// Sets the simulation tick on every host's kernel (coarser ticks make
+    /// week-long traces cheap; finer ticks resolve 1 s power spikes).
+    pub fn set_tick_secs(&mut self, secs: u64) {
+        for h in &mut self.hosts {
+            h.kernel.set_tick_ns(secs.max(1) * NANOS_PER_SEC);
+        }
+    }
+
+    /// Wall power of one host, watts.
+    pub fn host_power_w(&self, host: HostId) -> f64 {
+        self.hosts
+            .get(host.0 as usize)
+            .map(|h| h.kernel.wall_watts())
+            .unwrap_or(0.0)
+    }
+
+    /// Aggregate wall power of a rack, watts (what its branch breaker
+    /// carries).
+    pub fn rack_power_w(&self, rack: u32) -> f64 {
+        self.hosts
+            .iter()
+            .filter(|h| h.rack == rack)
+            .map(|h| h.kernel.wall_watts())
+            .sum()
+    }
+
+    /// The accumulated bill for a tenant.
+    pub fn bill(&self, tenant: &str) -> TenantBill {
+        self.billing.bill(tenant)
+    }
+
+    /// All live instances, id-ordered.
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+
+    /// The live instances belonging to one tenant, id-ordered.
+    pub fn tenant_instances(&self, tenant: &str) -> Vec<InstanceId> {
+        self.instances
+            .values()
+            .filter(|i| i.tenant == tenant)
+            .map(|i| i.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::models;
+
+    fn cloud(hosts: usize) -> Cloud {
+        Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(hosts), 42)
+    }
+
+    #[test]
+    fn fleet_boots_with_distinct_identities() {
+        let c = cloud(4);
+        let mut boot_ids: Vec<String> = c
+            .hosts()
+            .iter()
+            .map(|h| h.kernel().boot_id().to_string())
+            .collect();
+        boot_ids.sort();
+        boot_ids.dedup();
+        assert_eq!(boot_ids.len(), 4, "boot ids must be unique");
+        // All hosts have days of uptime.
+        for h in c.hosts() {
+            assert!(h.kernel().clock().uptime_secs() > 86_400.0 * 30.0);
+        }
+    }
+
+    #[test]
+    fn rack_mates_share_install_epoch() {
+        let c = Cloud::new(
+            CloudConfig::new(CloudProfile::CC1)
+                .hosts(8)
+                .hosts_per_rack(4),
+            7,
+        );
+        assert_eq!(c.racks(), 2);
+        let boot = |i: usize| c.hosts()[i].kernel().config().boot_wall_secs;
+        let same_rack = boot(0).abs_diff(boot(1));
+        let cross_rack = boot(0).abs_diff(boot(4));
+        assert!(same_rack < 3_600, "in-rack boot delta {same_rack}");
+        assert!(cross_rack > 86_400, "cross-rack boot delta {cross_rack}");
+    }
+
+    #[test]
+    fn launch_exec_read_terminate() {
+        let mut c = cloud(2);
+        let id = c.launch("alice", InstanceSpec::new("app")).unwrap();
+        c.exec(id, "worker", models::prime()).unwrap();
+        c.advance_secs(3);
+        let uptime = c.read_file(id, "/proc/uptime").unwrap();
+        assert!(!uptime.is_empty());
+        c.terminate(id).unwrap();
+        assert!(matches!(
+            c.read_file(id, "/proc/uptime"),
+            Err(CloudError::NoSuchInstance(_))
+        ));
+    }
+
+    #[test]
+    fn spread_placement_distributes() {
+        let mut c = cloud(4);
+        let ids: Vec<InstanceId> = (0..4)
+            .map(|i| c.launch("t", InstanceSpec::new(format!("i{i}"))).unwrap())
+            .collect();
+        let hosts: std::collections::HashSet<HostId> =
+            ids.iter().map(|i| c.instance(*i).unwrap().host()).collect();
+        assert_eq!(hosts.len(), 4, "spread should use all hosts");
+        assert_eq!(c.coresident(ids[0], ids[1]), Some(false));
+    }
+
+    #[test]
+    fn masking_profile_applies_to_instances() {
+        // CC4 denies timer_list (Table I row: CC4 ○).
+        let mut c = Cloud::new(CloudConfig::new(CloudProfile::CC4).hosts(1), 5);
+        let id = c.launch("t", InstanceSpec::new("probe")).unwrap();
+        assert!(c.read_file(id, "/proc/timer_list").is_err());
+        // But CC4 leaves uptime readable (Table I row: CC4 ●).
+        assert!(c.read_file(id, "/proc/uptime").is_ok());
+    }
+
+    #[test]
+    fn billing_charges_busy_more_than_idle() {
+        let mut c = cloud(2);
+        let busy = c.launch("busy-tenant", InstanceSpec::new("b")).unwrap();
+        let idle = c.launch("idle-tenant", InstanceSpec::new("i")).unwrap();
+        for i in 0..4 {
+            c.exec(busy, &format!("virus-{i}"), models::power_virus())
+                .unwrap();
+        }
+        c.exec(idle, "sleepy", models::web_service(0.02)).unwrap();
+        c.advance_secs(3_600);
+        let busy_bill = c.bill("busy-tenant").total_usd();
+        let idle_bill = c.bill("idle-tenant").total_usd();
+        assert!(
+            busy_bill > idle_bill * 5.0,
+            "busy {busy_bill} vs idle {idle_bill}"
+        );
+    }
+
+    #[test]
+    fn background_load_raises_power() {
+        let mut with_bg = cloud(1);
+        let mut without = Cloud::new(
+            CloudConfig::new(CloudProfile::CC1)
+                .hosts(1)
+                .without_background(),
+            42,
+        );
+        with_bg.set_background_demand(HostId(0), 0.9);
+        with_bg.advance_secs(5);
+        without.advance_secs(5);
+        assert!(with_bg.host_power_w(HostId(0)) > without.host_power_w(HostId(0)) + 2.0);
+    }
+
+    #[test]
+    fn tenant_instances_filters_by_owner() {
+        let mut c = cloud(2);
+        let a = c.launch("alice", InstanceSpec::new("a")).unwrap();
+        let _b = c.launch("bob", InstanceSpec::new("b")).unwrap();
+        let a2 = c.launch("alice", InstanceSpec::new("a2")).unwrap();
+        assert_eq!(c.tenant_instances("alice"), vec![a, a2]);
+        assert_eq!(c.tenant_instances("carol"), Vec::<InstanceId>::new());
+        c.terminate(a).unwrap();
+        assert_eq!(c.tenant_instances("alice"), vec![a2]);
+    }
+
+    #[test]
+    fn reboot_rotates_identity_and_loses_instances() {
+        let mut c = cloud(2);
+        let id = c.launch("t", InstanceSpec::new("doomed")).unwrap();
+        let host = c.instance(id).unwrap().host();
+        c.advance_secs(5);
+        let old_boot = c.host(host).unwrap().kernel().boot_id().to_string();
+        let old_uptime = c.host(host).unwrap().kernel().clock().uptime_secs();
+        let wall_before = c.host(host).unwrap().kernel().clock().wall_secs();
+        assert!(old_uptime > 86_400.0);
+
+        let lost = c.reboot_host(host);
+        assert_eq!(lost, vec![id]);
+        assert!(c.instance(id).is_none());
+        let h = c.host(host).unwrap();
+        assert_ne!(h.kernel().boot_id(), old_boot, "boot id must rotate");
+        assert!(h.kernel().clock().uptime_secs() < 1.0, "uptime resets");
+        assert_eq!(
+            h.kernel().config().boot_wall_secs,
+            wall_before,
+            "wall continues"
+        );
+        assert_eq!(h.instance_count(), 0);
+        // The host still takes new work.
+        c.advance_secs(2);
+        let fresh = c.launch("t", InstanceSpec::new("next")).unwrap();
+        assert!(c.read_file(fresh, "/proc/uptime").is_ok());
+    }
+
+    #[test]
+    fn rack_power_sums_hosts() {
+        let mut c = cloud(4);
+        c.advance_secs(2);
+        let sum: f64 = (0..4).map(|i| c.host_power_w(HostId(i))).sum();
+        let rack = c.rack_power_w(0);
+        assert!((sum - rack).abs() < 1e-9);
+        assert!(rack > 300.0, "4 idle cloud servers ≈ 450 W: {rack}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Container placement policies.
+//!
+//! The attacker's orchestration loop (§IV-C) works *against* the
+//! scheduler: it keeps launching and terminating instances until the
+//! channels confirm co-residence. How quickly that converges depends on
+//! the provider's placement policy, so all three common ones are modeled.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::Host;
+
+/// Placement policy for new instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Least-loaded host first (availability-oriented).
+    Spread,
+    /// Most-loaded host with remaining capacity first
+    /// (consolidation-oriented — the cheapest for attackers).
+    BinPack,
+    /// Uniformly random among hosts with capacity.
+    Random,
+}
+
+impl PlacementPolicy {
+    /// Picks the index of the host for an instance needing `vcpus`
+    /// (capacity: one instance per `vcpus` of the host's CPUs, matching
+    /// the paper's 4-core CC1 instances). Returns `None` when full.
+    pub fn choose(&self, hosts: &[Host], vcpus: u16, rng: &mut StdRng) -> Option<usize> {
+        let capacity = |h: &Host| -> usize { (h.kernel().config().cpus / vcpus.max(1)) as usize };
+        let candidates: Vec<usize> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.instance_count() < capacity(h))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            PlacementPolicy::Spread => candidates
+                .into_iter()
+                .min_by_key(|i| (hosts[*i].instance_count(), *i)),
+            PlacementPolicy::BinPack => candidates
+                .into_iter()
+                .max_by_key(|i| (hosts[*i].instance_count(), usize::MAX - *i)),
+            PlacementPolicy::Random => {
+                let pick = rng.random_range(0..candidates.len());
+                Some(candidates[pick])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
+    use rand::SeedableRng;
+
+    fn fleet(policy: PlacementPolicy, hosts: usize) -> Cloud {
+        Cloud::new(
+            CloudConfig::new(CloudProfile::CC1)
+                .hosts(hosts)
+                .placement(policy)
+                .without_background(),
+            13,
+        )
+    }
+
+    #[test]
+    fn binpack_fills_one_host_first() {
+        let mut c = fleet(PlacementPolicy::BinPack, 3);
+        let mut placements = Vec::new();
+        for i in 0..4 {
+            let id = c.launch("t", InstanceSpec::new(format!("i{i}"))).unwrap();
+            placements.push(c.instance(id).unwrap().host());
+        }
+        // 16-cpu hosts, 4 vcpus each → 4 per host; all land on one host.
+        assert!(
+            placements.windows(2).all(|w| w[0] == w[1]),
+            "{placements:?}"
+        );
+    }
+
+    #[test]
+    fn spread_alternates_hosts() {
+        let mut c = fleet(PlacementPolicy::Spread, 3);
+        let mut hosts = std::collections::HashSet::new();
+        for i in 0..3 {
+            let id = c.launch("t", InstanceSpec::new(format!("i{i}"))).unwrap();
+            hosts.insert(c.instance(id).unwrap().host());
+        }
+        assert_eq!(hosts.len(), 3);
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut c = fleet(PlacementPolicy::BinPack, 1);
+        // 16 cpus / 4 vcpus = 4 instances.
+        for i in 0..4 {
+            c.launch("t", InstanceSpec::new(format!("i{i}"))).unwrap();
+        }
+        assert!(matches!(
+            c.launch("t", InstanceSpec::new("overflow")),
+            Err(crate::CloudError::CapacityExhausted)
+        ));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let pick = |seed: u64| {
+            let c = fleet(PlacementPolicy::Random, 5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            PlacementPolicy::Random.choose(c.hosts(), 4, &mut rng)
+        };
+        assert_eq!(pick(1), pick(1));
+    }
+}

@@ -1,0 +1,200 @@
+//! Provider masking profiles replicating Table I.
+//!
+//! The paper checked 21 channels on five anonymized commercial container
+//! clouds (plus the unmasked local testbed). Each profile below encodes
+//! one column of Table I: `Deny` rules for the `○` cells and `Partial`
+//! rules for the `◐` cells (CC5's tenant-scoped `cpuinfo`/`meminfo`).
+
+use pseudofs::MaskPolicy;
+use serde::{Deserialize, Serialize};
+use simkernel::MachineConfig;
+
+/// The cloud providers of Table I, plus the local testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloudProfile {
+    /// Local Docker/LXC testbed: no masking at all.
+    Local,
+    /// CC1: everything exposed except `sched_debug`.
+    CC1,
+    /// CC2: same exposure as CC1.
+    CC2,
+    /// CC3: masks `/proc/sys/fs/*` and the net_prio cgroup files.
+    CC3,
+    /// CC4: masks timers, sched_debug, net_prio, and all of
+    /// `/sys/devices` + `/sys/class` (no RAPL/DTS/cpuidle channels).
+    CC4,
+    /// CC5: the most hardened — masks most host-state channels and
+    /// filters `cpuinfo`/`meminfo` to the tenant's allotment (`◐`), yet
+    /// still leaves `timer_list` and `sched_debug` readable.
+    CC5,
+}
+
+impl CloudProfile {
+    /// All five commercial profiles (Table I columns).
+    pub const COMMERCIAL: [CloudProfile; 5] = [
+        CloudProfile::CC1,
+        CloudProfile::CC2,
+        CloudProfile::CC3,
+        CloudProfile::CC4,
+        CloudProfile::CC5,
+    ];
+
+    /// A short slug for host names and reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            CloudProfile::Local => "local",
+            CloudProfile::CC1 => "cc1",
+            CloudProfile::CC2 => "cc2",
+            CloudProfile::CC3 => "cc3",
+            CloudProfile::CC4 => "cc4",
+            CloudProfile::CC5 => "cc5",
+        }
+    }
+
+    /// The default machine type this provider runs.
+    pub fn default_machine(&self) -> MachineConfig {
+        match self {
+            CloudProfile::Local => MachineConfig::testbed_i7_6700(),
+            _ => MachineConfig::cloud_server(),
+        }
+    }
+
+    /// The masking policy — one column of Table I.
+    pub fn mask_policy(&self) -> MaskPolicy {
+        match self {
+            CloudProfile::Local => MaskPolicy::none(),
+            // CC1/CC2: only sched_debug is unavailable.
+            CloudProfile::CC1 | CloudProfile::CC2 => MaskPolicy::none().deny("/proc/sched_debug"),
+            // CC3: /proc/sys/fs/* and net_prio masked; sched_debug open.
+            CloudProfile::CC3 => MaskPolicy::none()
+                .deny("/proc/sys/fs/**")
+                .deny("/sys/fs/cgroup/net_prio/**"),
+            // CC4: timer_list, sched_debug, net_prio, /sys/devices,
+            // /sys/class all masked.
+            CloudProfile::CC4 => MaskPolicy::none()
+                .deny("/proc/timer_list")
+                .deny("/proc/sched_debug")
+                .deny("/sys/fs/cgroup/net_prio/**")
+                .deny("/sys/devices/**")
+                .deny("/sys/class/**"),
+            // CC5: hardened except timer_list/sched_debug (as the paper
+            // found); cpuinfo/meminfo filtered to the allotment (◐).
+            CloudProfile::CC5 => MaskPolicy::none()
+                .partial("/proc/cpuinfo")
+                .partial("/proc/meminfo")
+                .deny("/proc/locks")
+                .deny("/proc/zoneinfo")
+                .deny("/proc/uptime")
+                .deny("/proc/stat")
+                .deny("/proc/loadavg")
+                .deny("/proc/schedstat")
+                .deny("/sys/fs/cgroup/net_prio/**")
+                .deny("/sys/devices/**")
+                .deny("/sys/class/**"),
+        }
+    }
+
+    /// The Table I expectation for a channel on this cloud:
+    /// `Some(true)` = `●` (fully leaking), `Some(false)` = `○` (masked or
+    /// absent), `None` = `◐` (partially leaking).
+    pub fn expected_exposure(&self, channel_glob: &str) -> Option<bool> {
+        let policy = self.mask_policy();
+        // Representative concrete path per channel glob.
+        let probe = representative_path(channel_glob);
+        match policy.action_for(&probe) {
+            Some(pseudofs::MaskAction::Deny) => Some(false),
+            Some(pseudofs::MaskAction::Partial) => None,
+            None => Some(true),
+        }
+    }
+}
+
+/// Maps a Table I channel glob to a concrete probe path.
+pub fn representative_path(channel_glob: &str) -> String {
+    match channel_glob {
+        "/proc/sys/fs/*" => "/proc/sys/fs/file-nr".to_string(),
+        "/proc/sys/kernel/random/*" => "/proc/sys/kernel/random/boot_id".to_string(),
+        "/proc/sys/kernel/sched_domain/*" => {
+            "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost".to_string()
+        }
+        "/proc/fs/ext4/*" => "/proc/fs/ext4/sda1/mb_groups".to_string(),
+        "/sys/fs/cgroup/net_prio/*" => "/sys/fs/cgroup/net_prio/net_prio.ifpriomap".to_string(),
+        "/sys/devices/*" => "/sys/devices/system/node/node0/numastat".to_string(),
+        "/sys/class/*" => "/sys/class/powercap/intel-rapl:0/energy_uj".to_string(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_profile_masks_nothing() {
+        assert!(CloudProfile::Local.mask_policy().rules().is_empty());
+    }
+
+    #[test]
+    fn table_one_spot_checks() {
+        // sched_debug row: ○ ○ ● ○ ●
+        let expected = [
+            Some(false),
+            Some(false),
+            Some(true),
+            Some(false),
+            Some(true),
+        ];
+        for (cc, want) in CloudProfile::COMMERCIAL.iter().zip(expected) {
+            assert_eq!(cc.expected_exposure("/proc/sched_debug"), want, "{cc:?}");
+        }
+        // timer_list row: ● ● ● ○ ●
+        let expected = [Some(true), Some(true), Some(true), Some(false), Some(true)];
+        for (cc, want) in CloudProfile::COMMERCIAL.iter().zip(expected) {
+            assert_eq!(cc.expected_exposure("/proc/timer_list"), want, "{cc:?}");
+        }
+        // cpuinfo row: ● ● ● ● ◐
+        assert_eq!(CloudProfile::CC5.expected_exposure("/proc/cpuinfo"), None);
+        assert_eq!(
+            CloudProfile::CC1.expected_exposure("/proc/cpuinfo"),
+            Some(true)
+        );
+        // net_prio row: ● ● ○ ○ ○
+        let expected = [
+            Some(true),
+            Some(true),
+            Some(false),
+            Some(false),
+            Some(false),
+        ];
+        for (cc, want) in CloudProfile::COMMERCIAL.iter().zip(expected) {
+            assert_eq!(
+                cc.expected_exposure("/sys/fs/cgroup/net_prio/*"),
+                want,
+                "{cc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn modules_and_version_open_everywhere() {
+        for cc in CloudProfile::COMMERCIAL {
+            assert_eq!(cc.expected_exposure("/proc/modules"), Some(true));
+            assert_eq!(cc.expected_exposure("/proc/version"), Some(true));
+            assert_eq!(cc.expected_exposure("/proc/softirqs"), Some(true));
+            assert_eq!(cc.expected_exposure("/proc/interrupts"), Some(true));
+        }
+    }
+
+    #[test]
+    fn representative_paths_are_concrete() {
+        for glob in [
+            "/proc/sys/fs/*",
+            "/proc/sys/kernel/random/*",
+            "/sys/fs/cgroup/net_prio/*",
+            "/sys/devices/*",
+            "/sys/class/*",
+        ] {
+            assert!(!representative_path(glob).contains('*'));
+        }
+    }
+}

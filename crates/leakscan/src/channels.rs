@@ -1,0 +1,726 @@
+//! The channel inventory: Table I (21 channels) and Table II (29 ranked
+//! rows) of the paper, with measurement recipes.
+//!
+//! Expected 𝕌/𝕍/𝕄 values here are the *paper's claims*; the [`crate::metrics`]
+//! module measures each claim empirically against the simulated kernels —
+//! the test suite asserts measured == expected.
+
+use serde::{Deserialize, Serialize};
+
+/// How a channel can uniquely identify a host (the 𝕌 metric's three
+/// groups from §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UniquenessKind {
+    /// Group 1: a static unique identifier (boot_id, host iface list).
+    StaticId,
+    /// Group 2: tenants implant unique signatures (sched_debug,
+    /// timer_list, locks).
+    Implant,
+    /// Group 3: a unique accumulating counter; the payload is the index
+    /// of the numeric field to track (uptime field 0, energy counter,
+    /// ...), or `None` to track the sum of all fields.
+    Accumulator(Option<usize>),
+    /// Not usable for unique host identification.
+    None,
+}
+
+impl UniquenessKind {
+    /// Whether the paper marks this `●` in the 𝕌 column.
+    pub fn is_unique(&self) -> bool {
+        !matches!(self, UniquenessKind::None)
+    }
+}
+
+/// The 𝕄 metric: how tenants can influence the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManipulationKind {
+    /// `●`: directly implant crafted data (timer names, lock ranges,
+    /// process names).
+    Direct,
+    /// `◐`: indirectly influence the data (pin load to a core, watch its
+    /// counters move).
+    Indirect,
+    /// `○`: not manipulable.
+    None,
+}
+
+/// One channel: a pseudo-file (or glob of related files).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Channel {
+    /// Display glob as in the paper's tables.
+    pub glob: &'static str,
+    /// A concrete path to probe.
+    pub probe: &'static str,
+    /// "Leakage information" column of Table I.
+    pub info: &'static str,
+    /// Table I: co-residence potential.
+    pub coresidence: bool,
+    /// Table I: DoS potential.
+    pub dos: bool,
+    /// Table I: information-leak potential.
+    pub info_leak: bool,
+    /// Expected 𝕌 (paper's Table II).
+    pub uniqueness: UniquenessKind,
+    /// Expected 𝕍 (paper's Table II): does the data change over time?
+    pub variation: bool,
+    /// Expected 𝕄 (paper's Table II).
+    pub manipulation: ManipulationKind,
+}
+
+use ManipulationKind as M;
+use UniquenessKind as U;
+
+/// Table I: the 21 leakage channels checked on the five clouds.
+pub const TABLE1_CHANNELS: &[Channel] = &[
+    ch(
+        "/proc/locks",
+        "/proc/locks",
+        "Files locked by the kernel",
+        true,
+        false,
+        true,
+        U::Implant,
+        true,
+        M::Direct,
+    ),
+    ch(
+        "/proc/zoneinfo",
+        "/proc/zoneinfo",
+        "Physical RAM information",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/modules",
+        "/proc/modules",
+        "Loaded kernel modules information",
+        false,
+        false,
+        true,
+        U::None,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/timer_list",
+        "/proc/timer_list",
+        "Configured clocks and timers",
+        true,
+        false,
+        true,
+        U::Implant,
+        true,
+        M::Direct,
+    ),
+    ch(
+        "/proc/sched_debug",
+        "/proc/sched_debug",
+        "Task scheduler behavior",
+        true,
+        false,
+        true,
+        U::Implant,
+        true,
+        M::Direct,
+    ),
+    ch(
+        "/proc/softirqs",
+        "/proc/softirqs",
+        "Number of invoked softirq handler",
+        true,
+        true,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/uptime",
+        "/proc/uptime",
+        "Up and idle time",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/version",
+        "/proc/version",
+        "Kernel, gcc, distribution version",
+        false,
+        false,
+        true,
+        U::None,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/stat",
+        "/proc/stat",
+        "Kernel activities",
+        true,
+        true,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/meminfo",
+        "/proc/meminfo",
+        "Memory information",
+        true,
+        true,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/loadavg",
+        "/proc/loadavg",
+        "CPU and IO utilization over time",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/interrupts",
+        "/proc/interrupts",
+        "Number of interrupts per IRQ",
+        true,
+        false,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/cpuinfo",
+        "/proc/cpuinfo",
+        "CPU information",
+        true,
+        false,
+        true,
+        U::None,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/schedstat",
+        "/proc/schedstat",
+        "Schedule statistics",
+        true,
+        false,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/fs/*",
+        "/proc/sys/fs/dentry-state",
+        "File system information",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/kernel/random/*",
+        "/proc/sys/kernel/random/boot_id",
+        "Random number generation info",
+        true,
+        false,
+        true,
+        U::StaticId,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/sys/kernel/sched_domain/*",
+        "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost",
+        "Schedule domain info",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::None,
+    ),
+    ch(
+        "/proc/fs/ext4/*",
+        "/proc/fs/ext4/sda1/mb_groups",
+        "Ext4 file system info",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/fs/cgroup/net_prio/*",
+        "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+        "Priorities assigned to traffic",
+        true,
+        false,
+        true,
+        U::StaticId,
+        false,
+        M::None,
+    ),
+    ch(
+        "/sys/devices/*",
+        "/sys/devices/system/node/node0/numastat",
+        "System device information",
+        true,
+        true,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/class/*",
+        "/sys/class/powercap/intel-rapl:0/energy_uj",
+        "System device information",
+        true,
+        true,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+];
+
+/// Table II: the 29 ranked per-file rows (top 17 have 𝕌 = ●).
+pub const TABLE2_CHANNELS: &[Channel] = &[
+    // -------- uniqueness group (paper rank: top 17) --------
+    ch(
+        "/proc/sys/kernel/random/boot_id",
+        "/proc/sys/kernel/random/boot_id",
+        "Boot-unique kernel id",
+        true,
+        false,
+        true,
+        U::StaticId,
+        false,
+        M::None,
+    ),
+    ch(
+        "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+        "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+        "All host interfaces incl. per-container veths",
+        true,
+        false,
+        true,
+        U::StaticId,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/sched_debug",
+        "/proc/sched_debug",
+        "All host tasks",
+        true,
+        false,
+        true,
+        U::Implant,
+        true,
+        M::Direct,
+    ),
+    ch(
+        "/proc/timer_list",
+        "/proc/timer_list",
+        "All host timers",
+        true,
+        false,
+        true,
+        U::Implant,
+        true,
+        M::Direct,
+    ),
+    ch(
+        "/proc/locks",
+        "/proc/locks",
+        "All host file locks",
+        true,
+        false,
+        true,
+        U::Implant,
+        true,
+        M::Direct,
+    ),
+    ch(
+        "/proc/uptime",
+        "/proc/uptime",
+        "Host up/idle time",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/stat",
+        "/proc/stat",
+        "Host kernel activity counters",
+        true,
+        true,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/schedstat",
+        "/proc/schedstat",
+        "Host scheduler statistics",
+        true,
+        false,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/softirqs",
+        "/proc/softirqs",
+        "Host softirq counters",
+        true,
+        true,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/interrupts",
+        "/proc/interrupts",
+        "Host interrupt counters",
+        true,
+        false,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/devices/system/node/node#/numastat",
+        "/sys/devices/system/node/node0/numastat",
+        "Host NUMA counters",
+        true,
+        false,
+        true,
+        U::Accumulator(None),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/class/powercap/.../energy_uj",
+        "/sys/class/powercap/intel-rapl:0/energy_uj",
+        "Host energy counter",
+        true,
+        true,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/devices/system/.../usage",
+        "/sys/devices/system/cpu/cpu1/cpuidle/state4/usage",
+        "Host cpuidle entries",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/devices/system/.../time",
+        "/sys/devices/system/cpu/cpu1/cpuidle/state4/time",
+        "Host cpuidle residency",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/fs/dentry-state",
+        "/proc/sys/fs/dentry-state",
+        "Host dentry cache",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/fs/inode-nr",
+        "/proc/sys/fs/inode-nr",
+        "Host inode counters",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/fs/file-nr",
+        "/proc/sys/fs/file-nr",
+        "Host open-file counters",
+        true,
+        false,
+        true,
+        U::Accumulator(Some(0)),
+        true,
+        M::Indirect,
+    ),
+    // -------- variation-only group (ranked by joint entropy) --------
+    ch(
+        "/proc/zoneinfo",
+        "/proc/zoneinfo",
+        "Host zone free pages",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/meminfo",
+        "/proc/meminfo",
+        "Host memory counters",
+        true,
+        true,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/fs/ext4/sda#/mb_groups",
+        "/proc/fs/ext4/sda1/mb_groups",
+        "Host ext4 allocator groups",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/devices/system/node/node#/vmstat",
+        "/sys/devices/system/node/node0/vmstat",
+        "Host node vm counters",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/devices/system/node/node#/meminfo",
+        "/sys/devices/system/node/node0/meminfo",
+        "Host node memory",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/sys/devices/platform/.../temp#_input",
+        "/sys/devices/platform/coretemp.0/hwmon/hwmon0/temp3_input",
+        "Host core temperature",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/loadavg",
+        "/proc/loadavg",
+        "Host load averages",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/kernel/random/entropy_avail",
+        "/proc/sys/kernel/random/entropy_avail",
+        "Host entropy estimate",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::Indirect,
+    ),
+    ch(
+        "/proc/sys/kernel/.../max_newidle_lb_cost",
+        "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost",
+        "Host LB cost",
+        true,
+        false,
+        true,
+        U::None,
+        true,
+        M::None,
+    ),
+    // -------- hard-to-exploit group --------
+    ch(
+        "/proc/modules",
+        "/proc/modules",
+        "Host module list",
+        false,
+        false,
+        true,
+        U::None,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/cpuinfo",
+        "/proc/cpuinfo",
+        "Host CPU model",
+        true,
+        false,
+        true,
+        U::None,
+        false,
+        M::None,
+    ),
+    ch(
+        "/proc/version",
+        "/proc/version",
+        "Host kernel build",
+        false,
+        false,
+        true,
+        U::None,
+        false,
+        M::None,
+    ),
+];
+
+#[allow(clippy::too_many_arguments)] // one row of the paper's table
+const fn ch(
+    glob: &'static str,
+    probe: &'static str,
+    info: &'static str,
+    coresidence: bool,
+    dos: bool,
+    info_leak: bool,
+    uniqueness: UniquenessKind,
+    variation: bool,
+    manipulation: ManipulationKind,
+) -> Channel {
+    Channel {
+        glob,
+        probe,
+        info,
+        coresidence,
+        dos,
+        info_leak,
+        uniqueness,
+        variation,
+        manipulation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_has_21_channels() {
+        assert_eq!(TABLE1_CHANNELS.len(), 21);
+    }
+
+    #[test]
+    fn table_two_has_29_rows_with_17_unique() {
+        assert_eq!(TABLE2_CHANNELS.len(), 29);
+        let unique = TABLE2_CHANNELS
+            .iter()
+            .filter(|c| c.uniqueness.is_unique())
+            .count();
+        assert_eq!(unique, 17, "paper: top 17 rows satisfy U");
+    }
+
+    #[test]
+    fn unique_rows_come_first() {
+        let first_non_unique = TABLE2_CHANNELS
+            .iter()
+            .position(|c| !c.uniqueness.is_unique())
+            .unwrap();
+        assert!(TABLE2_CHANNELS[first_non_unique..]
+            .iter()
+            .all(|c| !c.uniqueness.is_unique()));
+        assert_eq!(first_non_unique, 17);
+    }
+
+    #[test]
+    fn implantable_channels_are_directly_manipulable() {
+        for c in TABLE2_CHANNELS {
+            if c.uniqueness == UniquenessKind::Implant {
+                assert_eq!(c.manipulation, ManipulationKind::Direct, "{}", c.glob);
+            }
+        }
+    }
+
+    #[test]
+    fn probes_are_concrete_paths() {
+        for c in TABLE1_CHANNELS.iter().chain(TABLE2_CHANNELS) {
+            assert!(!c.probe.contains('*'), "{}", c.probe);
+            assert!(!c.probe.contains('#'), "{}", c.probe);
+            assert!(c.probe.starts_with('/'));
+        }
+    }
+
+    #[test]
+    fn dos_flags_match_table_one() {
+        let dos: Vec<&str> = TABLE1_CHANNELS
+            .iter()
+            .filter(|c| c.dos)
+            .map(|c| c.glob)
+            .collect();
+        assert_eq!(
+            dos,
+            vec![
+                "/proc/softirqs",
+                "/proc/stat",
+                "/proc/meminfo",
+                "/sys/devices/*",
+                "/sys/class/*"
+            ]
+        );
+    }
+}

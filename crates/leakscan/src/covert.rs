@@ -1,0 +1,340 @@
+//! Covert channels over the leaked interfaces (§III-C).
+//!
+//! The paper notes that the manipulable channels "could be exploited by
+//! advanced attackers as covert channels to transmit signals". This module
+//! builds three of them, between two co-resident containers that have no
+//! legitimate communication path:
+//!
+//! * [`CovertMedium::TimerList`] — *direct* storage channel: the sender
+//!   arms a timer with a slot-unique comm for a `1` bit; the receiver
+//!   greps `/proc/timer_list`.
+//! * [`CovertMedium::CpuFreq`] — *indirect* timing channel: the sender
+//!   pins a spin loop to an agreed core for a `1`; the receiver watches
+//!   that core's `scaling_cur_freq` race to turbo.
+//! * [`CovertMedium::RaplPower`] — *indirect* physical channel: the sender
+//!   bursts a power virus; the receiver differentiates the host's leaked
+//!   `energy_uj` counter (this is the channel the power-based namespace
+//!   destroys — see the `covert_defense` integration test).
+
+use container_runtime::{ContainerId, Runtime, RuntimeError};
+use serde::{Deserialize, Serialize};
+use simkernel::{HostPid, Kernel};
+use workloads::models;
+
+/// Which leaked interface carries the bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CovertMedium {
+    /// Storage channel through `/proc/timer_list` comm names.
+    TimerList,
+    /// Timing channel through a core's `scaling_cur_freq`.
+    CpuFreq {
+        /// The agreed-upon core.
+        cpu: u16,
+    },
+    /// Physical channel through the RAPL `energy_uj` counter.
+    RaplPower,
+}
+
+impl CovertMedium {
+    /// The pseudo file the receiver reads.
+    pub fn receiver_path(&self) -> String {
+        match self {
+            CovertMedium::TimerList => "/proc/timer_list".to_string(),
+            CovertMedium::CpuFreq { cpu } => {
+                format!("/sys/devices/system/cpu/cpu{cpu}/cpufreq/scaling_cur_freq")
+            }
+            CovertMedium::RaplPower => "/sys/class/powercap/intel-rapl:0/energy_uj".to_string(),
+        }
+    }
+}
+
+/// Result of one transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovertOutcome {
+    /// Bits the sender encoded.
+    pub sent: Vec<bool>,
+    /// Bits the receiver decoded.
+    pub received: Vec<bool>,
+    /// Number of bit errors.
+    pub errors: usize,
+    /// Achieved bandwidth, bits per (simulated) second.
+    pub bandwidth_bps: f64,
+}
+
+impl CovertOutcome {
+    /// Bit error rate in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.sent.is_empty() {
+            0.0
+        } else {
+            self.errors as f64 / self.sent.len() as f64
+        }
+    }
+}
+
+/// A covert link between two containers on one kernel.
+///
+/// ```
+/// use container_runtime::{ContainerSpec, Runtime};
+/// use leakscan::{CovertLink, CovertMedium};
+/// use simkernel::{Kernel, MachineConfig};
+/// use workloads::models;
+///
+/// let mut kernel = Kernel::new(MachineConfig::small_server(), 9);
+/// let mut rt = Runtime::new();
+/// let tx = rt.create(&mut kernel, ContainerSpec::new("tx"))?;
+/// let rx = rt.create(&mut kernel, ContainerSpec::new("rx"))?;
+/// rt.exec(&mut kernel, tx, "agent", models::sleeper())?;
+///
+/// let mut link = CovertLink::new(CovertMedium::TimerList).slot_secs(1);
+/// let out = link.transmit(&mut kernel, &mut rt, tx, rx, &[true, false, true])?;
+/// assert_eq!(out.received, vec![true, false, true]);
+/// # Ok::<(), container_runtime::RuntimeError>(())
+/// ```
+#[derive(Debug)]
+pub struct CovertLink {
+    medium: CovertMedium,
+    slot_secs: u64,
+    epoch: u64,
+}
+
+impl CovertLink {
+    /// Creates a link over `medium` with 2-second bit slots (enough for
+    /// the physical channels to settle).
+    pub fn new(medium: CovertMedium) -> Self {
+        CovertLink {
+            medium,
+            slot_secs: 2,
+            epoch: 0,
+        }
+    }
+
+    /// Overrides the slot length.
+    #[must_use]
+    pub fn slot_secs(mut self, secs: u64) -> Self {
+        self.slot_secs = secs.max(1);
+        self
+    }
+
+    /// The medium in use.
+    pub fn medium(&self) -> CovertMedium {
+        self.medium
+    }
+
+    /// Transmits `bits` from `sender` to `receiver` (both containers on
+    /// `kernel`). Returns the decoded bits and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors — e.g. a masking policy on the receiver
+    /// that denies the medium's pseudo file (the first-stage defense
+    /// breaking the channel).
+    pub fn transmit(
+        &mut self,
+        kernel: &mut Kernel,
+        runtime: &mut Runtime,
+        sender: ContainerId,
+        receiver: ContainerId,
+        bits: &[bool],
+    ) -> Result<CovertOutcome, RuntimeError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Physical channels need a calibrated idle baseline.
+        let idle_delta = match self.medium {
+            CovertMedium::RaplPower => {
+                let e0 = read_u64(runtime, kernel, receiver, &self.medium.receiver_path())?;
+                kernel.advance_secs(self.slot_secs);
+                let e1 = read_u64(runtime, kernel, receiver, &self.medium.receiver_path())?;
+                e1.saturating_sub(e0)
+            }
+            _ => 0,
+        };
+
+        let mut received = Vec::with_capacity(bits.len());
+        for (slot, bit) in bits.iter().enumerate() {
+            let mut slot_pids: Vec<HostPid> = Vec::new();
+            // --- Sender's action for this slot. ---
+            match self.medium {
+                CovertMedium::TimerList => {
+                    if *bit {
+                        runtime.implant_timer(
+                            kernel,
+                            sender,
+                            &format!("cvt{epoch:x}s{slot:04x}"),
+                            1_000_000_000,
+                        )?;
+                    }
+                }
+                CovertMedium::CpuFreq { cpu } => {
+                    if *bit {
+                        let pid = runtime.exec(
+                            kernel,
+                            sender,
+                            &format!("spin-{slot}"),
+                            models::idle_loop(),
+                        )?;
+                        kernel
+                            .set_affinity(pid, vec![cpu])
+                            .map_err(RuntimeError::Kernel)?;
+                        slot_pids.push(pid);
+                    }
+                }
+                CovertMedium::RaplPower => {
+                    if *bit {
+                        for i in 0..4 {
+                            slot_pids.push(runtime.exec(
+                                kernel,
+                                sender,
+                                &format!("pv-{slot}-{i}"),
+                                models::power_virus(),
+                            )?);
+                        }
+                    }
+                }
+            }
+
+            let pre = match self.medium {
+                CovertMedium::RaplPower => {
+                    read_u64(runtime, kernel, receiver, &self.medium.receiver_path())?
+                }
+                _ => 0,
+            };
+            kernel.advance_secs(self.slot_secs);
+
+            // --- Receiver's decode at slot end. ---
+            let decoded = match self.medium {
+                CovertMedium::TimerList => runtime
+                    .read_file(kernel, receiver, "/proc/timer_list")?
+                    .contains(&format!("cvt{epoch:x}s{slot:04x}")),
+                CovertMedium::CpuFreq { .. } => {
+                    let khz = read_u64(runtime, kernel, receiver, &self.medium.receiver_path())?;
+                    khz > kernel.config().freq_hz / 1_000 * 8 / 10
+                }
+                CovertMedium::RaplPower => {
+                    let post = read_u64(runtime, kernel, receiver, &self.medium.receiver_path())?;
+                    post.saturating_sub(pre) > idle_delta + idle_delta / 2
+                }
+            };
+            received.push(decoded);
+
+            for pid in slot_pids {
+                let _ = kernel.kill(pid);
+            }
+            // Let the physical media settle back between slots.
+            if matches!(
+                self.medium,
+                CovertMedium::CpuFreq { .. } | CovertMedium::RaplPower
+            ) {
+                kernel.advance_secs(1);
+            }
+        }
+
+        let errors = bits.iter().zip(&received).filter(|(a, b)| a != b).count();
+        let per_slot = self.slot_secs
+            + u64::from(matches!(
+                self.medium,
+                CovertMedium::CpuFreq { .. } | CovertMedium::RaplPower
+            ));
+        Ok(CovertOutcome {
+            sent: bits.to_vec(),
+            received,
+            errors,
+            bandwidth_bps: 1.0 / per_slot as f64,
+        })
+    }
+}
+
+fn read_u64(
+    runtime: &Runtime,
+    kernel: &Kernel,
+    container: ContainerId,
+    path: &str,
+) -> Result<u64, RuntimeError> {
+    Ok(runtime
+        .read_file(kernel, container, path)?
+        .trim()
+        .parse()
+        .unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use container_runtime::ContainerSpec;
+    use pseudofs::MaskPolicy;
+    use simkernel::MachineConfig;
+
+    const MSG: [bool; 16] = [
+        true, false, true, true, false, false, true, false, true, true, true, false, false, true,
+        false, true,
+    ];
+
+    fn setup() -> (Kernel, Runtime, ContainerId, ContainerId) {
+        let mut k = Kernel::new(MachineConfig::testbed_i7_6700(), 2_024);
+        let mut rt = Runtime::new();
+        let tx = rt.create(&mut k, ContainerSpec::new("tx")).unwrap();
+        let rx = rt.create(&mut k, ContainerSpec::new("rx")).unwrap();
+        rt.exec(&mut k, tx, "anchor", models::sleeper()).unwrap();
+        rt.exec(&mut k, rx, "anchor", models::sleeper()).unwrap();
+        k.advance_secs(2);
+        (k, rt, tx, rx)
+    }
+
+    #[test]
+    fn timer_list_channel_is_error_free() {
+        let (mut k, mut rt, tx, rx) = setup();
+        let mut link = CovertLink::new(CovertMedium::TimerList).slot_secs(1);
+        let out = link.transmit(&mut k, &mut rt, tx, rx, &MSG).unwrap();
+        assert_eq!(out.errors, 0, "{:?}", out.received);
+        assert_eq!(out.received, MSG.to_vec());
+        assert!(out.bandwidth_bps >= 1.0);
+    }
+
+    #[test]
+    fn cpufreq_channel_decodes_load_bursts() {
+        let (mut k, mut rt, tx, rx) = setup();
+        // Core 7 is the agreed quiet core (anchors gravitate to low cpus).
+        let mut link = CovertLink::new(CovertMedium::CpuFreq { cpu: 7 });
+        let out = link.transmit(&mut k, &mut rt, tx, rx, &MSG).unwrap();
+        assert_eq!(out.errors, 0, "{:?}", out.received);
+    }
+
+    #[test]
+    fn rapl_power_channel_decodes_energy_bursts() {
+        let (mut k, mut rt, tx, rx) = setup();
+        let mut link = CovertLink::new(CovertMedium::RaplPower);
+        let out = link.transmit(&mut k, &mut rt, tx, rx, &MSG).unwrap();
+        assert_eq!(out.errors, 0, "{:?}", out.received);
+        assert!(out.error_rate() == 0.0);
+    }
+
+    #[test]
+    fn masking_policy_severs_the_channel() {
+        let mut k = Kernel::new(MachineConfig::testbed_i7_6700(), 2_025);
+        let mut rt = Runtime::new();
+        let tx = rt.create(&mut k, ContainerSpec::new("tx")).unwrap();
+        let rx = rt
+            .create(
+                &mut k,
+                ContainerSpec::new("rx").policy(MaskPolicy::none().deny("/proc/timer_list")),
+            )
+            .unwrap();
+        rt.exec(&mut k, tx, "anchor", models::sleeper()).unwrap();
+        let mut link = CovertLink::new(CovertMedium::TimerList);
+        assert!(link.transmit(&mut k, &mut rt, tx, rx, &MSG).is_err());
+    }
+
+    #[test]
+    fn repeated_transmissions_use_fresh_signatures() {
+        let (mut k, mut rt, tx, rx) = setup();
+        let mut link = CovertLink::new(CovertMedium::TimerList).slot_secs(1);
+        let first = link.transmit(&mut k, &mut rt, tx, rx, &MSG).unwrap();
+        // Old timers persist; a second epoch must still decode cleanly.
+        let inverted: Vec<bool> = MSG.iter().map(|b| !b).collect();
+        let second = link.transmit(&mut k, &mut rt, tx, rx, &inverted).unwrap();
+        assert_eq!(first.errors, 0);
+        assert_eq!(second.errors, 0);
+        assert_eq!(second.received, inverted);
+    }
+}

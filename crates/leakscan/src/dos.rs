@@ -1,0 +1,255 @@
+//! DoS potential of the leaked channels (Table I's DoS column).
+//!
+//! Table I flags `/proc/meminfo`, `/proc/stat`, `/proc/softirqs` and the
+//! sysfs trees as DoS-relevant: a malicious tenant who can *see* the
+//! host's real resource headroom can exhaust exactly the remaining slack,
+//! denying service to co-resident tenants while staying within its own
+//! plausible footprint. This module demonstrates the `meminfo` case: the
+//! informed attacker reads `MemAvailable`, sizes balloon allocations to
+//! swallow it, and the next tenant's workload fails admission — on the
+//! first try, with no probing noise. A blind attacker must guess.
+
+use container_runtime::{ContainerId, Runtime, RuntimeError};
+use serde::{Deserialize, Serialize};
+use simkernel::{HostPid, Kernel};
+use workloads::{Phase, Repeat, WorkloadClass, WorkloadSpec};
+
+/// A memory balloon of the given size (negligible CPU).
+fn balloon(bytes: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        "balloon",
+        WorkloadClass::MemoryBound,
+        vec![Phase {
+            mem_bytes: bytes.max(1 << 20),
+            ..Phase::quiescent(3_600 * 1_000_000_000)
+        }],
+        Repeat::Forever,
+    )
+}
+
+/// Outcome of an exhaustion attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExhaustionOutcome {
+    /// Balloon processes successfully admitted.
+    pub balloons: Vec<HostPid>,
+    /// Bytes the attacker claimed.
+    pub claimed_bytes: u64,
+    /// Whether a subsequent 512 MiB victim launch fails.
+    pub victim_denied: bool,
+}
+
+/// The meminfo-guided memory exhaustion attack.
+#[derive(Debug, Default)]
+pub struct MemExhaustion;
+
+impl MemExhaustion {
+    /// Creates the attack driver.
+    pub fn new() -> Self {
+        MemExhaustion
+    }
+
+    /// Informed attack: read the leaked `meminfo`, compute the host's
+    /// admission headroom (available + reclaimable terms), and claim it in
+    /// four balloons.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (e.g. the channel being masked — which
+    /// *is* the defense).
+    pub fn informed(
+        &self,
+        kernel: &mut Kernel,
+        runtime: &mut Runtime,
+        attacker: ContainerId,
+    ) -> Result<ExhaustionOutcome, RuntimeError> {
+        // The leak is live telemetry: re-read `MemAvailable` between
+        // balloons and take half the remaining headroom each time, closing
+        // with a balloon that leaves only a 256 MiB sliver. Every
+        // allocation is sized to succeed — no trial-and-error noise.
+        let mut balloons = Vec::new();
+        let mut claimed = 0u64;
+        for i in 0..16 {
+            let avail = read_available(runtime, kernel, attacker)?;
+            if avail < 768 << 20 {
+                let last = avail.saturating_sub(256 << 20);
+                if last > 1 << 20 {
+                    if let Ok(pid) = runtime.exec(kernel, attacker, "balloon-final", balloon(last))
+                    {
+                        balloons.push(pid);
+                        claimed += last;
+                        kernel.advance_secs(1);
+                    }
+                }
+                break;
+            }
+            let size = avail / 2;
+            match runtime.exec(kernel, attacker, &format!("balloon-{i}"), balloon(size)) {
+                Ok(pid) => {
+                    balloons.push(pid);
+                    claimed += size;
+                    kernel.advance_secs(1);
+                }
+                Err(RuntimeError::Kernel(simkernel::KernelError::OutOfMemory { .. })) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        kernel.advance_secs(2);
+        Ok(ExhaustionOutcome {
+            balloons,
+            claimed_bytes: claimed,
+            victim_denied: victim_denied(kernel),
+        })
+    }
+
+    /// Blind attack: claim a guessed number of bytes (no channel read).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn blind(
+        &self,
+        kernel: &mut Kernel,
+        runtime: &mut Runtime,
+        attacker: ContainerId,
+        guess_bytes: u64,
+    ) -> Result<ExhaustionOutcome, RuntimeError> {
+        self.claim(kernel, runtime, attacker, guess_bytes)
+    }
+
+    fn claim(
+        &self,
+        kernel: &mut Kernel,
+        runtime: &mut Runtime,
+        attacker: ContainerId,
+        target: u64,
+    ) -> Result<ExhaustionOutcome, RuntimeError> {
+        let mut balloons = Vec::new();
+        let mut claimed = 0u64;
+        // Four balloons, largest-first, so partial admission still grabs
+        // most of the target even if the guess overshoots.
+        for (i, share) in [5u64, 3, 2, 2].iter().enumerate() {
+            let size = target * share / 12;
+            match runtime.exec(kernel, attacker, &format!("balloon-{i}"), balloon(size)) {
+                Ok(pid) => {
+                    balloons.push(pid);
+                    claimed += size;
+                    kernel.advance_secs(1);
+                }
+                Err(RuntimeError::Kernel(simkernel::KernelError::OutOfMemory { .. })) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        kernel.advance_secs(2);
+        Ok(ExhaustionOutcome {
+            balloons,
+            claimed_bytes: claimed,
+            victim_denied: victim_denied(kernel),
+        })
+    }
+}
+
+/// Whether a co-resident tenant's 512 MiB service now fails admission.
+fn victim_denied(kernel: &mut Kernel) -> bool {
+    matches!(
+        kernel.spawn(simkernel::kernel::ProcessSpec::new(
+            "victim-svc",
+            balloon(512 << 20)
+        )),
+        Err(simkernel::KernelError::OutOfMemory { .. })
+    )
+}
+
+/// Parses `MemAvailable` from the attacker's view of `/proc/meminfo`.
+fn read_available(
+    runtime: &Runtime,
+    kernel: &Kernel,
+    attacker: ContainerId,
+) -> Result<u64, RuntimeError> {
+    let meminfo = runtime.read_file(kernel, attacker, "/proc/meminfo")?;
+    Ok(meminfo
+        .lines()
+        .find(|l| l.starts_with("MemAvailable:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+        * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use container_runtime::ContainerSpec;
+    use pseudofs::MaskPolicy;
+    use simkernel::MachineConfig;
+    use workloads::models;
+
+    fn setup(policy: Option<MaskPolicy>) -> (Kernel, Runtime, ContainerId) {
+        let mut k = Kernel::new(MachineConfig::testbed_i7_6700(), 4_040);
+        // Pre-existing tenant load occupying part of memory.
+        k.spawn_host_process("tenant-db", balloon(3 << 30)).unwrap();
+        k.advance_secs(2);
+        let mut rt = Runtime::new();
+        let spec = match policy {
+            Some(p) => ContainerSpec::new("attacker").policy(p),
+            None => ContainerSpec::new("attacker"),
+        };
+        let attacker = rt.create(&mut k, spec).unwrap();
+        rt.exec(&mut k, attacker, "shell", models::sleeper())
+            .unwrap();
+        (k, rt, attacker)
+    }
+
+    #[test]
+    fn informed_attacker_denies_the_victim_first_try() {
+        let (mut k, mut rt, attacker) = setup(None);
+        let out = MemExhaustion::new()
+            .informed(&mut k, &mut rt, attacker)
+            .unwrap();
+        assert!(out.victim_denied, "{out:?}");
+        assert!(out.claimed_bytes > 8 << 30, "claimed {}", out.claimed_bytes);
+    }
+
+    #[test]
+    fn blind_underestimate_leaves_room_for_the_victim() {
+        let (mut k, mut rt, attacker) = setup(None);
+        // Blind guess: 2 GiB — plausible but far under the real headroom.
+        let out = MemExhaustion::new()
+            .blind(&mut k, &mut rt, attacker, 2 << 30)
+            .unwrap();
+        assert!(!out.victim_denied, "{out:?}");
+    }
+
+    #[test]
+    fn masking_meminfo_blinds_the_attack() {
+        let (mut k, mut rt, attacker) = setup(Some(MaskPolicy::none().deny("/proc/meminfo")));
+        let err = MemExhaustion::new().informed(&mut k, &mut rt, attacker);
+        assert!(err.is_err(), "masked meminfo must stop the informed sizing");
+    }
+
+    #[test]
+    fn partial_meminfo_misleads_the_attack() {
+        // CC5-style tenant-scoped meminfo: the attacker sizes against its
+        // own limit, not the host — the victim survives.
+        let (mut k, mut rt, _) = {
+            let mut k = Kernel::new(MachineConfig::testbed_i7_6700(), 4_041);
+            k.spawn_host_process("tenant-db", balloon(3 << 30)).unwrap();
+            k.advance_secs(2);
+            (k, Runtime::new(), ())
+        };
+        let attacker = rt
+            .create(
+                &mut k,
+                ContainerSpec::new("attacker")
+                    .policy(MaskPolicy::none().partial("/proc/meminfo"))
+                    .mem_limit(1 << 30),
+            )
+            .unwrap();
+        rt.exec(&mut k, attacker, "shell", models::sleeper())
+            .unwrap();
+        let out = MemExhaustion::new()
+            .informed(&mut k, &mut rt, attacker)
+            .unwrap();
+        assert!(!out.victim_denied, "{out:?}");
+        assert!(out.claimed_bytes < 2 << 30);
+    }
+}

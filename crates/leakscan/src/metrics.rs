@@ -1,0 +1,469 @@
+//! Empirical assessment of the co-residence metrics (§III-C).
+//!
+//! For every channel, the paper defines three capabilities:
+//!
+//! * **Uniqueness (𝕌)** — the channel's data can uniquely identify a host.
+//!   Measured per its [`UniquenessKind`]: static ids must be stable within
+//!   a host and distinct across hosts; accumulators must grow monotonically
+//!   and sit at host-distinct values; implantable channels must carry an
+//!   attacker-chosen signature visible to co-residents only.
+//! * **Variation (𝕍)** — the data changes over time (snapshot traces can
+//!   be matched between containers). Measured by re-reading over a window.
+//! * **Manipulation (𝕄)** — tenants can influence the data: directly
+//!   (implanted names/ranges) or indirectly (pin a workload with
+//!   `taskset`, watch the channel move). Measured by implantation and by
+//!   comparing per-field change rates between an idle and a loaded window.
+//!
+//! Channels with 𝕍 are additionally ranked by the joint Shannon entropy of
+//! Formula (1), computed over a 60-snapshot 1 Hz trace.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use workloads::{Phase, Repeat, WorkloadClass, WorkloadSpec};
+
+use crate::channels::{Channel, ManipulationKind, UniquenessKind};
+use crate::lab::Lab;
+use crate::parse;
+
+/// Length of the idle observation window (1 Hz snapshots), as in the
+/// paper's 60-point MemFree example.
+pub const IDLE_WINDOW: usize = 60;
+/// Length of the loaded observation window.
+pub const LOAD_WINDOW: usize = 20;
+
+/// Result of measuring one channel.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChannelAssessment {
+    /// The channel measured.
+    pub channel: Channel,
+    /// Measured 𝕌.
+    pub unique: bool,
+    /// Measured 𝕍.
+    pub varies: bool,
+    /// Measured 𝕄.
+    pub manipulation: ManipulationKind,
+    /// Joint Shannon entropy over the idle window (bits).
+    pub entropy_bits: f64,
+    /// For accumulator channels: growth of the tracked counter per second
+    /// (used to rank group 3: faster growth = lower duplication chance).
+    pub growth_per_sec: f64,
+}
+
+/// One row of the regenerated Table II.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table2Row {
+    /// Rank (1-based).
+    pub rank: usize,
+    /// Assessment backing the row.
+    pub assessment: ChannelAssessment,
+}
+
+/// Joint Shannon entropy (Formula 1): treats each numeric field position
+/// as an independent variable `X_i` and sums per-field empirical
+/// entropies over the snapshots.
+pub fn joint_entropy(snapshots: &[Vec<f64>]) -> f64 {
+    if snapshots.is_empty() {
+        return 0.0;
+    }
+    let n_fields = snapshots.iter().map(|s| s.len()).min().unwrap_or(0);
+    let samples = snapshots.len() as f64;
+    let mut total = 0.0;
+    for i in 0..n_fields {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for snap in snapshots {
+            // Bucket by bit pattern of the value (exact-value histogram).
+            *counts.entry(snap[i].to_bits()).or_insert(0) += 1;
+        }
+        let h: f64 = counts
+            .values()
+            .map(|c| {
+                let p = *c as f64 / samples;
+                -p * p.log2()
+            })
+            .sum();
+        total += h;
+    }
+    total
+}
+
+/// The heavy pinned workload used for the indirect-manipulation probe
+/// (the paper's `taskset` + compute-intensive example, plus IO so the
+/// filesystem channels move too).
+fn manipulation_load() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "manip-load",
+        WorkloadClass::Mixed,
+        vec![Phase {
+            duration_ns: 3_600 * 1_000_000_000,
+            instructions_per_cycle: 1.6,
+            cache_miss_per_kilo_instr: 12.0,
+            branch_miss_per_kilo_instr: 3.0,
+            fp_ratio: 0.1,
+            mem_bytes: 1 << 30,
+            syscalls_per_sec: 30_000.0,
+            io_bytes_per_sec: 8.0e6,
+            cpu_demand: 1.0,
+        }],
+        Repeat::Forever,
+    )
+}
+
+/// Measures all channels on a lab of at least two hosts.
+#[derive(Debug)]
+pub struct MetricsAssessor {
+    sig: String,
+}
+
+impl MetricsAssessor {
+    /// Creates an assessor; `sig` seeds the implanted signature names.
+    pub fn new(sig: impl Into<String>) -> Self {
+        MetricsAssessor { sig: sig.into() }
+    }
+
+    /// Runs the full measurement campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lab has fewer than two hosts (uniqueness needs a
+    /// cross-host comparison).
+    pub fn assess_all(&self, lab: &mut Lab, channels: &[Channel]) -> Vec<ChannelAssessment> {
+        assert!(lab.len() >= 2, "uniqueness measurement needs >= 2 hosts");
+
+        // ---- Phase 1: idle observation window on hosts 0 and 1. ----
+        let mut traces0: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
+        let mut traces1: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
+        for _ in 0..IDLE_WINDOW {
+            lab.advance_secs(1);
+            for (ci, ch) in channels.iter().enumerate() {
+                traces0[ci].push(lab.host(0).read_container(ch.probe).unwrap_or_default());
+                traces1[ci].push(lab.host(1).read_container(ch.probe).unwrap_or_default());
+            }
+        }
+
+        // ---- Phase 2: implantation on host 0. ----
+        let sig = format!("lk-{}", self.sig);
+        {
+            let h = lab.host_mut(0);
+            let c = h.container;
+            h.runtime
+                .exec(
+                    &mut h.kernel,
+                    c,
+                    &format!("{sig}-proc"),
+                    workloads::models::sleeper(),
+                )
+                .expect("signature process");
+            h.runtime
+                .implant_timer(&mut h.kernel, c, &format!("{sig}-timer"), 1_000_000_000)
+                .expect("signature timer");
+            h.runtime
+                .implant_lock(&mut h.kernel, c, (0x5151_0000, 0x5151_ffff))
+                .expect("signature lock");
+        }
+        lab.advance_secs(1);
+        let mut implant_hit: Vec<(bool, bool)> = Vec::with_capacity(channels.len());
+        for ch in channels {
+            let on_host0 = lab
+                .host(0)
+                .read_container(ch.probe)
+                .map(|c| c.contains(&sig) || c.contains("1364262912"))
+                .unwrap_or(false);
+            let on_host1 = lab
+                .host(1)
+                .read_container(ch.probe)
+                .map(|c| c.contains(&sig) || c.contains("1364262912"))
+                .unwrap_or(false);
+            implant_hit.push((on_host0, on_host1));
+        }
+
+        // ---- Phase 3: loaded window on host 0 (pinned to CPUs 1..=6,
+        // leaving CPU 0 as the "untouched" core for the sched_domain
+        // control). ----
+        let mut load_pids = Vec::new();
+        {
+            let h = lab.host_mut(0);
+            let c = h.container;
+            for cpu in 1..=6u16 {
+                let pid = h
+                    .runtime
+                    .exec(&mut h.kernel, c, &format!("ld{cpu}"), manipulation_load())
+                    .expect("load process");
+                h.kernel.set_affinity(pid, vec![cpu]).expect("pin load");
+                load_pids.push(pid);
+            }
+        }
+        let mut loaded0: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
+        for _ in 0..LOAD_WINDOW {
+            lab.advance_secs(1);
+            for (ci, ch) in channels.iter().enumerate() {
+                loaded0[ci].push(lab.host(0).read_container(ch.probe).unwrap_or_default());
+            }
+        }
+        {
+            let h = lab.host_mut(0);
+            for pid in load_pids {
+                let _ = h.kernel.kill(pid);
+            }
+        }
+
+        // ---- Analysis. ----
+        channels
+            .iter()
+            .enumerate()
+            .map(|(ci, ch)| {
+                self.analyze(
+                    ch,
+                    &traces0[ci],
+                    &traces1[ci],
+                    &loaded0[ci],
+                    implant_hit[ci],
+                )
+            })
+            .collect()
+    }
+
+    fn analyze(
+        &self,
+        ch: &Channel,
+        idle0: &[String],
+        idle1: &[String],
+        loaded0: &[String],
+        implant: (bool, bool),
+    ) -> ChannelAssessment {
+        let varies = idle0.windows(2).any(|w| w[0] != w[1]);
+
+        // Numeric traces.
+        let idle_fields: Vec<Vec<f64>> = idle0.iter().map(|s| parse::numeric_fields(s)).collect();
+        let loaded_fields: Vec<Vec<f64>> =
+            loaded0.iter().map(|s| parse::numeric_fields(s)).collect();
+        let entropy_bits =
+            joint_entropy(&idle_fields[idle_fields.len().saturating_sub(IDLE_WINDOW)..]);
+
+        // Uniqueness per declared kind — measured, not assumed.
+        let (unique, growth_per_sec) = match ch.uniqueness {
+            UniquenessKind::StaticId => {
+                let stable = !varies;
+                let distinct = idle0.last() != idle1.last();
+                (stable && distinct, 0.0)
+            }
+            UniquenessKind::Implant => (implant.0 && !implant.1, 0.0),
+            UniquenessKind::Accumulator(field) => {
+                let scalar = |content: &str| -> Option<f64> {
+                    match field {
+                        Some(i) => parse::field(content, i),
+                        None => Some(parse::numeric_sum(content)),
+                    }
+                };
+                let series: Vec<f64> = idle0.iter().filter_map(|s| scalar(s)).collect();
+                let monotone = series.windows(2).all(|w| w[1] >= w[0]);
+                let grows =
+                    series.last().copied().unwrap_or(0.0) > series.first().copied().unwrap_or(0.0);
+                let max_step = series
+                    .windows(2)
+                    .map(|w| w[1] - w[0])
+                    .fold(0.0f64, f64::max);
+                let v0 = idle0.last().and_then(|s| scalar(s)).unwrap_or(0.0);
+                let v1 = idle1.last().and_then(|s| scalar(s)).unwrap_or(0.0);
+                let distinct = (v0 - v1).abs() > 10.0 * max_step.max(1.0);
+                let rate = if series.len() > 1 {
+                    (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64
+                } else {
+                    0.0
+                };
+                (monotone && grows && distinct, rate)
+            }
+            UniquenessKind::None => (false, 0.0),
+        };
+
+        // Manipulation: direct via implant; indirect via rate comparison.
+        let manipulation = if implant.0 && !implant.1 {
+            ManipulationKind::Direct
+        } else if rates_differ(&idle_fields, &loaded_fields) {
+            ManipulationKind::Indirect
+        } else {
+            ManipulationKind::None
+        };
+
+        ChannelAssessment {
+            channel: ch.clone(),
+            unique,
+            varies,
+            manipulation,
+            entropy_bits,
+            growth_per_sec,
+        }
+    }
+
+    /// Produces the Table II ranking: the uniqueness group first (static
+    /// ids, implantables, then accumulators by growth rate), then the
+    /// variation-only group ordered by joint entropy, then the rest.
+    pub fn rank_table2(&self, assessments: Vec<ChannelAssessment>) -> Vec<Table2Row> {
+        let mut unique: Vec<ChannelAssessment> = Vec::new();
+        let mut varying: Vec<ChannelAssessment> = Vec::new();
+        let mut rest: Vec<ChannelAssessment> = Vec::new();
+        for a in assessments {
+            if a.unique {
+                unique.push(a);
+            } else if a.varies {
+                varying.push(a);
+            } else {
+                rest.push(a);
+            }
+        }
+        let group_key = |a: &ChannelAssessment| match a.channel.uniqueness {
+            UniquenessKind::StaticId => 0,
+            UniquenessKind::Implant => 1,
+            UniquenessKind::Accumulator(_) => 2,
+            UniquenessKind::None => 3,
+        };
+        unique.sort_by(|a, b| {
+            group_key(a).cmp(&group_key(b)).then(
+                b.growth_per_sec
+                    .partial_cmp(&a.growth_per_sec)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        varying.sort_by(|a, b| {
+            b.entropy_bits
+                .partial_cmp(&a.entropy_bits)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        unique
+            .into_iter()
+            .chain(varying)
+            .chain(rest)
+            .enumerate()
+            .map(|(i, assessment)| Table2Row {
+                rank: i + 1,
+                assessment,
+            })
+            .collect()
+    }
+}
+
+/// Whether per-field change rates differ materially between the idle and
+/// loaded windows (the indirect-manipulation signal).
+fn rates_differ(idle: &[Vec<f64>], loaded: &[Vec<f64>]) -> bool {
+    let mean_step = |trace: &[Vec<f64>], field: usize| -> Option<f64> {
+        let vals: Vec<f64> = trace.iter().filter_map(|s| s.get(field).copied()).collect();
+        if vals.len() < 2 {
+            return None;
+        }
+        Some(vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (vals.len() - 1) as f64)
+    };
+    let n_fields = idle
+        .iter()
+        .chain(loaded.iter())
+        .map(|s| s.len())
+        .min()
+        .unwrap_or(0);
+    // Use only the tail of the idle window (same length as the loaded
+    // window) so long-term drifts don't skew the comparison.
+    let idle_tail = &idle[idle.len().saturating_sub(LOAD_WINDOW)..];
+    for f in 0..n_fields {
+        let (Some(i), Some(l)) = (mean_step(idle_tail, f), mean_step(loaded, f)) else {
+            continue;
+        };
+        if l > i * 1.5 + 0.02 || l * 1.5 + 0.02 < i {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::{UniquenessKind as U, TABLE2_CHANNELS};
+
+    #[test]
+    fn entropy_of_constant_is_zero_and_nonnegative() {
+        let constant = vec![vec![5.0, 7.0]; 10];
+        assert_eq!(joint_entropy(&constant), 0.0);
+        let varying: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let h = joint_entropy(&varying);
+        assert!(
+            (h - 3.0).abs() < 1e-9,
+            "8 distinct values = 3 bits, got {h}"
+        );
+    }
+
+    #[test]
+    fn entropy_sums_over_fields() {
+        let two_fields: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64, (i % 2) as f64]).collect();
+        let h = joint_entropy(&two_fields);
+        assert!((h - 3.0).abs() < 1e-9, "2 bits + 1 bit, got {h}");
+    }
+
+    #[test]
+    fn rates_differ_detects_rate_changes() {
+        let idle: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect(); // +1/step
+        let loaded: Vec<Vec<f64>> = (0..20).map(|i| vec![(i * 10) as f64]).collect(); // +10/step
+        assert!(rates_differ(&idle, &loaded));
+        let same: Vec<Vec<f64>> = (100..120).map(|i| vec![i as f64]).collect();
+        assert!(!rates_differ(&idle, &same));
+    }
+
+    // The full-campaign measurement: the centerpiece assertion that the
+    // paper's Table II claims hold in the simulated kernel.
+    #[test]
+    fn measured_metrics_match_paper_claims() {
+        let mut lab = Lab::new(2, 3001);
+        let assessor = MetricsAssessor::new("t2");
+        let got = assessor.assess_all(&mut lab, TABLE2_CHANNELS);
+        for a in &got {
+            assert_eq!(
+                a.unique,
+                a.channel.uniqueness.is_unique(),
+                "U mismatch on {}",
+                a.channel.glob
+            );
+            assert_eq!(
+                a.varies, a.channel.variation,
+                "V mismatch on {}",
+                a.channel.glob
+            );
+            assert_eq!(
+                a.manipulation, a.channel.manipulation,
+                "M mismatch on {}",
+                a.channel.glob
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_orders_groups_correctly() {
+        let mut lab = Lab::new(2, 3002);
+        let assessor = MetricsAssessor::new("rank");
+        let rows = assessor.rank_table2(assessor.assess_all(&mut lab, TABLE2_CHANNELS));
+        assert_eq!(rows.len(), TABLE2_CHANNELS.len());
+        // First rows: static ids.
+        assert!(matches!(rows[0].assessment.channel.uniqueness, U::StaticId));
+        assert!(matches!(rows[1].assessment.channel.uniqueness, U::StaticId));
+        // Unique block strictly precedes the variation block.
+        let first_non_unique = rows.iter().position(|r| !r.assessment.unique).unwrap();
+        assert!(rows[first_non_unique..]
+            .iter()
+            .all(|r| !r.assessment.unique));
+        assert_eq!(
+            first_non_unique, 17,
+            "17 channels satisfy U, as in the paper"
+        );
+        // Variation-only block is entropy-sorted.
+        let var_block: Vec<f64> = rows[first_non_unique..]
+            .iter()
+            .filter(|r| r.assessment.varies)
+            .map(|r| r.assessment.entropy_bits)
+            .collect();
+        assert!(var_block.windows(2).all(|w| w[0] >= w[1]), "{var_block:?}");
+        // Bottom: the static, non-unique trio.
+        let tail: Vec<&str> = rows[rows.len() - 3..]
+            .iter()
+            .map(|r| r.assessment.channel.glob)
+            .collect();
+        assert!(tail.contains(&"/proc/modules"));
+        assert!(tail.contains(&"/proc/cpuinfo"));
+        assert!(tail.contains(&"/proc/version"));
+    }
+}

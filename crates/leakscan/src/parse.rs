@@ -1,0 +1,97 @@
+//! Numeric parsing of pseudo-file contents.
+//!
+//! The detection metrics treat a channel as a vector of numeric fields
+//! (Formula 1's `X_i`); this module extracts them from rendered text.
+
+/// Extracts every number appearing in `content`, in order.
+///
+/// Integers and simple decimals are recognized; tokens embedded in
+/// identifiers (e.g. `cpu0`, `node1`, hex ids) contribute their numeric
+/// runs too, which is harmless for differential comparison because both
+/// sides parse identically.
+pub fn numeric_fields(content: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let bytes = content.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !seen_dot))
+            {
+                if bytes[i] == b'.' {
+                    // Only treat as decimal point when a digit follows.
+                    if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                        seen_dot = true;
+                    } else {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            if let Ok(v) = content[start..i].parse::<f64>() {
+                out.push(v);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The numeric field at `index` (by [`numeric_fields`] order), if present.
+pub fn field(content: &str, index: usize) -> Option<f64> {
+    numeric_fields(content).into_iter().nth(index)
+}
+
+/// Sum of all numeric fields — a coarse scalar for accumulator channels
+/// whose counters are spread across many columns (softirqs, interrupts).
+pub fn numeric_sum(content: &str) -> f64 {
+    numeric_fields(content).iter().sum()
+}
+
+/// A normalized distance between two contents' numeric vectors:
+/// `Σ |a_i − b_i| / (|a_i| + 1)` over the common prefix. Textual changes
+/// that alter the field count contribute a fixed penalty per extra field.
+pub fn numeric_distance(a: &str, b: &str) -> f64 {
+    let fa = numeric_fields(a);
+    let fb = numeric_fields(b);
+    let common = fa.len().min(fb.len());
+    let mut d = 0.0;
+    for i in 0..common {
+        d += (fa[i] - fb[i]).abs() / (fa[i].abs() + 1.0);
+    }
+    d + (fa.len().abs_diff(fb.len())) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_integers_and_decimals() {
+        let v = numeric_fields("load 0.25 1.50 procs 3/41 pid 999\n");
+        assert_eq!(v, vec![0.25, 1.50, 3.0, 41.0, 999.0]);
+    }
+
+    #[test]
+    fn trailing_dot_is_not_decimal() {
+        assert_eq!(numeric_fields("v4. then 7"), vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn field_and_sum() {
+        let s = "10 20 30";
+        assert_eq!(field(s, 1), Some(20.0));
+        assert_eq!(field(s, 5), None);
+        assert_eq!(numeric_sum(s), 60.0);
+    }
+
+    #[test]
+    fn distance_zero_for_identical() {
+        assert_eq!(numeric_distance("a 1 b 2", "a 1 b 2"), 0.0);
+        assert!(numeric_distance("1 100", "1 200") > 0.4);
+        // Field-count change penalized.
+        assert!(numeric_distance("1 2 3", "1 2") >= 1.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Table III: UnixBench overhead of the power-based namespace.
+//!
+//! The defense's cost lives in kernel hot paths: enabling/disabling the
+//! per-cgroup perf monitors on *inter-cgroup* context switches, inheriting
+//! event contexts on fork/exec, and (under parallel IO) accounting
+//! contention. This harness replays the UnixBench-style suite through the
+//! kernel's cost model twice — namespace off and on — for 1 and 8 parallel
+//! copies, reproducing the paper's structure:
+//!
+//! * pipe-based context switching: huge 1-copy overhead (every round trip
+//!   toggles monitors against the idle task) that almost vanishes with 8
+//!   copies (switches stay inside the benchmark's cgroup);
+//! * exec/process-creation: mid-single-digit overhead from event-context
+//!   setup;
+//! * file copies: overhead only appears under parallel copies (accounting
+//!   on the contended buffer-cache path);
+//! * pure-CPU benchmarks: noise.
+
+use serde::{Deserialize, Serialize};
+use simkernel::perf::PerfOverheadCosts;
+use simkernel::{MachineConfig, SysCosts};
+use workloads::unixbench::{UnixBenchSpec, UNIXBENCH_SUITE};
+
+/// One Table III row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Score with the namespace off, 1 parallel copy.
+    pub original_1: f64,
+    /// Score with the namespace on, 1 parallel copy.
+    pub modified_1: f64,
+    /// Overhead percentage, 1 copy.
+    pub overhead_1_pct: f64,
+    /// Score with the namespace off, 8 parallel copies.
+    pub original_8: f64,
+    /// Score with the namespace on, 8 parallel copies.
+    pub modified_8: f64,
+    /// Overhead percentage, 8 copies.
+    pub overhead_8_pct: f64,
+}
+
+/// Nanoseconds one iteration of `bench` takes with `copies` parallel
+/// copies running, with or without the namespace's perf overhead.
+fn iteration_ns(
+    bench: &UnixBenchSpec,
+    costs: &SysCosts,
+    perf: Option<&PerfOverheadCosts>,
+    copies: u32,
+    ncpus: u32,
+) -> f64 {
+    let m = &bench.mix;
+    let mut ns = m.user_ns as f64;
+    ns += (m.syscalls * costs.syscall_ns) as f64;
+
+    // Pipe round trips: two context switches each. With few benchmark
+    // processes the partner isn't ready, so each switch lands on the idle
+    // task — a *different* perf_event cgroup → monitor toggle. With the
+    // machine saturated (2 procs/cpu), switches stay between benchmark
+    // processes in the same cgroup; only a small residual (kworker
+    // interleaving) still toggles.
+    if m.pipe_round_trips > 0 {
+        let extra_each = match perf {
+            Some(p) => {
+                let benchmark_procs = copies * bench.procs_per_copy;
+                if benchmark_procs <= ncpus {
+                    p.inter_cgroup_switch_ns as f64
+                } else {
+                    p.inter_cgroup_switch_ns as f64 * 0.01
+                }
+            }
+            None => 0.0,
+        };
+        ns += m.pipe_round_trips as f64
+            * 2.0
+            * (costs.syscall_ns as f64 + costs.context_switch_ns as f64 + extra_each);
+    }
+
+    ns += (m.forks * costs.fork_ns) as f64;
+    ns += (m.execs * costs.exec_ns) as f64;
+    // Shell scripts spawn an interpreter chain: three forks + execs each.
+    ns += m.shell_scripts as f64
+        * (costs.shell_script_ns as f64 + 3.0 * (costs.fork_ns + costs.exec_ns) as f64);
+    ns += m.file_blocks as f64 * costs.file_block_ns(m.block_bytes, copies) as f64;
+
+    if let Some(p) = perf {
+        ns += (m.syscalls * p.syscall_ns) as f64;
+        ns += ((m.forks + 3 * m.shell_scripts) * p.fork_ns) as f64;
+        // Exec-side event re-attachment broadcasts to the PMU on every
+        // CPU running the cgroup — it grows with parallel copies.
+        let exec_amp = 1.0 + 0.04 * f64::from(copies.saturating_sub(1));
+        ns += (m.execs + 3 * m.shell_scripts) as f64 * p.exec_ns as f64 * exec_amp;
+        if copies > 1 {
+            ns += (m.file_blocks * p.file_block_contended_ns) as f64;
+        }
+    }
+    ns
+}
+
+/// Aggregate throughput factor for `copies` parallel copies on a machine
+/// with `ncpus` logical CPUs (half of them hyperthread siblings).
+fn parallel_capacity(bench: &UnixBenchSpec, copies: u32, ncpus: u32) -> f64 {
+    let c = f64::from(copies);
+    if bench.mix.file_blocks > 0 {
+        // Buffer-cache bound: parallel copies barely help.
+        return 1.0 + (c - 1.0) * 0.033;
+    }
+    if bench.is_switch_bound() {
+        // Each copy's ping-pong is serial; copies scale with CPUs.
+        return c.min(f64::from(ncpus));
+    }
+    let phys = f64::from(ncpus / 2).max(1.0);
+    let on_phys = c.min(phys);
+    let on_ht = (c.min(f64::from(ncpus)) - on_phys).max(0.0);
+    on_phys + on_ht * 0.26
+}
+
+/// Deterministic ±0.6 % run-to-run variance, as any real benchmark shows
+/// (the paper's pure-CPU rows move by fractions of a percent).
+fn run_noise(name: &str, copies: u32, defended: bool) -> f64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h = h.wrapping_add(u64::from(copies) * 977 + u64::from(defended) * 31337);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 29;
+    1.0 + ((h % 1200) as f64 - 600.0) / 100_000.0
+}
+
+/// UnixBench-style score for one benchmark.
+fn score(
+    bench: &UnixBenchSpec,
+    costs: &SysCosts,
+    perf: Option<&PerfOverheadCosts>,
+    copies: u32,
+    ncpus: u32,
+) -> f64 {
+    let iter_ns = iteration_ns(bench, costs, perf, copies, ncpus);
+    let iters_per_sec = 1e9 / iter_ns * parallel_capacity(bench, copies, ncpus);
+    iters_per_sec * bench.index_scale * run_noise(bench.name, copies, perf.is_some())
+}
+
+/// Runs the full Table III experiment on `machine`.
+pub fn run_table3(machine: &MachineConfig) -> Vec<Table3Row> {
+    let costs = SysCosts::default();
+    let perf = PerfOverheadCosts::default();
+    let ncpus = u32::from(machine.cpus);
+    let mut rows: Vec<Table3Row> = UNIXBENCH_SUITE
+        .iter()
+        .map(|b| {
+            let o1 = score(b, &costs, None, 1, ncpus);
+            let m1 = score(b, &costs, Some(&perf), 1, ncpus);
+            let o8 = score(b, &costs, None, 8, ncpus);
+            let m8 = score(b, &costs, Some(&perf), 8, ncpus);
+            Table3Row {
+                name: b.name.to_string(),
+                original_1: o1,
+                modified_1: m1,
+                overhead_1_pct: (o1 - m1) / o1 * 100.0,
+                original_8: o8,
+                modified_8: m8,
+                overhead_8_pct: (o8 - m8) / o8 * 100.0,
+            }
+        })
+        .collect();
+
+    // The suite's index: geometric mean of row scores.
+    let geo = |f: fn(&Table3Row) -> f64| -> f64 {
+        (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
+    };
+    let (o1, m1) = (geo(|r| r.original_1), geo(|r| r.modified_1));
+    let (o8, m8) = (geo(|r| r.original_8), geo(|r| r.modified_8));
+    rows.push(Table3Row {
+        name: "System Benchmarks Index Score".to_string(),
+        original_1: o1,
+        modified_1: m1,
+        overhead_1_pct: (o1 - m1) / o1 * 100.0,
+        original_8: o8,
+        modified_8: m8,
+        overhead_8_pct: (o8 - m8) / o8 * 100.0,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<Table3Row> {
+        run_table3(&MachineConfig::testbed_i7_6700())
+    }
+
+    fn row<'a>(rows: &'a [Table3Row], name: &str) -> &'a Table3Row {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing row {name}"))
+    }
+
+    #[test]
+    fn pipe_context_switching_shows_the_paper_asymmetry() {
+        let rows = table();
+        let r = row(&rows, "Pipe-based Context Switching");
+        // Paper: 61.53 % at 1 copy, 1.63 % at 8 copies.
+        assert!(
+            (45.0..70.0).contains(&r.overhead_1_pct),
+            "1-copy {}%",
+            r.overhead_1_pct
+        );
+        assert!(
+            (0.0..5.0).contains(&r.overhead_8_pct),
+            "8-copy {}%",
+            r.overhead_8_pct
+        );
+        assert!(r.overhead_1_pct > r.overhead_8_pct * 10.0);
+    }
+
+    #[test]
+    fn compute_benchmarks_have_negligible_overhead() {
+        let rows = table();
+        for name in [
+            "Dhrystone 2 using register variables",
+            "Double-Precision Whetstone",
+        ] {
+            let r = row(&rows, name);
+            assert!(
+                r.overhead_1_pct.abs() < 2.0,
+                "{name} 1-copy {}%",
+                r.overhead_1_pct
+            );
+            assert!(
+                r.overhead_8_pct.abs() < 2.0,
+                "{name} 8-copy {}%",
+                r.overhead_8_pct
+            );
+        }
+    }
+
+    #[test]
+    fn exec_and_process_creation_pay_midsingle_digits() {
+        let rows = table();
+        let execl = row(&rows, "Execl Throughput");
+        assert!(
+            (4.0..11.0).contains(&execl.overhead_1_pct),
+            "{}",
+            execl.overhead_1_pct
+        );
+        assert!(
+            execl.overhead_8_pct > execl.overhead_1_pct,
+            "paper: execl overhead grows with copies ({} vs {})",
+            execl.overhead_1_pct,
+            execl.overhead_8_pct
+        );
+        let proc = row(&rows, "Process Creation");
+        assert!(
+            (5.0..12.0).contains(&proc.overhead_1_pct),
+            "{}",
+            proc.overhead_1_pct
+        );
+    }
+
+    #[test]
+    fn file_copies_pay_only_under_parallelism() {
+        let rows = table();
+        for name in [
+            "File Copy 1024 bufsize 2000 maxblocks",
+            "File Copy 256 bufsize 500 maxblocks",
+            "File Copy 4096 bufsize 8000 maxblocks",
+        ] {
+            let r = row(&rows, name);
+            assert!(
+                r.overhead_1_pct.abs() < 2.5,
+                "{name} 1-copy {}%",
+                r.overhead_1_pct
+            );
+            assert!(
+                (8.0..22.0).contains(&r.overhead_8_pct),
+                "{name} 8-copy {}%",
+                r.overhead_8_pct
+            );
+        }
+        // Smaller buffers pay proportionally more, as in the paper
+        // (18.19 % @256 > 14.33 % @1024 > 12.32 % @4096).
+        let o256 = row(&rows, "File Copy 256 bufsize 500 maxblocks").overhead_8_pct;
+        let o1024 = row(&rows, "File Copy 1024 bufsize 2000 maxblocks").overhead_8_pct;
+        let o4096 = row(&rows, "File Copy 4096 bufsize 8000 maxblocks").overhead_8_pct;
+        assert!(o256 > o1024 && o1024 > o4096, "{o256} {o1024} {o4096}");
+    }
+
+    #[test]
+    fn overall_index_overhead_is_single_digit() {
+        let rows = table();
+        let idx = row(&rows, "System Benchmarks Index Score");
+        // Paper: 9.66 % (1 copy), 7.03 % (8 copies).
+        assert!(
+            (4.0..13.0).contains(&idx.overhead_1_pct),
+            "{}",
+            idx.overhead_1_pct
+        );
+        assert!(
+            (1.0..11.0).contains(&idx.overhead_8_pct),
+            "{}",
+            idx.overhead_8_pct
+        );
+        assert!(idx.overhead_1_pct > idx.overhead_8_pct);
+    }
+
+    #[test]
+    fn eight_copies_scale_throughput_plausibly() {
+        let rows = table();
+        let dhry = row(&rows, "Dhrystone 2 using register variables");
+        let ratio = dhry.original_8 / dhry.original_1;
+        // Paper: 19132.9 / 3788.9 ≈ 5.05 (hyperthread scaling on 4C/8T).
+        assert!((4.3..5.8).contains(&ratio), "scaling {ratio}");
+        let fc = row(&rows, "File Copy 1024 bufsize 2000 maxblocks");
+        let fratio = fc.original_8 / fc.original_1;
+        // Paper: 3104.9 / 3495.1 ≈ 0.89.
+        assert!((0.75..1.0).contains(&fratio), "file scaling {fratio}");
+    }
+
+    #[test]
+    fn scores_are_in_unixbench_magnitudes() {
+        let rows = table();
+        let dhry = row(&rows, "Dhrystone 2 using register variables");
+        assert!(
+            (1_000.0..20_000.0).contains(&dhry.original_1),
+            "{}",
+            dhry.original_1
+        );
+        let pipe = row(&rows, "Pipe-based Context Switching");
+        assert!(
+            (200.0..3_000.0).contains(&pipe.original_1),
+            "{}",
+            pipe.original_1
+        );
+    }
+}

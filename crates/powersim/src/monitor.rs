@@ -1,0 +1,147 @@
+//! The tenant-side RAPL power monitor.
+//!
+//! Exploits Case Study II: `/sys/class/powercap/intel-rapl:*/energy_uj` is
+//! not namespaced, so a container reads the *host's* accumulated energy.
+//! Sampling the counter at two instants and dividing by the interval gives
+//! whole-host power — "monitoring power consumption through RAPL has
+//! almost zero CPU utilization" (§IV-B), which is what makes the
+//! synergistic attack nearly free under utilization billing.
+
+use std::collections::HashMap;
+
+use cloudsim::{Cloud, CloudError, InstanceId};
+use simkernel::hw::RAPL_WRAP_UJ;
+
+/// Per-instance RAPL sampling state.
+#[derive(Debug, Clone, Default)]
+pub struct RaplMonitor {
+    last: HashMap<InstanceId, Vec<(u64, f64)>>,
+}
+
+impl RaplMonitor {
+    /// Creates a monitor.
+    pub fn new() -> Self {
+        RaplMonitor::default()
+    }
+
+    /// Samples host power (watts) as seen from `instance`, by differencing
+    /// every package's `energy_uj` against the previous sample. Returns
+    /// `None` on the first sample (no baseline yet).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cloud masks the powercap tree (CC4/CC5) or the host
+    /// lacks RAPL — exactly the situations §VII-A discusses.
+    pub fn sample_watts(
+        &mut self,
+        cloud: &Cloud,
+        instance: InstanceId,
+        now_s: f64,
+    ) -> Result<Option<f64>, CloudError> {
+        // Discover package count by probing package 0, 1, ... until ENOENT.
+        let mut readings = Vec::new();
+        for pkg in 0..8 {
+            let path = format!("/sys/class/powercap/intel-rapl:{pkg}/energy_uj");
+            match cloud.read_file(instance, &path) {
+                Ok(v) => readings.push(v.trim().parse::<u64>().unwrap_or(0)),
+                Err(e) => {
+                    if pkg == 0 {
+                        return Err(e);
+                    }
+                    break;
+                }
+            }
+        }
+        let entry = self.last.entry(instance).or_default();
+        let result = if entry.len() == readings.len() {
+            let mut total_uj = 0u64;
+            let mut dt = 0.0f64;
+            for ((last_uj, last_t), cur) in entry.iter().zip(&readings) {
+                // Handle hardware counter wrap.
+                let delta = if cur >= last_uj {
+                    cur - last_uj
+                } else {
+                    cur + RAPL_WRAP_UJ - last_uj
+                };
+                total_uj += delta;
+                dt = now_s - last_t;
+            }
+            if dt > 0.0 {
+                Some(total_uj as f64 / 1e6 / dt)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        *entry = readings.into_iter().map(|uj| (uj, now_s)).collect();
+        Ok(result)
+    }
+
+    /// Clears the baseline for an instance (after it was moved/replaced).
+    pub fn reset(&mut self, instance: InstanceId) {
+        self.last.remove(&instance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{CloudConfig, CloudProfile, HostId, InstanceSpec};
+    use workloads::models;
+
+    #[test]
+    fn monitor_tracks_host_package_power() {
+        let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), 61);
+        let observer = cloud
+            .launch("spy", InstanceSpec::new("obs").vcpus(1))
+            .unwrap();
+        cloud.advance_secs(2);
+        let mut mon = RaplMonitor::new();
+        assert_eq!(mon.sample_watts(&cloud, observer, 0.0).unwrap(), None);
+        cloud.advance_secs(10);
+        let idle_w = mon.sample_watts(&cloud, observer, 10.0).unwrap().unwrap();
+
+        // A co-resident tenant starts heavy work: the observer sees it
+        // without consuming any CPU itself.
+        let victim = cloud.launch("victim", InstanceSpec::new("v")).unwrap();
+        for i in 0..4 {
+            cloud
+                .exec(victim, &format!("p{i}"), models::prime())
+                .unwrap();
+        }
+        cloud.advance_secs(10);
+        let busy_w = mon.sample_watts(&cloud, observer, 20.0).unwrap().unwrap();
+        assert!(
+            busy_w > idle_w + 15.0,
+            "observer blind to co-resident load: {idle_w} -> {busy_w}"
+        );
+        // Sanity: package power is less than wall power.
+        assert!(busy_w < cloud.host_power_w(HostId(0)));
+    }
+
+    #[test]
+    fn monitoring_costs_essentially_nothing() {
+        let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), 62);
+        let observer = cloud
+            .launch("spy", InstanceSpec::new("obs").vcpus(1))
+            .unwrap();
+        let mut mon = RaplMonitor::new();
+        for t in 0..120 {
+            cloud.advance_secs(1);
+            let _ = mon.sample_watts(&cloud, observer, t as f64);
+        }
+        // Two minutes of monitoring bills only the base instance floor.
+        let bill = cloud.bill("spy");
+        assert!(bill.vcpu_seconds < 1.0, "monitoring used cpu: {bill:?}");
+    }
+
+    #[test]
+    fn masked_cloud_blocks_the_monitor() {
+        let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC4).hosts(1), 63);
+        let observer = cloud.launch("spy", InstanceSpec::new("obs")).unwrap();
+        cloud.advance_secs(1);
+        let mut mon = RaplMonitor::new();
+        assert!(mon.sample_watts(&cloud, observer, 1.0).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Pseudo-filesystem error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by pseudo-file reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The path does not exist in this view (absent hardware, unknown pid,
+    /// or a path outside the modeled tree).
+    NotFound(String),
+    /// A cloud masking policy denied the read (the paper's first-stage
+    /// defense: AppArmor rules / unreadable bind mounts).
+    PermissionDenied(String),
+}
+
+impl FsError {
+    /// The path the error refers to.
+    pub fn path(&self) -> &str {
+        match self {
+            FsError::NotFound(p) | FsError::PermissionDenied(p) => p,
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_path() {
+        let e = FsError::NotFound("/proc/nope".into());
+        assert!(e.to_string().contains("/proc/nope"));
+        assert_eq!(e.path(), "/proc/nope");
+        let d = FsError::PermissionDenied("/proc/stat".into());
+        assert!(d.to_string().starts_with("permission denied"));
+    }
+}

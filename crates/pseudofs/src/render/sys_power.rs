@@ -1,0 +1,316 @@
+//! Power and thermal sysfs trees: RAPL powercap, coretemp hwmon, cpuidle.
+//!
+//! The RAPL `energy_uj` files are the paper's Case Study II — the Intel
+//! RAPL driver's `get_energy_counter` reads the host MSR with no namespace
+//! awareness, handing every container the whole machine's energy counters.
+//! This is the channel the synergistic power attack monitors and the one
+//! the power-based namespace re-implements.
+
+use simkernel::hw::{IDLE_STATE_NAMES, RAPL_WRAP_UJ};
+use simkernel::Kernel;
+
+use crate::view::View;
+
+/// `/sys/class/powercap/intel-rapl:{pkg}/name` → `package-{pkg}`.
+pub fn rapl_name(k: &Kernel, _view: &View, pkg: usize) -> Option<String> {
+    if !k.rapl().is_present() || pkg >= k.rapl().package_count() {
+        return None;
+    }
+    Some(format!("package-{pkg}\n"))
+}
+
+/// `/sys/class/powercap/intel-rapl:{pkg}/energy_uj`. LEAK (Table II):
+/// host package energy counter in microjoules.
+pub fn rapl_package_energy(k: &Kernel, _view: &View, pkg: usize) -> Option<String> {
+    if !k.rapl().is_present() || pkg >= k.rapl().package_count() {
+        return None;
+    }
+    Some(format!("{}\n", k.rapl().package_energy_uj(pkg)))
+}
+
+/// `/sys/class/powercap/intel-rapl:{pkg}/max_energy_range_uj`.
+pub fn rapl_max_range(k: &Kernel, _view: &View, pkg: usize) -> Option<String> {
+    if !k.rapl().is_present() || pkg >= k.rapl().package_count() {
+        return None;
+    }
+    Some(format!("{RAPL_WRAP_UJ}\n"))
+}
+
+/// `/sys/class/powercap/intel-rapl:{pkg}:{dom}/name` → `core` / `dram`.
+pub fn rapl_subdomain_name(k: &Kernel, _view: &View, pkg: usize, dom: usize) -> Option<String> {
+    if !k.rapl().is_present() || pkg >= k.rapl().package_count() {
+        return None;
+    }
+    match dom {
+        0 => Some("core\n".into()),
+        1 => Some("dram\n".into()),
+        _ => None,
+    }
+}
+
+/// `/sys/class/powercap/intel-rapl:{pkg}:{dom}/energy_uj`. LEAK: core and
+/// DRAM domain counters.
+pub fn rapl_subdomain_energy(k: &Kernel, _view: &View, pkg: usize, dom: usize) -> Option<String> {
+    if !k.rapl().is_present() || pkg >= k.rapl().package_count() {
+        return None;
+    }
+    match dom {
+        0 => Some(format!("{}\n", k.rapl().core_energy_uj(pkg))),
+        1 => Some(format!("{}\n", k.rapl().dram_energy_uj(pkg))),
+        _ => None,
+    }
+}
+
+/// `/sys/devices/platform/coretemp.{pkg}/hwmon/hwmon{pkg}/temp{n}_input`.
+/// LEAK (Table II): per-core DTS temperature in millidegrees.
+pub fn coretemp(k: &Kernel, _view: &View, pkg: usize, sensor: usize) -> Option<String> {
+    if !k.hw().has_coretemp() {
+        return None;
+    }
+    // temp1 is the package sensor; temp{2+} are cores of that package.
+    let per_pkg = k.config().cpus_per_package() as usize;
+    let base = pkg * per_pkg;
+    if pkg >= k.rapl().package_count().max(1) || sensor == 0 || sensor > per_pkg + 1 {
+        return None;
+    }
+    let t = if sensor == 1 {
+        // Package sensor: max of its cores.
+        (0..per_pkg)
+            .filter_map(|c| k.hw().cpus().get(base + c))
+            .map(|c| c.temp_mc)
+            .fold(0.0f64, f64::max)
+    } else {
+        k.hw().cpus().get(base + sensor - 2)?.temp_mc
+    };
+    Some(format!("{}\n", (t / 1000.0).round() as i64 * 1000))
+}
+
+/// `/sys/devices/system/cpu/cpu{c}/cpuidle/state{s}/name`.
+pub fn cpuidle_name(k: &Kernel, _view: &View, cpu: usize, state: usize) -> Option<String> {
+    if cpu >= k.hw().cpus().len() || state >= IDLE_STATE_NAMES.len() {
+        return None;
+    }
+    Some(format!("{}\n", IDLE_STATE_NAMES[state]))
+}
+
+/// `/sys/devices/system/cpu/cpu{c}/cpuidle/state{s}/usage`. LEAK
+/// (Table II): per-CPU idle-state entry counts for the host.
+pub fn cpuidle_usage(k: &Kernel, _view: &View, cpu: usize, state: usize) -> Option<String> {
+    let s = k.hw().cpus().get(cpu)?.idle_states.get(state)?;
+    Some(format!("{}\n", s.usage))
+}
+
+/// `/sys/devices/system/cpu/cpu{c}/cpuidle/state{s}/time`. LEAK
+/// (Table II): microseconds the host CPU spent in the state.
+pub fn cpuidle_time(k: &Kernel, _view: &View, cpu: usize, state: usize) -> Option<String> {
+    let s = k.hw().cpus().get(cpu)?.idle_states.get(state)?;
+    Some(format!("{}\n", s.time_us))
+}
+
+/// `/sys/devices/system/cpu/cpu{c}/cpufreq/scaling_cur_freq`. LEAK:
+/// the core's current frequency in kHz races to turbo with host load —
+/// yet another per-core activity channel.
+pub fn cpufreq_cur(k: &Kernel, _view: &View, cpu: usize) -> Option<String> {
+    k.hw()
+        .cpus()
+        .get(cpu)
+        .map(|c| format!("{}\n", c.cur_freq_khz))
+}
+
+/// `/sys/devices/system/cpu/cpu{c}/cpufreq/cpuinfo_max_freq` (static).
+pub fn cpufreq_max(k: &Kernel, _view: &View, cpu: usize) -> Option<String> {
+    if cpu >= k.hw().cpus().len() {
+        return None;
+    }
+    Some(format!("{}\n", k.config().freq_hz / 1_000 * 115 / 100))
+}
+
+/// `/sys/class/thermal/thermal_zone0/temp`. LEAK: package temperature in
+/// millidegrees (the x86_pkg_temp zone).
+pub fn thermal_zone_temp(k: &Kernel, _view: &View, zone: usize) -> Option<String> {
+    if zone != 0 || !k.hw().has_coretemp() {
+        return None;
+    }
+    let max = k
+        .hw()
+        .cpus()
+        .iter()
+        .map(|c| c.temp_mc)
+        .fold(0.0f64, f64::max);
+    Some(format!("{}\n", max as i64))
+}
+
+/// `/sys/block/{disk}/stat`. LEAK: host block-device IO counters.
+pub fn block_stat(k: &Kernel, _view: &View, disk: &str) -> Option<String> {
+    if !k.config().disks.iter().any(|(name, _)| name == disk) {
+        return None;
+    }
+    let io = k.stats().total_io_bytes;
+    let reads = io / 4096 / 3 + 11_000;
+    let writes = io / 4096 * 2 / 3 + 7_000;
+    Some(format!(
+        "{reads:>8} {:>8} {:>8} {:>8} {writes:>8} {:>8} {:>8} {:>8} 0 {:>8} {:>8}\n",
+        reads / 20,
+        reads * 8,
+        reads / 3,
+        writes / 10,
+        writes * 8,
+        writes / 2,
+        (reads + writes) / 4,
+        (reads + writes) / 3,
+    ))
+}
+
+/// `/sys/devices/system/cpu/online` → `0-{n-1}`.
+pub fn cpu_online(k: &Kernel, _view: &View) -> String {
+    format!("0-{}\n", k.config().cpus - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::MachineConfig;
+    use workloads::models;
+
+    fn kernel() -> Kernel {
+        let mut k = Kernel::new(MachineConfig::cloud_server(), 6);
+        k.spawn_host_process("w", models::prime()).unwrap();
+        k.advance_secs(3);
+        k
+    }
+
+    #[test]
+    fn rapl_counters_visible_and_monotone() {
+        let mut k = kernel();
+        let e1: u64 = rapl_package_energy(&k, &View::host(), 0)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        k.advance_secs(1);
+        let e2: u64 = rapl_package_energy(&k, &View::host(), 0)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(e2 > e1);
+        assert_eq!(rapl_name(&k, &View::host(), 1).unwrap(), "package-1\n");
+        assert!(rapl_package_energy(&k, &View::host(), 2).is_none());
+    }
+
+    #[test]
+    fn rapl_subdomains_are_core_and_dram() {
+        let k = kernel();
+        assert_eq!(
+            rapl_subdomain_name(&k, &View::host(), 0, 0).unwrap(),
+            "core\n"
+        );
+        assert_eq!(
+            rapl_subdomain_name(&k, &View::host(), 0, 1).unwrap(),
+            "dram\n"
+        );
+        assert!(rapl_subdomain_name(&k, &View::host(), 0, 2).is_none());
+        let core: u64 = rapl_subdomain_energy(&k, &View::host(), 0, 0)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(core > 0);
+    }
+
+    #[test]
+    fn rapl_absent_without_hardware() {
+        let mut k = Kernel::new(MachineConfig::legacy_server_no_rapl(), 6);
+        k.advance_secs(1);
+        assert!(rapl_package_energy(&k, &View::host(), 0).is_none());
+        assert!(coretemp(&k, &View::host(), 0, 1).is_none());
+    }
+
+    #[test]
+    fn coretemp_package_sensor_is_max_of_cores() {
+        let k = kernel();
+        let pkg: i64 = coretemp(&k, &View::host(), 0, 1)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        for s in 2..=8 {
+            let core: i64 = coretemp(&k, &View::host(), 0, s)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert!(pkg >= core);
+        }
+        assert!(pkg > 35_000, "load should heat the package: {pkg}");
+        assert!(coretemp(&k, &View::host(), 0, 15).is_none());
+    }
+
+    #[test]
+    fn cpuidle_states_render() {
+        let k = kernel();
+        assert_eq!(cpuidle_name(&k, &View::host(), 0, 4).unwrap(), "C6\n");
+        let t: u64 = cpuidle_time(&k, &View::host(), 15, 4)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let u: u64 = cpuidle_usage(&k, &View::host(), 15, 4)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(t > 0 && u > 0, "idle cpu15 should have C6 residency");
+        assert!(cpuidle_name(&k, &View::host(), 99, 0).is_none());
+    }
+
+    #[test]
+    fn cpufreq_tracks_load() {
+        let k = kernel();
+        // Workload spreads over cores; some core runs hot.
+        let freqs: Vec<u64> = (0..16)
+            .map(|c| {
+                cpufreq_cur(&k, &View::host(), c)
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        let max = *freqs.iter().max().unwrap();
+        let min = *freqs.iter().min().unwrap();
+        assert!(max > min * 2, "freq spread {min}..{max}");
+        let cap: u64 = cpufreq_max(&k, &View::host(), 0)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(max <= cap);
+        assert!(cpufreq_cur(&k, &View::host(), 99).is_none());
+    }
+
+    #[test]
+    fn thermal_zone_is_package_max() {
+        let k = kernel();
+        let t: i64 = thermal_zone_temp(&k, &View::host(), 0)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(t > 35_000, "loaded package should be warm: {t}");
+        assert!(thermal_zone_temp(&k, &View::host(), 1).is_none());
+    }
+
+    #[test]
+    fn block_stat_renders_for_known_disks() {
+        let k = kernel();
+        assert!(block_stat(&k, &View::host(), "sda").is_some());
+        assert!(block_stat(&k, &View::host(), "nvme9").is_none());
+    }
+
+    #[test]
+    fn online_range() {
+        let k = kernel();
+        assert_eq!(cpu_online(&k, &View::host()), "0-15\n");
+    }
+}

@@ -1,0 +1,49 @@
+//! Runs every experiment and (re)writes EXPERIMENTS.md.
+//!
+//! Flags: `--seed <u64>` (default 1729), `--days <n>` for the Fig. 2 trace
+//! length (default 7), `--out <path>` (default `EXPERIMENTS.md`).
+
+use std::io::Write as _;
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    let args: Vec<String> = std::env::args().collect();
+    let days = args
+        .windows(2)
+        .find(|w| w[0] == "--days")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(7);
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+
+    let mut results = Vec::new();
+    let all = containerleaks::experiments::all(seed, days);
+    let total = all.len();
+    for (i, r) in all.into_iter().enumerate() {
+        eprintln!(
+            "[{}/{total}] {} — {}",
+            i + 1,
+            r.id,
+            if r.all_hold() { "ok" } else { "CLAIMS FAILED" }
+        );
+        containerleaks_experiments::emit(&r);
+        println!();
+        results.push(r);
+    }
+    let md = containerleaks::render_experiments_md(&results, seed);
+    let mut f = std::fs::File::create(&out_path).expect("create report file");
+    f.write_all(md.as_bytes()).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    // Machine-readable companion artifact next to the markdown report.
+    let json_path = format!("{}.json", out_path.trim_end_matches(".md"));
+    let json = serde_json::to_string_pretty(&results).expect("serializable results");
+    std::fs::write(&json_path, json).expect("write json artifact");
+    eprintln!("wrote {json_path}");
+    if results.iter().any(|r| !r.all_hold()) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the capping extension experiment (§II-C). Default seed 77 —
+//! the crest-aligned run also used by Fig. 3; see EXPERIMENTS.md.
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(77);
+    containerleaks_experiments::emit(&containerleaks::experiments::capping(seed));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the detectors extension experiment.
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    containerleaks_experiments::emit(&containerleaks::experiments::detectors(seed));
+}

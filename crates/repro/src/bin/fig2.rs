@@ -1,0 +1,13 @@
+//! Regenerates Fig. 2 (one-week power of 8 servers). `--days <n>` bounds
+//! the trace length (default 7, the paper's full week).
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    let args: Vec<String> = std::env::args().collect();
+    let days = args
+        .windows(2)
+        .find(|w| w[0] == "--days")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(7);
+    containerleaks_experiments::emit(&containerleaks::experiments::fig2(seed, days));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 experiment.
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    containerleaks_experiments::emit(&containerleaks::experiments::fig9(seed));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the rack-targeted attack extension experiment. Default
+//! seed 77 (the crest-aligned run; see EXPERIMENTS.md).
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(77);
+    containerleaks_experiments::emit(&containerleaks::experiments::rack_attack(seed));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the stealth extension experiment (§IV-B). Default seed 77.
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(77);
+    containerleaks_experiments::emit(&containerleaks::experiments::stealth(seed));
+}

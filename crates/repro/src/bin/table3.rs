@@ -1,0 +1,5 @@
+//! Regenerates Table III (UnixBench overhead of the power namespace).
+
+fn main() {
+    containerleaks_experiments::emit(&containerleaks::experiments::table3());
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the experiment binaries.
+//!
+//! Every binary accepts `--seed <u64>` (default
+//! [`containerleaks::DEFAULT_SEED`]) and `--json` to emit the structured
+//! result instead of the rendered text.
+
+use containerleaks::ExperimentResult;
+
+/// Parses `--seed` from argv, with a default.
+pub fn seed_arg(default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether `--json` was passed.
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints one experiment result (text or JSON).
+pub fn emit(result: &ExperimentResult) {
+    if json_flag() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(result).expect("serializable")
+        );
+        return;
+    }
+    println!("=== {} ===\n", result.title);
+    println!("{}", result.rendered);
+    println!("{:<48} {:<42} {:<34} holds", "metric", "paper", "measured");
+    for c in &result.comparisons {
+        println!(
+            "{:<48} {:<42} {:<34} {}",
+            c.metric,
+            c.paper,
+            c.measured,
+            if c.holds { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,611 @@
+//! Control groups (§II-A.2 of the paper).
+//!
+//! Containers get one cgroup per hierarchy; resource accounting charges the
+//! process's cgroup *and all its ancestors*, as in Linux. The hierarchies
+//! modeled are the ones the paper's channels and defense touch:
+//!
+//! * `cpuacct` — CPU-cycle accounting per container (defense input).
+//! * `perf_event` — scope for perf-event monitoring (defense input; the
+//!   enable/disable toggles on inter-cgroup context switches are the source
+//!   of the paper's Table III overhead).
+//! * `net_prio` — whose `net_prio.ifpriomap` file is the paper's Case
+//!   Study I leakage channel.
+//! * `memory` — per-container memory accounting.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::KernelError;
+
+/// Identifies a cgroup node within a [`CgroupForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CgroupId(pub u32);
+
+impl fmt::Display for CgroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cgroup#{}", self.0)
+    }
+}
+
+/// The cgroup hierarchies (subsystems) modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CgroupKind {
+    /// CPU cycle/time accounting.
+    Cpuacct,
+    /// Perf-event monitoring scope.
+    PerfEvent,
+    /// Network traffic priorities.
+    NetPrio,
+    /// Memory accounting and limits.
+    Memory,
+}
+
+impl CgroupKind {
+    /// All modeled hierarchies.
+    pub const ALL: [CgroupKind; 4] = [
+        CgroupKind::Cpuacct,
+        CgroupKind::PerfEvent,
+        CgroupKind::NetPrio,
+        CgroupKind::Memory,
+    ];
+
+    /// The mount name under `/sys/fs/cgroup/`.
+    pub fn mount_name(&self) -> &'static str {
+        match self {
+            CgroupKind::Cpuacct => "cpuacct",
+            CgroupKind::PerfEvent => "perf_event",
+            CgroupKind::NetPrio => "net_prio",
+            CgroupKind::Memory => "memory",
+        }
+    }
+}
+
+/// Hardware-event counters accumulated for a perf-event cgroup.
+///
+/// These are the four inputs of the paper's power model (Formula 2):
+/// retired instructions `I`, cache misses `CM`, branch misses `BM`, and
+/// CPU cycles `C`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Last-level cache misses.
+    pub cache_misses: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+    /// CPU cycles.
+    pub cycles: u64,
+}
+
+impl PerfCounters {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &PerfCounters) {
+        self.instructions += other.instructions;
+        self.cache_misses += other.cache_misses;
+        self.branch_misses += other.branch_misses;
+        self.cycles += other.cycles;
+    }
+
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+        }
+    }
+}
+
+/// Per-hierarchy payload of a cgroup node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CgroupData {
+    /// `cpuacct`: accumulated CPU nanoseconds per logical CPU.
+    Cpuacct {
+        /// Per-CPU nanoseconds of execution charged to this group.
+        usage_ns_per_cpu: Vec<u64>,
+    },
+    /// `perf_event`: event counters and whether monitoring is active
+    /// (the power-based namespace activates it).
+    PerfEvent {
+        /// Accumulated counters (only grow while `monitoring`).
+        counters: PerfCounters,
+        /// Whether perf events are attached to this group.
+        monitoring: bool,
+    },
+    /// `net_prio`: interface→priority map *as configured in this cgroup*.
+    NetPrio {
+        /// Priorities by interface name. Note the leakage: the kernel
+        /// handler renders this for *all host interfaces* regardless of
+        /// the reader's network namespace (Case Study I).
+        ifpriomap: BTreeMap<String, u32>,
+    },
+    /// `memory`: usage and limit.
+    Memory {
+        /// Limit in bytes (`u64::MAX` = unlimited).
+        limit_bytes: u64,
+        /// Current usage in bytes.
+        usage_bytes: u64,
+        /// High-water mark.
+        max_usage_bytes: u64,
+    },
+}
+
+/// One cgroup node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CgroupNode {
+    id: CgroupId,
+    kind: CgroupKind,
+    path: String,
+    parent: Option<CgroupId>,
+    data: CgroupData,
+}
+
+impl CgroupNode {
+    /// The node's id.
+    pub fn id(&self) -> CgroupId {
+        self.id
+    }
+    /// The hierarchy this node belongs to.
+    pub fn kind(&self) -> CgroupKind {
+        self.kind
+    }
+    /// Absolute path within the hierarchy (e.g. `/docker/abc123`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+    /// Parent node, if not the root.
+    pub fn parent(&self) -> Option<CgroupId> {
+        self.parent
+    }
+    /// The payload.
+    pub fn data(&self) -> &CgroupData {
+        &self.data
+    }
+}
+
+/// All cgroup hierarchies of one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CgroupForest {
+    next: u32,
+    nodes: HashMap<CgroupId, CgroupNode>,
+    roots: HashMap<CgroupKind, CgroupId>,
+    ncpus: usize,
+}
+
+impl CgroupForest {
+    /// Creates the forest with one root per hierarchy.
+    pub fn new(ncpus: usize, host_ifaces: &[String]) -> Self {
+        let mut f = CgroupForest {
+            next: 0,
+            nodes: HashMap::new(),
+            roots: HashMap::new(),
+            ncpus,
+        };
+        for kind in CgroupKind::ALL {
+            let data = f.fresh_data(kind, host_ifaces);
+            let id = f.alloc(kind, "/".to_string(), None, data);
+            f.roots.insert(kind, id);
+        }
+        f
+    }
+
+    fn fresh_data(&self, kind: CgroupKind, host_ifaces: &[String]) -> CgroupData {
+        match kind {
+            CgroupKind::Cpuacct => CgroupData::Cpuacct {
+                usage_ns_per_cpu: vec![0; self.ncpus],
+            },
+            CgroupKind::PerfEvent => CgroupData::PerfEvent {
+                counters: PerfCounters::default(),
+                monitoring: false,
+            },
+            CgroupKind::NetPrio => CgroupData::NetPrio {
+                ifpriomap: host_ifaces.iter().map(|i| (i.clone(), 0)).collect(),
+            },
+            CgroupKind::Memory => CgroupData::Memory {
+                limit_bytes: u64::MAX,
+                usage_bytes: 0,
+                max_usage_bytes: 0,
+            },
+        }
+    }
+
+    fn alloc(
+        &mut self,
+        kind: CgroupKind,
+        path: String,
+        parent: Option<CgroupId>,
+        data: CgroupData,
+    ) -> CgroupId {
+        let id = CgroupId(self.next);
+        self.next += 1;
+        self.nodes.insert(
+            id,
+            CgroupNode {
+                id,
+                kind,
+                path,
+                parent,
+                data,
+            },
+        );
+        id
+    }
+
+    /// The root node of a hierarchy.
+    pub fn root(&self, kind: CgroupKind) -> CgroupId {
+        *self.roots.get(&kind).expect("root exists for every kind")
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: CgroupId) -> Option<&CgroupNode> {
+        self.nodes.get(&id)
+    }
+
+    /// All nodes of one hierarchy, sorted by path.
+    pub fn nodes_of_kind(&self, kind: CgroupKind) -> Vec<&CgroupNode> {
+        let mut v: Vec<&CgroupNode> = self.nodes.values().filter(|n| n.kind == kind).collect();
+        v.sort_by(|a, b| a.path.cmp(&b.path));
+        v
+    }
+
+    /// Number of cgroups in one hierarchy — rendered by `/proc/cgroups`,
+    /// which thereby leaks how many containers a host runs.
+    pub fn count_of_kind(&self, kind: CgroupKind) -> usize {
+        self.nodes.values().filter(|n| n.kind == kind).count()
+    }
+
+    /// Creates a child cgroup `name` under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchCgroup`] if `parent` is unknown.
+    pub fn create_child(
+        &mut self,
+        parent: CgroupId,
+        name: &str,
+        host_ifaces: &[String],
+    ) -> Result<CgroupId, KernelError> {
+        let (kind, ppath) = {
+            let p = self
+                .nodes
+                .get(&parent)
+                .ok_or(KernelError::NoSuchCgroup(parent))?;
+            (p.kind, p.path.clone())
+        };
+        let path = if ppath == "/" {
+            format!("/{name}")
+        } else {
+            format!("{ppath}/{name}")
+        };
+        let data = self.fresh_data(kind, host_ifaces);
+        Ok(self.alloc(kind, path, Some(parent), data))
+    }
+
+    /// Removes a leaf cgroup. Accounting already charged to ancestors is
+    /// preserved (as in Linux, where a removed child's usage stays in the
+    /// parent's hierarchy totals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidOperation`] when the node is a root or
+    /// still has children, and [`KernelError::NoSuchCgroup`] when unknown.
+    pub fn remove(&mut self, id: CgroupId) -> Result<(), KernelError> {
+        let node = self.nodes.get(&id).ok_or(KernelError::NoSuchCgroup(id))?;
+        if node.parent.is_none() {
+            return Err(KernelError::InvalidOperation(
+                "cannot remove a root cgroup".into(),
+            ));
+        }
+        if self.nodes.values().any(|n| n.parent == Some(id)) {
+            return Err(KernelError::InvalidOperation(format!(
+                "cgroup {id} still has children"
+            )));
+        }
+        self.nodes.remove(&id);
+        Ok(())
+    }
+
+    /// The chain from `id` up to (and including) its root.
+    pub fn ancestor_chain(&self, id: CgroupId) -> Vec<CgroupId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            match self.nodes.get(&c) {
+                Some(n) => {
+                    chain.push(c);
+                    cur = n.parent;
+                }
+                None => break,
+            }
+        }
+        chain
+    }
+
+    /// Charges `ns` nanoseconds of CPU time on `cpu` to `id` and ancestors
+    /// (cpuacct hierarchy).
+    pub fn charge_cpu(&mut self, id: CgroupId, cpu: usize, ns: u64) {
+        for c in self.ancestor_chain(id) {
+            if let Some(CgroupData::Cpuacct { usage_ns_per_cpu }) =
+                self.nodes.get_mut(&c).map(|n| &mut n.data)
+            {
+                if cpu < usage_ns_per_cpu.len() {
+                    usage_ns_per_cpu[cpu] += ns;
+                }
+            }
+        }
+    }
+
+    /// Charges perf counters to `id` and ancestors, but only to nodes with
+    /// monitoring enabled (perf_event hierarchy).
+    pub fn charge_perf(&mut self, id: CgroupId, delta: &PerfCounters) {
+        for c in self.ancestor_chain(id) {
+            if let Some(CgroupData::PerfEvent {
+                counters,
+                monitoring,
+            }) = self.nodes.get_mut(&c).map(|n| &mut n.data)
+            {
+                if *monitoring {
+                    counters.add(delta);
+                }
+            }
+        }
+    }
+
+    /// Enables or disables perf monitoring on a perf_event cgroup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchCgroup`] for unknown ids and
+    /// [`KernelError::InvalidOperation`] when the node is not in the
+    /// perf_event hierarchy.
+    pub fn set_perf_monitoring(&mut self, id: CgroupId, on: bool) -> Result<(), KernelError> {
+        match self.nodes.get_mut(&id) {
+            Some(n) => match &mut n.data {
+                CgroupData::PerfEvent { monitoring, .. } => {
+                    *monitoring = on;
+                    Ok(())
+                }
+                _ => Err(KernelError::InvalidOperation(format!(
+                    "{id} is not a perf_event cgroup"
+                ))),
+            },
+            None => Err(KernelError::NoSuchCgroup(id)),
+        }
+    }
+
+    /// Reads the perf counters of a perf_event cgroup.
+    pub fn perf_counters(&self, id: CgroupId) -> Option<PerfCounters> {
+        match self.nodes.get(&id)?.data() {
+            CgroupData::PerfEvent { counters, .. } => Some(*counters),
+            _ => None,
+        }
+    }
+
+    /// Whether perf monitoring is on for this cgroup.
+    pub fn perf_monitoring(&self, id: CgroupId) -> bool {
+        matches!(
+            self.nodes.get(&id).map(|n| n.data()),
+            Some(CgroupData::PerfEvent {
+                monitoring: true,
+                ..
+            })
+        )
+    }
+
+    /// Total cpuacct usage (ns summed over CPUs) of a cpuacct cgroup.
+    pub fn cpuacct_usage_ns(&self, id: CgroupId) -> Option<u64> {
+        match self.nodes.get(&id)?.data() {
+            CgroupData::Cpuacct { usage_ns_per_cpu } => Some(usage_ns_per_cpu.iter().sum()),
+            _ => None,
+        }
+    }
+
+    /// Per-CPU cpuacct usage of a cpuacct cgroup.
+    pub fn cpuacct_usage_percpu(&self, id: CgroupId) -> Option<&[u64]> {
+        match self.nodes.get(&id)?.data() {
+            CgroupData::Cpuacct { usage_ns_per_cpu } => Some(usage_ns_per_cpu),
+            _ => None,
+        }
+    }
+
+    /// Sets the absolute memory usage of one memory cgroup node. The
+    /// kernel recomputes each node (and the root aggregate) every tick
+    /// from the process table, so no chain propagation happens here.
+    pub fn set_memory_usage(&mut self, id: CgroupId, bytes: u64) {
+        if let Some(CgroupData::Memory {
+            usage_bytes,
+            max_usage_bytes,
+            ..
+        }) = self.nodes.get_mut(&id).map(|n| &mut n.data)
+        {
+            *usage_bytes = bytes;
+            *max_usage_bytes = (*max_usage_bytes).max(bytes);
+        }
+    }
+
+    /// Reads a memory cgroup's (usage, high-water) bytes.
+    pub fn memory_usage(&self, id: CgroupId) -> Option<(u64, u64)> {
+        match self.nodes.get(&id)?.data() {
+            CgroupData::Memory {
+                usage_bytes,
+                max_usage_bytes,
+                ..
+            } => Some((*usage_bytes, *max_usage_bytes)),
+            _ => None,
+        }
+    }
+
+    /// Sets an interface priority in a net_prio cgroup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchCgroup`] / [`KernelError::InvalidOperation`]
+    /// on bad targets.
+    pub fn set_ifpriomap(
+        &mut self,
+        id: CgroupId,
+        iface: &str,
+        prio: u32,
+    ) -> Result<(), KernelError> {
+        match self.nodes.get_mut(&id) {
+            Some(n) => match &mut n.data {
+                CgroupData::NetPrio { ifpriomap } => {
+                    ifpriomap.insert(iface.to_string(), prio);
+                    Ok(())
+                }
+                _ => Err(KernelError::InvalidOperation(format!(
+                    "{id} is not a net_prio cgroup"
+                ))),
+            },
+            None => Err(KernelError::NoSuchCgroup(id)),
+        }
+    }
+
+    /// Registers a newly created host interface in every net_prio cgroup
+    /// (the kernel's `netprio` handler iterates all of `init_net`'s devices,
+    /// so every group's map covers every host device — the leak).
+    pub fn register_host_iface(&mut self, iface: &str) {
+        for n in self.nodes.values_mut() {
+            if let CgroupData::NetPrio { ifpriomap } = &mut n.data {
+                ifpriomap.entry(iface.to_string()).or_insert(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forest() -> CgroupForest {
+        CgroupForest::new(4, &["lo".into(), "eth0".into()])
+    }
+
+    #[test]
+    fn roots_exist_for_all_kinds() {
+        let f = forest();
+        for kind in CgroupKind::ALL {
+            let root = f.node(f.root(kind)).unwrap();
+            assert_eq!(root.path(), "/");
+            assert_eq!(root.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn child_paths_compose() {
+        let mut f = forest();
+        let root = f.root(CgroupKind::Cpuacct);
+        let docker = f.create_child(root, "docker", &[]).unwrap();
+        let c1 = f.create_child(docker, "c1", &[]).unwrap();
+        assert_eq!(f.node(docker).unwrap().path(), "/docker");
+        assert_eq!(f.node(c1).unwrap().path(), "/docker/c1");
+        assert_eq!(f.ancestor_chain(c1), vec![c1, docker, root]);
+    }
+
+    #[test]
+    fn cpu_charge_propagates_to_ancestors() {
+        let mut f = forest();
+        let root = f.root(CgroupKind::Cpuacct);
+        let child = f.create_child(root, "c", &[]).unwrap();
+        f.charge_cpu(child, 1, 500);
+        f.charge_cpu(child, 2, 300);
+        assert_eq!(f.cpuacct_usage_ns(child), Some(800));
+        assert_eq!(f.cpuacct_usage_ns(root), Some(800));
+        assert_eq!(f.cpuacct_usage_percpu(child).unwrap()[1], 500);
+    }
+
+    #[test]
+    fn perf_charge_requires_monitoring() {
+        let mut f = forest();
+        let root = f.root(CgroupKind::PerfEvent);
+        let child = f.create_child(root, "c", &[]).unwrap();
+        let delta = PerfCounters {
+            instructions: 100,
+            cache_misses: 5,
+            branch_misses: 2,
+            cycles: 80,
+        };
+        f.charge_perf(child, &delta);
+        assert_eq!(f.perf_counters(child).unwrap().instructions, 0);
+
+        f.set_perf_monitoring(child, true).unwrap();
+        f.charge_perf(child, &delta);
+        assert_eq!(f.perf_counters(child).unwrap().instructions, 100);
+        // Root is not monitoring: unchanged.
+        assert_eq!(f.perf_counters(root).unwrap().instructions, 0);
+    }
+
+    #[test]
+    fn removing_root_or_parent_fails() {
+        let mut f = forest();
+        let root = f.root(CgroupKind::Memory);
+        assert!(f.remove(root).is_err());
+        let child = f.create_child(root, "a", &[]).unwrap();
+        let grand = f.create_child(child, "b", &[]).unwrap();
+        assert!(f.remove(child).is_err());
+        f.remove(grand).unwrap();
+        f.remove(child).unwrap();
+    }
+
+    #[test]
+    fn ifpriomap_covers_host_devices_in_new_groups() {
+        let mut f = CgroupForest::new(2, &["lo".into(), "eth0".into()]);
+        f.register_host_iface("veth1a2b");
+        let root = f.root(CgroupKind::NetPrio);
+        let child = f
+            .create_child(root, "c", &["lo".into(), "eth0".into(), "veth1a2b".into()])
+            .unwrap();
+        match f.node(child).unwrap().data() {
+            CgroupData::NetPrio { ifpriomap } => {
+                assert!(ifpriomap.contains_key("veth1a2b"));
+            }
+            _ => panic!("wrong data"),
+        }
+    }
+
+    #[test]
+    fn perf_counter_delta_saturates() {
+        let a = PerfCounters {
+            instructions: 10,
+            cache_misses: 1,
+            branch_misses: 1,
+            cycles: 9,
+        };
+        let b = PerfCounters {
+            instructions: 4,
+            cache_misses: 3,
+            branch_misses: 0,
+            cycles: 5,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.instructions, 0, "saturates instead of underflowing");
+        assert_eq!(d.cache_misses, 2);
+        let d2 = a.delta_since(&b);
+        assert_eq!(d2.instructions, 6);
+        assert_eq!(d2.cycles, 4);
+    }
+
+    #[test]
+    fn memory_usage_tracks_high_water() {
+        let mut f = forest();
+        let root = f.root(CgroupKind::Memory);
+        let c = f.create_child(root, "c", &[]).unwrap();
+        f.set_memory_usage(c, 100);
+        f.set_memory_usage(c, 40);
+        match f.node(c).unwrap().data() {
+            CgroupData::Memory {
+                usage_bytes,
+                max_usage_bytes,
+                ..
+            } => {
+                assert_eq!(*usage_bytes, 40);
+                assert_eq!(*max_usage_bytes, 100);
+            }
+            _ => panic!("wrong data"),
+        }
+    }
+}

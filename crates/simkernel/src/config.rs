@@ -1,0 +1,246 @@
+//! Machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated physical machine.
+///
+/// Everything here is visible through one leakage channel or another:
+/// `/proc/cpuinfo` renders the CPU model, `/proc/meminfo` the memory size,
+/// `/proc/modules` the module list, `/proc/version` the kernel build string,
+/// and the sysfs trees render the RAPL/coretemp/cpuidle topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Host name (UTS namespace root value).
+    pub hostname: String,
+    /// Number of logical CPUs.
+    pub cpus: u16,
+    /// Number of physical packages (RAPL domains).
+    pub packages: u16,
+    /// Number of NUMA nodes.
+    pub numa_nodes: u16,
+    /// Nominal core frequency in Hz.
+    pub freq_hz: u64,
+    /// Total RAM in bytes.
+    pub mem_bytes: u64,
+    /// Swap in bytes.
+    pub swap_bytes: u64,
+    /// CPU model string for `/proc/cpuinfo`.
+    pub cpu_model: String,
+    /// Kernel release (e.g. `4.7.0`).
+    pub kernel_release: String,
+    /// GCC version in the build banner.
+    pub gcc_version: String,
+    /// Distribution tag in the build banner.
+    pub distro: String,
+    /// Loaded kernel modules (name, size in bytes, refcount).
+    pub modules: Vec<(String, u64, u32)>,
+    /// Whether the package supports RAPL (pre-Sandy-Bridge and most AMD
+    /// parts in the paper's clouds do not — those clouds show `○` in the
+    /// RAPL row of Table I).
+    pub has_rapl: bool,
+    /// Whether coretemp DTS sensors are exposed.
+    pub has_coretemp: bool,
+    /// Block devices (name, size in bytes) backing the ext4 channels.
+    pub disks: Vec<(String, u64)>,
+    /// Wall-clock boot time (seconds since the Unix epoch).
+    pub boot_wall_secs: u64,
+    /// Scheduler tick rate (`CONFIG_HZ`).
+    pub hz: u32,
+}
+
+impl MachineConfig {
+    /// The paper's local testbed: Intel i7-6700 @ 3.40 GHz, 8 logical
+    /// cores, 16 GB RAM, Ubuntu 16.04, kernel 4.7.0.
+    pub fn testbed_i7_6700() -> Self {
+        MachineConfig {
+            hostname: "testbed".into(),
+            cpus: 8,
+            packages: 1,
+            numa_nodes: 1,
+            freq_hz: 3_400_000_000,
+            mem_bytes: 16 << 30,
+            swap_bytes: 8 << 30,
+            cpu_model: "Intel(R) Core(TM) i7-6700 CPU @ 3.40GHz".into(),
+            kernel_release: "4.7.0".into(),
+            gcc_version: "5.4.0 20160609".into(),
+            distro: "Ubuntu 16.04".into(),
+            modules: default_modules(),
+            has_rapl: true,
+            has_coretemp: true,
+            disks: vec![("sda".into(), 512 << 30)],
+            boot_wall_secs: 1_478_000_000,
+            hz: 250,
+        }
+    }
+
+    /// A dual-socket cloud server of the kind behind the paper's CC1–CC5
+    /// measurements: 16 logical cores, 64 GB RAM, 2 NUMA nodes.
+    pub fn cloud_server() -> Self {
+        MachineConfig {
+            hostname: "node".into(),
+            cpus: 16,
+            packages: 2,
+            numa_nodes: 2,
+            freq_hz: 2_600_000_000,
+            mem_bytes: 64 << 30,
+            swap_bytes: 0,
+            cpu_model: "Intel(R) Xeon(R) CPU E5-2650 v2 @ 2.60GHz".into(),
+            kernel_release: "4.4.0".into(),
+            gcc_version: "5.4.0 20160609".into(),
+            distro: "Ubuntu 16.04".into(),
+            modules: default_modules(),
+            has_rapl: true,
+            has_coretemp: true,
+            disks: vec![("sda".into(), 2 << 40)],
+            boot_wall_secs: 1_470_000_000,
+            hz: 250,
+        }
+    }
+
+    /// A small 4-core server for fast unit tests.
+    pub fn small_server() -> Self {
+        MachineConfig {
+            hostname: "small".into(),
+            cpus: 4,
+            packages: 1,
+            numa_nodes: 1,
+            freq_hz: 2_000_000_000,
+            mem_bytes: 8 << 30,
+            swap_bytes: 0,
+            cpu_model: "Intel(R) Xeon(R) CPU E3-1220 v3 @ 3.10GHz".into(),
+            kernel_release: "4.7.0".into(),
+            gcc_version: "5.4.0 20160609".into(),
+            distro: "Ubuntu 16.04".into(),
+            modules: default_modules(),
+            has_rapl: true,
+            has_coretemp: true,
+            disks: vec![("sda".into(), 256 << 30)],
+            boot_wall_secs: 1_475_000_000,
+            hz: 250,
+        }
+    }
+
+    /// A pre-Sandy-Bridge host without RAPL or DTS, modelling the clouds
+    /// where the power channels are absent for hardware reasons.
+    pub fn legacy_server_no_rapl() -> Self {
+        MachineConfig {
+            has_rapl: false,
+            has_coretemp: false,
+            cpu_model: "Intel(R) Xeon(R) CPU X5650 @ 2.67GHz".into(),
+            ..Self::cloud_server()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (zero CPUs, more
+    /// packages/nodes than CPUs, zero memory or frequency).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpus == 0 {
+            return Err("machine must have at least one cpu".into());
+        }
+        if self.packages == 0 || self.packages > self.cpus {
+            return Err(format!("invalid package count {}", self.packages));
+        }
+        if self.numa_nodes == 0 || self.numa_nodes > self.cpus {
+            return Err(format!("invalid numa node count {}", self.numa_nodes));
+        }
+        if self.mem_bytes == 0 {
+            return Err("machine must have memory".into());
+        }
+        if self.freq_hz == 0 {
+            return Err("cpu frequency must be positive".into());
+        }
+        if self.hz == 0 {
+            return Err("scheduler hz must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Logical CPUs per package (assumes an even split).
+    pub fn cpus_per_package(&self) -> u16 {
+        self.cpus / self.packages.max(1)
+    }
+}
+
+fn default_modules() -> Vec<(String, u64, u32)> {
+    [
+        ("veth", 16384, 0),
+        ("xt_nat", 16384, 2),
+        ("xt_conntrack", 16384, 1),
+        ("iptable_filter", 16384, 1),
+        ("br_netfilter", 24576, 0),
+        ("bridge", 126_976, 1),
+        ("overlay", 49152, 1),
+        ("nf_nat", 24576, 2),
+        ("nf_conntrack", 106_496, 4),
+        ("intel_rapl", 20480, 0),
+        ("x86_pkg_temp_thermal", 16384, 0),
+        ("coretemp", 16384, 0),
+        ("kvm_intel", 172_032, 0),
+        ("kvm", 544_768, 1),
+        ("ext4", 585_728, 1),
+        ("sd_mod", 45056, 3),
+        ("ahci", 36864, 2),
+        ("e1000e", 245_760, 0),
+    ]
+    .iter()
+    .map(|(n, s, r)| (n.to_string(), *s, *r))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::testbed_i7_6700().validate().unwrap();
+        MachineConfig::cloud_server().validate().unwrap();
+        MachineConfig::small_server().validate().unwrap();
+        MachineConfig::legacy_server_no_rapl().validate().unwrap();
+    }
+
+    #[test]
+    fn legacy_server_lacks_power_hardware() {
+        let c = MachineConfig::legacy_server_no_rapl();
+        assert!(!c.has_rapl);
+        assert!(!c.has_coretemp);
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        let mut c = MachineConfig::small_server();
+        c.cpus = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::small_server();
+        c.packages = 10;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::small_server();
+        c.numa_nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::small_server();
+        c.mem_bytes = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cpus_per_package_splits_evenly() {
+        let c = MachineConfig::cloud_server();
+        assert_eq!(c.cpus_per_package(), 8);
+    }
+
+    #[test]
+    fn testbed_matches_paper_hardware() {
+        let c = MachineConfig::testbed_i7_6700();
+        assert_eq!(c.cpus, 8);
+        assert_eq!(c.mem_bytes, 16 << 30);
+        assert!(c.cpu_model.contains("i7-6700"));
+        assert_eq!(c.kernel_release, "4.7.0");
+    }
+}

@@ -1,0 +1,96 @@
+//! Kernel error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cgroup::CgroupId;
+use crate::ns::NsId;
+use crate::process::HostPid;
+
+/// Errors returned by kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The referenced process does not exist (or has exited).
+    NoSuchProcess(HostPid),
+    /// The referenced namespace does not exist.
+    NoSuchNamespace(NsId),
+    /// The referenced cgroup does not exist.
+    NoSuchCgroup(CgroupId),
+    /// A namespace of the wrong kind was supplied.
+    NamespaceKindMismatch {
+        /// What the operation required.
+        expected: crate::ns::NamespaceKind,
+        /// What was supplied.
+        actual: crate::ns::NamespaceKind,
+    },
+    /// Not enough free memory to admit the process.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// A CPU index outside the machine's topology.
+    NoSuchCpu(u16),
+    /// The operation is invalid in the current state.
+    InvalidOperation(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            KernelError::NoSuchNamespace(id) => write!(f, "no such namespace: {id}"),
+            KernelError::NoSuchCgroup(id) => write!(f, "no such cgroup: {id}"),
+            KernelError::NamespaceKindMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "namespace kind mismatch: expected {expected:?}, got {actual:?}"
+                )
+            }
+            KernelError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes, {available} available"
+            ),
+            KernelError::NoSuchCpu(c) => write!(f, "no such cpu: {c}"),
+            KernelError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<KernelError> = vec![
+            KernelError::NoSuchProcess(HostPid(42)),
+            KernelError::NoSuchNamespace(NsId(7)),
+            KernelError::NoSuchCgroup(CgroupId(3)),
+            KernelError::OutOfMemory {
+                requested: 10,
+                available: 5,
+            },
+            KernelError::NoSuchCpu(99),
+            KernelError::InvalidOperation("x".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

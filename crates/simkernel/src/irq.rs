@@ -1,0 +1,228 @@
+//! Interrupt and softirq accounting (`/proc/interrupts`, `/proc/softirqs`).
+//!
+//! Both files are global, un-namespaced kernel tables — top-ranked leakage
+//! channels in the paper (variation + indirect manipulation: a tenant can
+//! pin load to a core and watch that core's timer/rescheduling counts from
+//! another container).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::sched::CpuTickLoad;
+use crate::time::NANOS_PER_SEC;
+
+/// One interrupt line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrqLine {
+    /// Label in the first column (`0`, `LOC`, `RES`, ...).
+    pub label: String,
+    /// Chip/handler description.
+    pub description: String,
+    /// Per-CPU counts.
+    pub per_cpu: Vec<u64>,
+}
+
+/// Softirq kinds, in `/proc/softirqs` order.
+pub const SOFTIRQ_NAMES: [&str; 10] = [
+    "HI", "TIMER", "NET_TX", "NET_RX", "BLOCK", "IRQ_POLL", "TASKLET", "SCHED", "HRTIMER", "RCU",
+];
+
+/// Interrupt/softirq state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrqState {
+    lines: Vec<IrqLine>,
+    softirqs: Vec<Vec<u64>>,
+    ncpus: usize,
+    hz: u32,
+    total_interrupts: u64,
+}
+
+impl IrqState {
+    /// Creates the interrupt table for `ncpus` CPUs at tick rate `hz`.
+    pub fn new(ncpus: usize, hz: u32) -> Self {
+        let mk = |label: &str, desc: &str| IrqLine {
+            label: label.to_string(),
+            description: desc.to_string(),
+            per_cpu: vec![0; ncpus],
+        };
+        IrqState {
+            lines: vec![
+                mk("0", "IR-IO-APIC    2-edge      timer"),
+                mk("8", "IR-IO-APIC    8-edge      rtc0"),
+                mk("16", "IR-PCI-MSI 327680-edge    ahci[0000:00:17.0]"),
+                mk("24", "IR-PCI-MSI 409600-edge    eth0"),
+                mk("NMI", "Non-maskable interrupts"),
+                mk("LOC", "Local timer interrupts"),
+                mk("RES", "Rescheduling interrupts"),
+                mk("CAL", "Function call interrupts"),
+                mk("TLB", "TLB shootdowns"),
+            ],
+            softirqs: vec![vec![0; ncpus]; SOFTIRQ_NAMES.len()],
+            ncpus,
+            hz,
+            total_interrupts: 0,
+        }
+    }
+
+    /// The interrupt lines.
+    pub fn lines(&self) -> &[IrqLine] {
+        &self.lines
+    }
+
+    /// Softirq counts, indexed `[kind][cpu]` like [`SOFTIRQ_NAMES`].
+    pub fn softirqs(&self) -> &[Vec<u64>] {
+        &self.softirqs
+    }
+
+    /// Total hardware interrupts since boot (`/proc/stat intr`).
+    pub fn total_interrupts(&self) -> u64 {
+        self.total_interrupts
+    }
+
+    /// One tick of interrupt traffic derived from load.
+    pub fn tick(&mut self, dt_ns: u64, load: &[CpuTickLoad], switches: u64, rng: &mut StdRng) {
+        let dt_s = dt_ns as f64 / NANOS_PER_SEC as f64;
+        let ncpus = self.ncpus;
+        let per_cpu_switches = switches / ncpus.max(1) as u64;
+
+        let mut line_add = |label: &str, cpu: usize, n: u64| {
+            if n == 0 {
+                return;
+            }
+            if let Some(line) = self.lines.iter_mut().find(|l| l.label == label) {
+                if cpu < line.per_cpu.len() {
+                    line.per_cpu[cpu] += n;
+                }
+            }
+            self.total_interrupts += n;
+        };
+
+        for cpu in 0..ncpus {
+            let l = load.get(cpu).copied().unwrap_or_default();
+            let busy_frac = (l.busy_ns as f64 / dt_ns as f64).min(1.0);
+            // Local timer: full HZ while busy, ~1/8 when tickless-idle.
+            let loc = (f64::from(self.hz) * dt_s * (0.125 + 0.875 * busy_frac)) as u64
+                + rng.random_range(0..3);
+            line_add("LOC", cpu, loc);
+            line_add("RES", cpu, per_cpu_switches / 3 + rng.random_range(0..2));
+            line_add("CAL", cpu, (busy_frac * 40.0 * dt_s) as u64);
+            line_add("TLB", cpu, (l.cache_misses / 2_000_000).min(10_000));
+            if l.io_bytes > 0 {
+                line_add("16", cpu, l.io_bytes / 65_536 + 1);
+            }
+            if l.syscalls > 1_000 {
+                line_add("24", cpu, l.syscalls / 500);
+            }
+        }
+        // Legacy timer and RTC tick slowly on CPU0 only.
+        line_add("0", 0, u64::from(dt_s >= 1.0));
+        line_add("NMI", 0, rng.random_range(0..2));
+
+        for cpu in 0..ncpus {
+            let l = load.get(cpu).copied().unwrap_or_default();
+            let busy_frac = (l.busy_ns as f64 / dt_ns as f64).min(1.0);
+            let timer = (f64::from(self.hz) * dt_s * (0.125 + 0.875 * busy_frac)) as u64;
+            self.soft_add("TIMER", cpu, timer);
+            self.soft_add("SCHED", cpu, per_cpu_switches / 2 + (timer / 4));
+            self.soft_add("RCU", cpu, timer / 2 + rng.random_range(0..5));
+            self.soft_add("HRTIMER", cpu, timer / 50);
+            if l.io_bytes > 0 {
+                self.soft_add("BLOCK", cpu, l.io_bytes / 65_536 + 1);
+            }
+            if l.syscalls > 1_000 {
+                self.soft_add("NET_RX", cpu, l.syscalls / 400);
+                self.soft_add("NET_TX", cpu, l.syscalls / 800);
+            }
+            self.soft_add("TASKLET", cpu, rng.random_range(0..3));
+        }
+    }
+
+    fn soft_add(&mut self, name: &str, cpu: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(idx) = SOFTIRQ_NAMES.iter().position(|s| *s == name) {
+            if cpu < self.softirqs[idx].len() {
+                self.softirqs[idx][cpu] += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn busy(ncpus: usize, dt: u64) -> Vec<CpuTickLoad> {
+        vec![
+            CpuTickLoad {
+                busy_ns: dt,
+                instructions: 1_000_000_000,
+                cache_misses: 10_000_000,
+                syscalls: 5_000,
+                io_bytes: 1 << 20,
+                tasks_ran: 2,
+                ..CpuTickLoad::default()
+            };
+            ncpus
+        ]
+    }
+
+    #[test]
+    fn busy_cpu_gets_full_hz_timer_ticks() {
+        let mut irq = IrqState::new(2, 250);
+        let mut rng = StdRng::seed_from_u64(1);
+        irq.tick(NANOS_PER_SEC, &busy(2, NANOS_PER_SEC), 100, &mut rng);
+        let loc = irq.lines().iter().find(|l| l.label == "LOC").unwrap();
+        assert!(
+            (240..=260).contains(&loc.per_cpu[0]),
+            "LOC {}",
+            loc.per_cpu[0]
+        );
+    }
+
+    #[test]
+    fn idle_cpu_ticks_slower() {
+        let mut irq = IrqState::new(1, 250);
+        let mut rng = StdRng::seed_from_u64(2);
+        irq.tick(NANOS_PER_SEC, &[CpuTickLoad::default()], 0, &mut rng);
+        let loc = irq.lines().iter().find(|l| l.label == "LOC").unwrap();
+        assert!(loc.per_cpu[0] < 60, "tickless idle LOC {}", loc.per_cpu[0]);
+    }
+
+    #[test]
+    fn io_drives_block_softirqs_and_ahci() {
+        let mut irq = IrqState::new(1, 250);
+        let mut rng = StdRng::seed_from_u64(3);
+        irq.tick(NANOS_PER_SEC, &busy(1, NANOS_PER_SEC), 10, &mut rng);
+        let block_idx = SOFTIRQ_NAMES.iter().position(|s| *s == "BLOCK").unwrap();
+        assert!(irq.softirqs()[block_idx][0] > 0);
+        let ahci = irq.lines().iter().find(|l| l.label == "16").unwrap();
+        assert!(ahci.per_cpu[0] > 0);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut irq = IrqState::new(4, 250);
+        let mut rng = StdRng::seed_from_u64(4);
+        irq.tick(NANOS_PER_SEC, &busy(4, NANOS_PER_SEC), 400, &mut rng);
+        let t1 = irq.total_interrupts();
+        irq.tick(NANOS_PER_SEC, &busy(4, NANOS_PER_SEC), 400, &mut rng);
+        assert!(irq.total_interrupts() > t1);
+    }
+
+    #[test]
+    fn pinned_load_is_visible_per_cpu() {
+        // The indirect-manipulation channel: load on CPU 3 shows up in that
+        // CPU's column only.
+        let mut irq = IrqState::new(4, 250);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut load = vec![CpuTickLoad::default(); 4];
+        load[3] = busy(1, NANOS_PER_SEC)[0];
+        irq.tick(NANOS_PER_SEC, &load, 0, &mut rng);
+        let loc = irq.lines().iter().find(|l| l.label == "LOC").unwrap();
+        assert!(loc.per_cpu[3] > loc.per_cpu[0] * 3);
+    }
+}

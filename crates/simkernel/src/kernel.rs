@@ -1,0 +1,925 @@
+//! The kernel: composition of every subsystem plus the tick loop.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cgroup::{CgroupForest, CgroupId, CgroupKind};
+use crate::config::MachineConfig;
+use crate::error::KernelError;
+use crate::fsstate::{FsState, LockKind};
+use crate::hw::{Hardware, PowerModelParams, PowerSnapshot, RaplDomains};
+use crate::irq::IrqState;
+use crate::mem::MemoryState;
+use crate::net::NetState;
+use crate::ns::{NamespaceRegistry, NamespaceSet};
+use crate::perf::{PerfOverheadCosts, PerfSubsystem};
+use crate::process::{CgroupMembership, HostPid, ProcState, Process, ProcessTable};
+use crate::sched::Scheduler;
+use crate::syscost::SysCosts;
+use crate::time::{Clock, NANOS_PER_SEC};
+use crate::timers::TimerList;
+use workloads::{PhaseCursor, WorkloadSpec};
+
+/// Default simulation tick: 1 s (coarse enough for week-long traces, fine
+/// enough for 1 Hz channel snapshots).
+pub const DEFAULT_TICK_NS: u64 = NANOS_PER_SEC;
+
+/// Everything needed to run processes inside one container: its namespace
+/// set, per-hierarchy cgroups, and the host-side veth interface its NET
+/// namespace is wired to.
+#[derive(Debug, Clone)]
+pub struct ContainerEnv {
+    /// The container's namespaces.
+    pub ns: NamespaceSet,
+    /// The container's cgroups (one per hierarchy).
+    pub cgroups: CgroupMembership,
+    /// Name of the host-side veth device created for this container.
+    pub veth: String,
+    /// The cgroup path component (`/docker/<name>`).
+    pub cgroup_path: String,
+}
+
+/// Specification for spawning a process.
+#[derive(Debug, Clone)]
+pub struct ProcessSpec {
+    name: String,
+    workload: WorkloadSpec,
+    ns: Option<NamespaceSet>,
+    cgroups: Option<CgroupMembership>,
+    affinity: Option<Vec<u16>>,
+}
+
+impl ProcessSpec {
+    /// Creates a spec for a host process running `workload`.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec) -> Self {
+        ProcessSpec {
+            name: name.into(),
+            workload,
+            ns: None,
+            cgroups: None,
+            affinity: None,
+        }
+    }
+
+    /// Places the process in the given namespaces (default: host set).
+    pub fn namespaces(mut self, ns: NamespaceSet) -> Self {
+        self.ns = Some(ns);
+        self
+    }
+
+    /// Places the process in the given cgroups (default: hierarchy roots).
+    pub fn cgroups(mut self, cg: CgroupMembership) -> Self {
+        self.cgroups = Some(cg);
+        self
+    }
+
+    /// Pins the process to the given CPUs (`taskset`).
+    pub fn affinity(mut self, cpus: Vec<u16>) -> Self {
+        self.affinity = Some(cpus);
+        self
+    }
+
+    /// Places the process inside a container environment (namespaces and
+    /// cgroups in one step).
+    pub fn in_container(self, env: &ContainerEnv) -> Self {
+        self.namespaces(env.ns).cgroups(env.cgroups)
+    }
+}
+
+/// Aggregate counters exposed via `/proc/stat`-style channels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Total syscalls issued since boot.
+    pub total_syscalls: u64,
+    /// Total block-IO bytes since boot.
+    pub total_io_bytes: u64,
+}
+
+/// The simulated kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: MachineConfig,
+    clock: Clock,
+    rng: StdRng,
+    seed: u64,
+    ns: NamespaceRegistry,
+    cgroups: CgroupForest,
+    procs: ProcessTable,
+    sched: Scheduler,
+    hw: Hardware,
+    mem: MemoryState,
+    irq: IrqState,
+    fs: FsState,
+    net: NetState,
+    timers: TimerList,
+    perf: PerfSubsystem,
+    stats: KernelStats,
+    tick_ns: u64,
+    syscost: SysCosts,
+    docker_parents: HashMap<CgroupKind, CgroupId>,
+    container_seq: u32,
+}
+
+impl Kernel {
+    /// Boots a kernel on the given machine with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MachineConfig::validate`] — configurations
+    /// are experiment-definition inputs, so this is a programming error.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de_0001);
+        let ncpus = cfg.cpus as usize;
+        let ns = NamespaceRegistry::new(&cfg.hostname);
+        let net = NetState::new();
+        let cgroups = CgroupForest::new(ncpus, &net.device_names());
+        let fs = FsState::new(&cfg.disks, &mut rng);
+        let hw = Hardware::new(
+            ncpus,
+            cfg.packages as usize,
+            cfg.freq_hz,
+            cfg.has_rapl,
+            cfg.has_coretemp,
+            PowerModelParams::default(),
+        );
+        Kernel {
+            clock: Clock::new(cfg.boot_wall_secs),
+            sched: Scheduler::new(ncpus, cfg.freq_hz),
+            mem: MemoryState::new(cfg.mem_bytes, cfg.swap_bytes, cfg.numa_nodes),
+            irq: IrqState::new(ncpus, cfg.hz),
+            timers: TimerList::new(),
+            perf: PerfSubsystem::new(),
+            procs: ProcessTable::new(),
+            stats: KernelStats::default(),
+            tick_ns: DEFAULT_TICK_NS,
+            syscost: SysCosts::default(),
+            docker_parents: HashMap::new(),
+            container_seq: 0,
+            seed,
+            cfg,
+            rng,
+            ns,
+            cgroups,
+            hw,
+            fs,
+            net,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+    /// The seed this kernel booted with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+    /// The virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+    /// The namespace registry.
+    pub fn namespaces(&self) -> &NamespaceRegistry {
+        &self.ns
+    }
+    /// Mutable namespace registry (used by the container runtime).
+    pub fn namespaces_mut(&mut self) -> &mut NamespaceRegistry {
+        &mut self.ns
+    }
+    /// The cgroup forest.
+    pub fn cgroups(&self) -> &CgroupForest {
+        &self.cgroups
+    }
+    /// Mutable cgroup forest.
+    pub fn cgroups_mut(&mut self) -> &mut CgroupForest {
+        &mut self.cgroups
+    }
+    /// The scheduler (accounting views).
+    pub fn sched(&self) -> &Scheduler {
+        &self.sched
+    }
+    /// Hardware state (RAPL, temps, cpuidle).
+    pub fn hw(&self) -> &Hardware {
+        &self.hw
+    }
+    /// RAPL counters.
+    pub fn rapl(&self) -> &RaplDomains {
+        self.hw.rapl()
+    }
+    /// Memory state.
+    pub fn mem(&self) -> &MemoryState {
+        &self.mem
+    }
+    /// Interrupt state.
+    pub fn irq(&self) -> &IrqState {
+        &self.irq
+    }
+    /// VFS state (locks, counters, entropy, boot id).
+    pub fn fs(&self) -> &FsState {
+        &self.fs
+    }
+    /// Mutable VFS state (uuid reads consume RNG).
+    pub fn fs_mut(&mut self) -> (&mut FsState, &mut StdRng) {
+        (&mut self.fs, &mut self.rng)
+    }
+    /// Network state.
+    pub fn net(&self) -> &NetState {
+        &self.net
+    }
+    /// Timer list.
+    pub fn timers(&self) -> &TimerList {
+        &self.timers
+    }
+    /// Perf-event subsystem.
+    pub fn perf(&self) -> &PerfSubsystem {
+        &self.perf
+    }
+    /// Kernel-operation cost table.
+    pub fn syscost(&self) -> &SysCosts {
+        &self.syscost
+    }
+    /// Aggregate counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+    /// A process by host pid.
+    pub fn process(&self, pid: HostPid) -> Option<&Process> {
+        self.procs.get(pid)
+    }
+    /// All live processes, pid-ordered.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.procs.iter()
+    }
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+    /// Most recently allocated pid.
+    pub fn last_pid(&self) -> u32 {
+        self.procs.last_pid()
+    }
+    /// Total forks since boot.
+    pub fn total_forks(&self) -> u64 {
+        self.procs.total_forks()
+    }
+    /// Power drawn over the last tick.
+    pub fn last_power(&self) -> &PowerSnapshot {
+        self.hw.last_power()
+    }
+    /// Wall power in watts over the last tick.
+    pub fn wall_watts(&self) -> f64 {
+        self.hw.last_power().wall_w
+    }
+    /// Boot id.
+    pub fn boot_id(&self) -> &str {
+        self.fs.boot_id()
+    }
+    /// Aggregate idle nanoseconds over all CPUs (`/proc/uptime` field 2).
+    pub fn total_idle_ns(&self) -> u64 {
+        self.sched.cpu_stats().iter().map(|c| c.idle_ns).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Sets the tick quantum (clamped to `[1 ms, 60 s]`).
+    pub fn set_tick_ns(&mut self, tick_ns: u64) {
+        self.tick_ns = tick_ns.clamp(1_000_000, 60 * NANOS_PER_SEC);
+    }
+
+    /// Advances virtual time by `dt_ns`, running the scheduler, hardware,
+    /// memory, interrupt, VFS and network models each tick.
+    pub fn advance(&mut self, mut dt_ns: u64) {
+        while dt_ns > 0 {
+            let step = dt_ns.min(self.tick_ns);
+            self.tick_once(step);
+            dt_ns -= step;
+        }
+    }
+
+    /// Advances by whole seconds.
+    pub fn advance_secs(&mut self, secs: u64) {
+        self.advance(secs * NANOS_PER_SEC);
+    }
+
+    /// Fast-forwards an idle machine through `secs` seconds in O(1):
+    /// one giant tick. Used to give fleet hosts realistic, distinct
+    /// uptimes (days to months) without simulating every second. Only
+    /// meaningful right after boot, before processes are spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if processes are already running — fast-forward is a boot
+    /// time convenience, not a scheduler bypass.
+    pub fn fast_forward_boot(&mut self, secs: u64) {
+        assert!(
+            self.procs.is_empty(),
+            "fast_forward_boot only valid on an idle machine"
+        );
+        let saved = self.tick_ns;
+        self.tick_ns = secs.max(1) * NANOS_PER_SEC;
+        self.tick_once(secs * NANOS_PER_SEC);
+        self.tick_ns = saved;
+    }
+
+    fn tick_once(&mut self, dt_ns: u64) {
+        let report = self
+            .sched
+            .tick(dt_ns, &mut self.procs, &mut self.cgroups, &mut self.rng);
+
+        self.hw.tick(dt_ns, &report.per_cpu, &mut self.rng);
+
+        let syscalls: u64 = report.per_cpu.iter().map(|c| c.syscalls).sum();
+        let io_bytes: u64 = report.per_cpu.iter().map(|c| c.io_bytes).sum();
+        self.stats.total_syscalls += syscalls;
+        self.stats.total_io_bytes += io_bytes;
+
+        // Memory: per-cgroup RSS sums and the global total.
+        let mut by_cgroup: HashMap<CgroupId, u64> = HashMap::new();
+        let mut rss_total = 0u64;
+        for p in self.procs.iter() {
+            if p.state() != ProcState::Exited {
+                let rss = p.rss_bytes();
+                rss_total += rss;
+                *by_cgroup.entry(p.cgroups().memory).or_insert(0) += rss;
+            }
+        }
+        for (cg, bytes) in &by_cgroup {
+            self.cgroups.set_memory_usage(*cg, *bytes);
+        }
+        let mem_root = self.cgroups.root(CgroupKind::Memory);
+        self.cgroups.set_memory_usage(mem_root, rss_total);
+        self.mem.tick(dt_ns, rss_total, io_bytes, &mut self.rng);
+
+        let intr_before = self.irq.total_interrupts();
+        self.irq
+            .tick(dt_ns, &report.per_cpu, report.switches, &mut self.rng);
+        let intr_delta = self.irq.total_interrupts() - intr_before;
+
+        self.fs.tick(
+            dt_ns,
+            self.procs.len(),
+            syscalls,
+            io_bytes,
+            intr_delta,
+            &mut self.rng,
+        );
+        self.net.tick(dt_ns, syscalls, &mut self.rng);
+
+        self.clock.advance(dt_ns);
+        self.timers.refresh(self.clock.since_boot_ns());
+
+        for pid in report.exited {
+            self.cleanup_process(pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processes
+    // ------------------------------------------------------------------
+
+    /// Spawns a process per `spec`.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::OutOfMemory`] if the workload's initial footprint
+    ///   does not fit.
+    /// * [`KernelError::NoSuchCpu`] for affinity outside the topology.
+    /// * Namespace errors if the spec's PID namespace is invalid.
+    pub fn spawn(&mut self, spec: ProcessSpec) -> Result<HostPid, KernelError> {
+        let rss = spec.workload.phases()[0].mem_bytes;
+        if !self.mem.can_admit(rss) {
+            return Err(KernelError::OutOfMemory {
+                requested: rss,
+                available: self.mem.available_bytes(),
+            });
+        }
+        if let Some(cpus) = &spec.affinity {
+            for c in cpus {
+                if *c >= self.cfg.cpus {
+                    return Err(KernelError::NoSuchCpu(*c));
+                }
+            }
+        }
+        let ns = spec.ns.unwrap_or_else(|| self.ns.host_set());
+        let cgroups = spec.cgroups.unwrap_or(CgroupMembership {
+            cpuacct: self.cgroups.root(CgroupKind::Cpuacct),
+            perf_event: self.cgroups.root(CgroupKind::PerfEvent),
+            net_prio: self.cgroups.root(CgroupKind::NetPrio),
+            memory: self.cgroups.root(CgroupKind::Memory),
+        });
+        let host_pid = self.procs.allocate_pid();
+        let ns_pid = self.ns.allocate_pid(ns.pid, host_pid)?;
+        self.timers
+            .arm_sched_timer(host_pid, &spec.name, self.clock.since_boot_ns());
+        self.procs.insert(Process {
+            host_pid,
+            name: spec.name,
+            ns,
+            ns_pid,
+            cgroups,
+            workload: spec.workload,
+            cursor: PhaseCursor::new(),
+            affinity: spec.affinity,
+            state: ProcState::Runnable,
+            start_ns: self.clock.since_boot_ns(),
+            utime_ns: 0,
+            stime_ns: 0,
+            vruntime_ns: 0,
+            counters: Default::default(),
+            last_cpu: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
+            syscalls: 0,
+        });
+        Ok(host_pid)
+    }
+
+    /// Spawns a host-namespace process (convenience).
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::spawn`].
+    pub fn spawn_host_process(
+        &mut self,
+        name: &str,
+        workload: WorkloadSpec,
+    ) -> Result<HostPid, KernelError> {
+        self.spawn(ProcessSpec::new(name, workload))
+    }
+
+    /// Kills a process, releasing pids, locks and timers.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`] if `pid` is not live.
+    pub fn kill(&mut self, pid: HostPid) -> Result<(), KernelError> {
+        if self.procs.get(pid).is_none() {
+            return Err(KernelError::NoSuchProcess(pid));
+        }
+        self.cleanup_process(pid);
+        Ok(())
+    }
+
+    fn cleanup_process(&mut self, pid: HostPid) {
+        if let Some(p) = self.procs.remove(pid) {
+            self.ns.release_pid(p.ns.pid, pid);
+        }
+        self.fs.drop_locks_of(pid);
+        self.timers.drop_timers_of(pid);
+    }
+
+    /// Changes a process's CPU affinity (`taskset`).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`] / [`KernelError::NoSuchCpu`].
+    pub fn set_affinity(&mut self, pid: HostPid, cpus: Vec<u16>) -> Result<(), KernelError> {
+        for c in &cpus {
+            if *c >= self.cfg.cpus {
+                return Err(KernelError::NoSuchCpu(*c));
+            }
+        }
+        match self.procs.get_mut(pid) {
+            Some(p) => {
+                p.affinity = Some(cpus);
+                Ok(())
+            }
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Pauses (SIGSTOP) a process.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn pause(&mut self, pid: HostPid) -> Result<(), KernelError> {
+        match self.procs.get_mut(pid) {
+            Some(p) => {
+                p.state = ProcState::Sleeping;
+                Ok(())
+            }
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Resumes (SIGCONT) a paused process.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn resume(&mut self, pid: HostPid) -> Result<(), KernelError> {
+        match self.procs.get_mut(pid) {
+            Some(p) => {
+                if p.state == ProcState::Sleeping {
+                    p.state = ProcState::Runnable;
+                }
+                Ok(())
+            }
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Swaps the workload of a live process (attack phase changes).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn set_workload(
+        &mut self,
+        pid: HostPid,
+        workload: WorkloadSpec,
+    ) -> Result<(), KernelError> {
+        match self.procs.get_mut(pid) {
+            Some(p) => {
+                p.workload = workload;
+                p.cursor = PhaseCursor::new();
+                Ok(())
+            }
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Containers
+    // ------------------------------------------------------------------
+
+    /// Creates the kernel-side environment for a container: a fresh
+    /// namespace set, one cgroup per hierarchy under `/docker/<name>`, and
+    /// a host-side veth device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cgroup-creation failures.
+    pub fn create_container_env(&mut self, name: &str) -> Result<ContainerEnv, KernelError> {
+        self.container_seq += 1;
+        let uid_base = 100_000 + self.container_seq * 65_536;
+        let cgroup_path = format!("/docker/{name}");
+        let ns = self
+            .ns
+            .create_container_set(name, &cgroup_path, (0, uid_base, 65_536));
+
+        let veth = self.net.create_veth(&mut self.rng);
+        self.cgroups.register_host_iface(&veth);
+        let ifaces = self.net.device_names();
+
+        let mut ids = HashMap::new();
+        for kind in CgroupKind::ALL {
+            let parent = match self.docker_parents.get(&kind) {
+                Some(p) => *p,
+                None => {
+                    let root = self.cgroups.root(kind);
+                    let p = self.cgroups.create_child(root, "docker", &ifaces)?;
+                    self.docker_parents.insert(kind, p);
+                    p
+                }
+            };
+            let id = self.cgroups.create_child(parent, name, &ifaces)?;
+            ids.insert(kind, id);
+        }
+        Ok(ContainerEnv {
+            ns,
+            cgroups: CgroupMembership {
+                cpuacct: ids[&CgroupKind::Cpuacct],
+                perf_event: ids[&CgroupKind::PerfEvent],
+                net_prio: ids[&CgroupKind::NetPrio],
+                memory: ids[&CgroupKind::Memory],
+            },
+            veth,
+            cgroup_path,
+        })
+    }
+
+    /// Tears down a container environment: kills remaining member
+    /// processes, removes its cgroups and veth device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cgroup-removal failures.
+    pub fn destroy_container_env(&mut self, env: &ContainerEnv) -> Result<(), KernelError> {
+        let members: Vec<HostPid> = self
+            .procs
+            .iter()
+            .filter(|p| p.ns == env.ns)
+            .map(|p| p.host_pid)
+            .collect();
+        for pid in members {
+            self.cleanup_process(pid);
+        }
+        let _ = self
+            .perf
+            .detach_cgroup(&mut self.cgroups, env.cgroups.perf_event);
+        for id in [
+            env.cgroups.cpuacct,
+            env.cgroups.perf_event,
+            env.cgroups.net_prio,
+            env.cgroups.memory,
+        ] {
+            self.cgroups.remove(id)?;
+        }
+        self.net.remove_device(&env.veth);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Manipulation primitives (what a tenant can do from user space)
+    // ------------------------------------------------------------------
+
+    /// Arms a user timer with an attacker-chosen comm (timer_list
+    /// signature implantation).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn add_user_timer(
+        &mut self,
+        pid: HostPid,
+        comm: &str,
+        interval_ns: u64,
+    ) -> Result<(), KernelError> {
+        if self.procs.get(pid).is_none() {
+            return Err(KernelError::NoSuchProcess(pid));
+        }
+        self.timers
+            .arm_user_timer(pid, comm, self.clock.since_boot_ns(), interval_ns.max(1));
+        Ok(())
+    }
+
+    /// Takes a file lock on behalf of `pid` (locks signature implantation).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn flock(
+        &mut self,
+        pid: HostPid,
+        kind: LockKind,
+        range: (u64, u64),
+    ) -> Result<String, KernelError> {
+        if self.procs.get(pid).is_none() {
+            return Err(KernelError::NoSuchProcess(pid));
+        }
+        Ok(self.fs.add_lock(pid, kind, range))
+    }
+
+    /// Enables power-namespace-style perf monitoring on a container's
+    /// perf_event cgroup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cgroup errors.
+    pub fn attach_perf_monitoring(&mut self, cgroup: CgroupId) -> Result<(), KernelError> {
+        let ncpus = self.cfg.cpus;
+        self.perf.attach_cgroup(
+            &mut self.cgroups,
+            cgroup,
+            ncpus,
+            PerfOverheadCosts::default(),
+        )
+    }
+
+    /// Disables perf monitoring on a cgroup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cgroup errors.
+    pub fn detach_perf_monitoring(&mut self, cgroup: CgroupId) -> Result<(), KernelError> {
+        self.perf.detach_cgroup(&mut self.cgroups, cgroup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::models;
+
+    fn kernel() -> Kernel {
+        Kernel::new(MachineConfig::small_server(), 1)
+    }
+
+    #[test]
+    fn boot_and_idle_advance() {
+        let mut k = kernel();
+        k.advance_secs(10);
+        assert!((k.clock().uptime_secs() - 10.0).abs() < 1e-9);
+        assert!(k.total_idle_ns() > 9 * NANOS_PER_SEC);
+        assert!(k.wall_watts() > 30.0);
+    }
+
+    #[test]
+    fn spawn_runs_and_consumes_power() {
+        let mut k = kernel();
+        k.advance_secs(2);
+        let idle_w = k.wall_watts();
+        let pid = k.spawn_host_process("prime", models::prime()).unwrap();
+        k.advance_secs(5);
+        assert!(k.wall_watts() > idle_w + 3.0);
+        let p = k.process(pid).unwrap();
+        assert!(p.cpu_time_ns() > 4 * NANOS_PER_SEC);
+        assert!(p.counters().instructions > 0);
+    }
+
+    #[test]
+    fn spawn_rejects_oversized_workload() {
+        let mut k = kernel();
+        let w = workloads::WorkloadSpec::new(
+            "huge",
+            workloads::WorkloadClass::MemoryBound,
+            vec![workloads::Phase {
+                mem_bytes: 1 << 40,
+                ..workloads::Phase::quiescent(NANOS_PER_SEC)
+            }],
+            workloads::Repeat::Forever,
+        );
+        assert!(matches!(
+            k.spawn_host_process("huge", w),
+            Err(KernelError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn spawn_rejects_bad_affinity() {
+        let mut k = kernel();
+        let spec = ProcessSpec::new("x", models::prime()).affinity(vec![99]);
+        assert!(matches!(k.spawn(spec), Err(KernelError::NoSuchCpu(99))));
+    }
+
+    #[test]
+    fn kill_cleans_up_locks_timers_pids() {
+        let mut k = kernel();
+        let pid = k.spawn_host_process("victim", models::prime()).unwrap();
+        k.add_user_timer(pid, "sig-123", NANOS_PER_SEC).unwrap();
+        k.flock(pid, LockKind::FlockWrite, (0, 100)).unwrap();
+        assert!(k.timers().contains_comm("sig-123"));
+        assert_eq!(k.fs().locks().len(), 1);
+        k.kill(pid).unwrap();
+        assert!(k.process(pid).is_none());
+        assert!(!k.timers().contains_comm("sig-123"));
+        assert!(k.fs().locks().is_empty());
+        assert!(matches!(k.kill(pid), Err(KernelError::NoSuchProcess(_))));
+    }
+
+    #[test]
+    fn container_env_has_fresh_namespaces_and_cgroups() {
+        let mut k = kernel();
+        let env = k.create_container_env("c1").unwrap();
+        assert_ne!(env.ns.pid, k.namespaces().host_set().pid);
+        let node = k.cgroups().node(env.cgroups.cpuacct).unwrap();
+        assert_eq!(node.path(), "/docker/c1");
+        assert!(k.net().device_names().contains(&env.veth));
+
+        // Container process gets pid 1 inside.
+        let pid = k
+            .spawn(ProcessSpec::new("app", models::prime()).in_container(&env))
+            .unwrap();
+        assert_eq!(k.process(pid).unwrap().ns_pid(), 1);
+    }
+
+    #[test]
+    fn destroy_container_env_reaps_everything() {
+        let mut k = kernel();
+        let env = k.create_container_env("c1").unwrap();
+        let pid = k
+            .spawn(ProcessSpec::new("app", models::prime()).in_container(&env))
+            .unwrap();
+        k.advance_secs(1);
+        k.destroy_container_env(&env).unwrap();
+        assert!(k.process(pid).is_none());
+        assert!(k.cgroups().node(env.cgroups.cpuacct).is_none());
+        assert!(!k.net().device_names().contains(&env.veth));
+    }
+
+    #[test]
+    fn container_cpuacct_accumulates_only_its_work() {
+        let mut k = kernel();
+        let env1 = k.create_container_env("c1").unwrap();
+        let env2 = k.create_container_env("c2").unwrap();
+        k.spawn(ProcessSpec::new("busy", models::prime()).in_container(&env1))
+            .unwrap();
+        k.advance_secs(3);
+        let u1 = k.cgroups().cpuacct_usage_ns(env1.cgroups.cpuacct).unwrap();
+        let u2 = k.cgroups().cpuacct_usage_ns(env2.cgroups.cpuacct).unwrap();
+        assert!(u1 > 2 * NANOS_PER_SEC);
+        assert_eq!(u2, 0);
+    }
+
+    #[test]
+    fn pause_and_resume_control_cpu_use() {
+        let mut k = kernel();
+        let pid = k.spawn_host_process("p", models::prime()).unwrap();
+        k.advance_secs(1);
+        let t1 = k.process(pid).unwrap().cpu_time_ns();
+        k.pause(pid).unwrap();
+        k.advance_secs(2);
+        let t2 = k.process(pid).unwrap().cpu_time_ns();
+        assert_eq!(t1, t2);
+        k.resume(pid).unwrap();
+        k.advance_secs(1);
+        assert!(k.process(pid).unwrap().cpu_time_ns() > t2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_evolution() {
+        let run = |seed: u64| {
+            let mut k = Kernel::new(MachineConfig::small_server(), seed);
+            k.spawn_host_process("w", models::stress_vm()).unwrap();
+            k.advance_secs(10);
+            (
+                k.rapl().package_energy_uj(0),
+                k.mem().free_bytes(),
+                k.boot_id().to_string(),
+                k.sched().total_switches(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        let (e1, _, b1, _) = run(7);
+        let (e2, _, b2, _) = run(8);
+        assert_ne!(b1, b2, "boot ids must differ across hosts");
+        assert_ne!(e1, e2, "energy trajectories should differ across hosts");
+    }
+
+    #[test]
+    fn set_workload_switches_behaviour() {
+        let mut k = kernel();
+        let pid = k
+            .spawn_host_process("morph", models::web_service(0.05))
+            .unwrap();
+        k.advance_secs(2);
+        let low_w = k.wall_watts();
+        k.set_workload(pid, models::power_virus()).unwrap();
+        k.advance_secs(3);
+        assert!(k.wall_watts() > low_w + 5.0);
+    }
+
+    #[test]
+    fn multi_phase_workloads_change_behaviour_over_time() {
+        // The batch pipeline's parse phase is syscall/IO heavy; its
+        // compute phase is not — the kernel's per-interval aggregates
+        // must reflect the transition.
+        let mut k = kernel();
+        let pid = k
+            .spawn_host_process("batch", models::batch_pipeline())
+            .unwrap();
+        k.advance_secs(10); // inside the parse phase
+        let s1 = k.stats();
+        let io1 = k.process(pid).unwrap().io_bytes().0;
+        k.advance_secs(30); // parse done (~25 s at 0.8 demand), well into compute
+        k.advance_secs(10);
+        let s2_before = k.stats();
+        let io2_before = k.process(pid).unwrap().io_bytes().0;
+        k.advance_secs(10); // pure compute interval
+        let s2 = k.stats();
+        let syscall_rate_parse = s1.total_syscalls as f64 / 10.0;
+        let syscall_rate_compute = (s2.total_syscalls - s2_before.total_syscalls) as f64 / 10.0;
+        assert!(
+            syscall_rate_parse > syscall_rate_compute * 20.0,
+            "parse {syscall_rate_parse}/s vs compute {syscall_rate_compute}/s"
+        );
+        let io_compute = k.process(pid).unwrap().io_bytes().0 - io2_before;
+        assert!(io1 > 0, "parse phase reads input");
+        assert_eq!(io_compute, 0, "compute phase does no IO");
+    }
+
+    #[test]
+    fn tick_granularity_does_not_change_the_physics() {
+        // The fluid model's promise: energy and CPU accounting are
+        // rate-based, so coarse ticks (used for week-long traces) agree
+        // with fine ticks to within the noise term.
+        let run = |tick_ns: u64| -> (f64, u64) {
+            let mut k = Kernel::new(MachineConfig::small_server(), 99);
+            k.set_tick_ns(tick_ns);
+            let pid = k.spawn_host_process("w", models::stress_small()).unwrap();
+            k.advance_secs(60);
+            (
+                k.rapl().raw(0).unwrap().package_uj,
+                k.process(pid).unwrap().cpu_time_ns(),
+            )
+        };
+        let (e_fine, cpu_fine) = run(NANOS_PER_SEC);
+        let (e_coarse, cpu_coarse) = run(10 * NANOS_PER_SEC);
+        let energy_drift = (e_fine - e_coarse).abs() / e_fine;
+        assert!(energy_drift < 0.02, "energy drift {energy_drift}");
+        assert_eq!(cpu_fine, cpu_coarse, "cpu accounting must be exact");
+    }
+
+    #[test]
+    fn uptime_and_stat_sources_progress() {
+        let mut k = kernel();
+        k.spawn_host_process("w", models::prime()).unwrap();
+        k.advance_secs(5);
+        assert!(k.irq().total_interrupts() > 0);
+        assert!(k.sched().total_switches() > 0);
+        assert!(k.sched().loadavg()[0] > 0.05);
+        assert!(k.stats().total_syscalls > 0);
+        assert_eq!(k.clock().wall_secs(), k.config().boot_wall_secs + 5);
+    }
+}

@@ -1,0 +1,472 @@
+//! Namespaces: the seven types of Linux 4.7 (§II-A of the paper).
+//!
+//! A namespace virtualizes one class of system resource for the group of
+//! processes associated with it. The leakage channels the paper identifies
+//! exist precisely where a kernel handler reads *global* state instead of
+//! the state of the caller's namespace — so this module's job is to hold
+//! the properly-namespaced state, letting the pseudo-file layer choose
+//! (per file, as the real kernel does) whether to consult it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::KernelError;
+use crate::process::HostPid;
+
+/// The namespace types of Linux 4.7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NamespaceKind {
+    /// Mount points.
+    Mnt,
+    /// Host and domain name.
+    Uts,
+    /// Process identifiers.
+    Pid,
+    /// Network devices, addresses, routing.
+    Net,
+    /// System V IPC and POSIX queues.
+    Ipc,
+    /// UID/GID mappings.
+    User,
+    /// Cgroup root virtualization.
+    Cgroup,
+}
+
+impl NamespaceKind {
+    /// All seven kinds, in the order used for namespace-set construction.
+    pub const ALL: [NamespaceKind; 7] = [
+        NamespaceKind::Mnt,
+        NamespaceKind::Uts,
+        NamespaceKind::Pid,
+        NamespaceKind::Net,
+        NamespaceKind::Ipc,
+        NamespaceKind::User,
+        NamespaceKind::Cgroup,
+    ];
+}
+
+/// Opaque namespace identifier (akin to the inode numbers under
+/// `/proc/<pid>/ns/`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NsId(pub u32);
+
+impl fmt::Display for NsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns:[{}]", 4_026_531_840u32 + self.0)
+    }
+}
+
+/// The full set of namespaces a process is associated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NamespaceSet {
+    /// Mount namespace.
+    pub mnt: NsId,
+    /// UTS namespace.
+    pub uts: NsId,
+    /// PID namespace.
+    pub pid: NsId,
+    /// Network namespace.
+    pub net: NsId,
+    /// IPC namespace.
+    pub ipc: NsId,
+    /// User namespace.
+    pub user: NsId,
+    /// Cgroup namespace.
+    pub cgroup: NsId,
+}
+
+impl NamespaceSet {
+    /// The namespace id of the given kind.
+    pub fn of(&self, kind: NamespaceKind) -> NsId {
+        match kind {
+            NamespaceKind::Mnt => self.mnt,
+            NamespaceKind::Uts => self.uts,
+            NamespaceKind::Pid => self.pid,
+            NamespaceKind::Net => self.net,
+            NamespaceKind::Ipc => self.ipc,
+            NamespaceKind::User => self.user,
+            NamespaceKind::Cgroup => self.cgroup,
+        }
+    }
+}
+
+/// Per-kind namespace payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NamespaceData {
+    /// Mount namespace: the visible mount table.
+    Mnt {
+        /// Mount points visible in this namespace.
+        mounts: Vec<String>,
+    },
+    /// UTS namespace: nodename and domainname.
+    Uts {
+        /// Host name.
+        hostname: String,
+        /// NIS domain name.
+        domainname: String,
+    },
+    /// PID namespace: pid allocation and host-pid mapping. PIDs in a child
+    /// namespace are also visible (with different numbers) in every
+    /// ancestor namespace, exactly as in Linux.
+    Pid {
+        /// Parent pid namespace (None for the root).
+        parent: Option<NsId>,
+        /// Next pid to hand out in this namespace.
+        next_pid: u32,
+        /// host pid → pid within this namespace.
+        map: BTreeMap<HostPid, u32>,
+    },
+    /// Network namespace: device names are stored here; counters live in
+    /// [`crate::net`].
+    Net {
+        /// Interfaces visible in this namespace.
+        devices: Vec<String>,
+    },
+    /// IPC namespace (no observable payload needed by the channels).
+    Ipc,
+    /// User namespace: a single `inside-outside-length` uid mapping.
+    User {
+        /// (inside uid, outside uid, range length).
+        uid_map: (u32, u32, u32),
+    },
+    /// Cgroup namespace: the cgroup path that appears as `/` inside.
+    Cgroup {
+        /// Root path prefix stripped from `/proc/self/cgroup` views.
+        root_path: String,
+    },
+}
+
+impl NamespaceData {
+    /// The kind this payload belongs to.
+    pub fn kind(&self) -> NamespaceKind {
+        match self {
+            NamespaceData::Mnt { .. } => NamespaceKind::Mnt,
+            NamespaceData::Uts { .. } => NamespaceKind::Uts,
+            NamespaceData::Pid { .. } => NamespaceKind::Pid,
+            NamespaceData::Net { .. } => NamespaceKind::Net,
+            NamespaceData::Ipc => NamespaceKind::Ipc,
+            NamespaceData::User { .. } => NamespaceKind::User,
+            NamespaceData::Cgroup { .. } => NamespaceKind::Cgroup,
+        }
+    }
+}
+
+/// Registry of all namespaces on one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamespaceRegistry {
+    next: u32,
+    table: HashMap<NsId, NamespaceData>,
+    host: NamespaceSet,
+}
+
+impl NamespaceRegistry {
+    /// Creates the registry with the initial (host) namespace set.
+    pub fn new(hostname: &str) -> Self {
+        let mut reg = NamespaceRegistry {
+            next: 0,
+            table: HashMap::new(),
+            host: NamespaceSet {
+                mnt: NsId(0),
+                uts: NsId(0),
+                pid: NsId(0),
+                net: NsId(0),
+                ipc: NsId(0),
+                user: NsId(0),
+                cgroup: NsId(0),
+            },
+        };
+        let mnt = reg.insert(NamespaceData::Mnt {
+            mounts: vec!["/".into(), "/proc".into(), "/sys".into(), "/dev".into()],
+        });
+        let uts = reg.insert(NamespaceData::Uts {
+            hostname: hostname.to_string(),
+            domainname: "(none)".into(),
+        });
+        let pid = reg.insert(NamespaceData::Pid {
+            parent: None,
+            next_pid: 1,
+            map: BTreeMap::new(),
+        });
+        let net = reg.insert(NamespaceData::Net {
+            devices: vec!["lo".into(), "eth0".into(), "eth1".into(), "docker0".into()],
+        });
+        let ipc = reg.insert(NamespaceData::Ipc);
+        let user = reg.insert(NamespaceData::User {
+            uid_map: (0, 0, u32::MAX),
+        });
+        let cgroup = reg.insert(NamespaceData::Cgroup {
+            root_path: "/".into(),
+        });
+        reg.host = NamespaceSet {
+            mnt,
+            uts,
+            pid,
+            net,
+            ipc,
+            user,
+            cgroup,
+        };
+        reg
+    }
+
+    fn insert(&mut self, data: NamespaceData) -> NsId {
+        let id = NsId(self.next);
+        self.next += 1;
+        self.table.insert(id, data);
+        id
+    }
+
+    /// The initial namespace set the host's processes live in.
+    pub fn host_set(&self) -> NamespaceSet {
+        self.host
+    }
+
+    /// Looks up a namespace payload.
+    pub fn get(&self, id: NsId) -> Option<&NamespaceData> {
+        self.table.get(&id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: NsId) -> Option<&mut NamespaceData> {
+        self.table.get_mut(&id)
+    }
+
+    /// Number of namespaces in existence.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the registry is empty (never true in practice: the host set
+    /// always exists).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Creates a fresh full namespace set for a container, as `unshare`-ing
+    /// all seven types does. The PID namespace is a child of the host's;
+    /// the NET namespace starts with only `lo` and a virtual `eth0`;
+    /// the cgroup namespace is rooted at `cgroup_root`.
+    pub fn create_container_set(
+        &mut self,
+        hostname: &str,
+        cgroup_root: &str,
+        uid_map: (u32, u32, u32),
+    ) -> NamespaceSet {
+        let host_pid_ns = self.host.pid;
+        NamespaceSet {
+            mnt: self.insert(NamespaceData::Mnt {
+                mounts: vec!["/".into(), "/proc".into(), "/sys".into()],
+            }),
+            uts: self.insert(NamespaceData::Uts {
+                hostname: hostname.to_string(),
+                domainname: "(none)".into(),
+            }),
+            pid: self.insert(NamespaceData::Pid {
+                parent: Some(host_pid_ns),
+                next_pid: 1,
+                map: BTreeMap::new(),
+            }),
+            net: self.insert(NamespaceData::Net {
+                devices: vec!["lo".into(), "eth0".into()],
+            }),
+            ipc: self.insert(NamespaceData::Ipc),
+            user: self.insert(NamespaceData::User { uid_map }),
+            cgroup: self.insert(NamespaceData::Cgroup {
+                root_path: cgroup_root.to_string(),
+            }),
+        }
+    }
+
+    /// Allocates a pid for `host_pid` in `pid_ns` *and every ancestor*
+    /// namespace, returning the pid as seen inside `pid_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchNamespace`] if `pid_ns` is unknown, or
+    /// [`KernelError::NamespaceKindMismatch`] if it is not a PID namespace.
+    pub fn allocate_pid(&mut self, pid_ns: NsId, host_pid: HostPid) -> Result<u32, KernelError> {
+        let mut chain = Vec::new();
+        let mut cur = Some(pid_ns);
+        while let Some(id) = cur {
+            match self.table.get(&id) {
+                Some(NamespaceData::Pid { parent, .. }) => {
+                    chain.push(id);
+                    cur = *parent;
+                }
+                Some(other) => {
+                    return Err(KernelError::NamespaceKindMismatch {
+                        expected: NamespaceKind::Pid,
+                        actual: other.kind(),
+                    })
+                }
+                None => return Err(KernelError::NoSuchNamespace(id)),
+            }
+        }
+        let mut innermost = 0;
+        let root_pid_ns = self.host.pid;
+        for (depth, id) in chain.iter().enumerate() {
+            if let Some(NamespaceData::Pid { next_pid, map, .. }) = self.table.get_mut(id) {
+                // In the root namespace the ns-pid *is* the host pid.
+                let assigned = if *id == root_pid_ns {
+                    host_pid.0
+                } else {
+                    let p = *next_pid;
+                    *next_pid += 1;
+                    p
+                };
+                map.insert(host_pid, assigned);
+                if depth == 0 {
+                    innermost = assigned;
+                }
+            }
+        }
+        Ok(innermost)
+    }
+
+    /// Removes `host_pid` from `pid_ns` and all ancestors (process exit).
+    pub fn release_pid(&mut self, pid_ns: NsId, host_pid: HostPid) {
+        let mut cur = Some(pid_ns);
+        while let Some(id) = cur {
+            match self.table.get_mut(&id) {
+                Some(NamespaceData::Pid { parent, map, .. }) => {
+                    map.remove(&host_pid);
+                    cur = *parent;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// The pid of `host_pid` as seen from `pid_ns`, if visible there.
+    pub fn pid_in_ns(&self, pid_ns: NsId, host_pid: HostPid) -> Option<u32> {
+        match self.table.get(&pid_ns)? {
+            NamespaceData::Pid { map, .. } => map.get(&host_pid).copied(),
+            _ => None,
+        }
+    }
+
+    /// All host pids visible from `pid_ns`, with their in-namespace pids.
+    pub fn pids_visible_from(&self, pid_ns: NsId) -> Vec<(HostPid, u32)> {
+        match self.table.get(&pid_ns) {
+            Some(NamespaceData::Pid { map, .. }) => map.iter().map(|(h, p)| (*h, *p)).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The hostname of a UTS namespace.
+    pub fn hostname(&self, uts: NsId) -> Option<&str> {
+        match self.table.get(&uts)? {
+            NamespaceData::Uts { hostname, .. } => Some(hostname),
+            _ => None,
+        }
+    }
+
+    /// The device list of a NET namespace.
+    pub fn net_devices(&self, net: NsId) -> Option<&[String]> {
+        match self.table.get(&net)? {
+            NamespaceData::Net { devices } => Some(devices),
+            _ => None,
+        }
+    }
+
+    /// The cgroup-namespace root path.
+    pub fn cgroup_root(&self, cg: NsId) -> Option<&str> {
+        match self.table.get(&cg)? {
+            NamespaceData::Cgroup { root_path } => Some(root_path),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_set_is_complete() {
+        let reg = NamespaceRegistry::new("h");
+        let set = reg.host_set();
+        for kind in NamespaceKind::ALL {
+            let data = reg.get(set.of(kind)).expect("missing host namespace");
+            assert_eq!(data.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn container_set_is_fresh() {
+        let mut reg = NamespaceRegistry::new("h");
+        let host = reg.host_set();
+        let c = reg.create_container_set("c1", "/docker/abc", (0, 100_000, 65536));
+        for kind in NamespaceKind::ALL {
+            assert_ne!(host.of(kind), c.of(kind), "{kind:?} not unshared");
+        }
+        assert_eq!(reg.hostname(c.uts), Some("c1"));
+        assert_eq!(reg.net_devices(c.net).unwrap(), &["lo", "eth0"]);
+        assert_eq!(reg.cgroup_root(c.cgroup), Some("/docker/abc"));
+    }
+
+    #[test]
+    fn pid_allocation_propagates_to_ancestors() {
+        let mut reg = NamespaceRegistry::new("h");
+        let host = reg.host_set();
+        let c = reg.create_container_set("c1", "/", (0, 0, 1));
+        // Host process: ns pid == host pid.
+        let hp = HostPid(1234);
+        let ns_pid = reg.allocate_pid(host.pid, hp).unwrap();
+        assert_eq!(ns_pid, 1234);
+
+        // Container process: pid 1 inside, visible with host pid outside.
+        let cp = HostPid(1300);
+        let inner = reg.allocate_pid(c.pid, cp).unwrap();
+        assert_eq!(inner, 1);
+        assert_eq!(reg.pid_in_ns(host.pid, cp), Some(1300));
+        assert_eq!(reg.pid_in_ns(c.pid, cp), Some(1));
+        // Host process invisible from the container namespace.
+        assert_eq!(reg.pid_in_ns(c.pid, hp), None);
+    }
+
+    #[test]
+    fn container_pids_are_dense_from_one() {
+        let mut reg = NamespaceRegistry::new("h");
+        let c = reg.create_container_set("c1", "/", (0, 0, 1));
+        for i in 0..5u32 {
+            let inner = reg.allocate_pid(c.pid, HostPid(2000 + i)).unwrap();
+            assert_eq!(inner, i + 1);
+        }
+        assert_eq!(reg.pids_visible_from(c.pid).len(), 5);
+    }
+
+    #[test]
+    fn release_removes_everywhere() {
+        let mut reg = NamespaceRegistry::new("h");
+        let host = reg.host_set();
+        let c = reg.create_container_set("c1", "/", (0, 0, 1));
+        let p = HostPid(555);
+        reg.allocate_pid(c.pid, p).unwrap();
+        reg.release_pid(c.pid, p);
+        assert_eq!(reg.pid_in_ns(c.pid, p), None);
+        assert_eq!(reg.pid_in_ns(host.pid, p), None);
+    }
+
+    #[test]
+    fn allocate_pid_rejects_non_pid_namespace() {
+        let mut reg = NamespaceRegistry::new("h");
+        let host = reg.host_set();
+        let err = reg.allocate_pid(host.uts, HostPid(1)).unwrap_err();
+        assert!(matches!(err, KernelError::NamespaceKindMismatch { .. }));
+    }
+
+    #[test]
+    fn allocate_pid_rejects_unknown_namespace() {
+        let mut reg = NamespaceRegistry::new("h");
+        let err = reg.allocate_pid(NsId(9999), HostPid(1)).unwrap_err();
+        assert!(matches!(err, KernelError::NoSuchNamespace(_)));
+    }
+
+    #[test]
+    fn ns_display_looks_like_proc_ns_links() {
+        assert_eq!(NsId(2).to_string(), "ns:[4026531842]");
+    }
+}

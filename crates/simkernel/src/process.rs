@@ -1,0 +1,318 @@
+//! Processes and the process table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cgroup::{CgroupId, PerfCounters};
+use crate::ns::NamespaceSet;
+use workloads::{PhaseCursor, WorkloadSpec};
+
+/// A host (root-pid-namespace) process id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostPid(pub u32);
+
+impl fmt::Display for HostPid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// Scheduler-visible process state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcState {
+    /// Runnable (may or may not be on a CPU this tick).
+    Runnable,
+    /// Voluntarily sleeping (bursty workloads off their duty cycle).
+    Sleeping,
+    /// Finished; awaiting reaping.
+    Exited,
+}
+
+/// The cgroup membership of a process, one per hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CgroupMembership {
+    /// cpuacct hierarchy node.
+    pub cpuacct: CgroupId,
+    /// perf_event hierarchy node.
+    pub perf_event: CgroupId,
+    /// net_prio hierarchy node.
+    pub net_prio: CgroupId,
+    /// memory hierarchy node.
+    pub memory: CgroupId,
+}
+
+/// A simulated process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Process {
+    pub(crate) host_pid: HostPid,
+    pub(crate) name: String,
+    pub(crate) ns: NamespaceSet,
+    pub(crate) ns_pid: u32,
+    pub(crate) cgroups: CgroupMembership,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) cursor: PhaseCursor,
+    pub(crate) affinity: Option<Vec<u16>>,
+    pub(crate) state: ProcState,
+    pub(crate) start_ns: u64,
+    pub(crate) utime_ns: u64,
+    pub(crate) stime_ns: u64,
+    pub(crate) vruntime_ns: u64,
+    pub(crate) counters: PerfCounters,
+    pub(crate) last_cpu: u16,
+    pub(crate) io_read_bytes: u64,
+    pub(crate) io_write_bytes: u64,
+    pub(crate) syscalls: u64,
+}
+
+impl Process {
+    /// Host pid.
+    pub fn host_pid(&self) -> HostPid {
+        self.host_pid
+    }
+    /// Pid as seen inside the process's own PID namespace.
+    pub fn ns_pid(&self) -> u32 {
+        self.ns_pid
+    }
+    /// Command name (`comm`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Namespace membership.
+    pub fn namespaces(&self) -> NamespaceSet {
+        self.ns
+    }
+    /// Cgroup membership.
+    pub fn cgroups(&self) -> CgroupMembership {
+        self.cgroups
+    }
+    /// The workload model this process runs.
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
+    }
+    /// Scheduler state.
+    pub fn state(&self) -> ProcState {
+        self.state
+    }
+    /// CPU affinity (None = any CPU).
+    pub fn affinity(&self) -> Option<&[u16]> {
+        self.affinity.as_deref()
+    }
+    /// Boot-relative start time in nanoseconds.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+    /// Accumulated user CPU time (ns).
+    pub fn utime_ns(&self) -> u64 {
+        self.utime_ns
+    }
+    /// Accumulated system CPU time (ns).
+    pub fn stime_ns(&self) -> u64 {
+        self.stime_ns
+    }
+    /// CFS virtual runtime (ns).
+    pub fn vruntime_ns(&self) -> u64 {
+        self.vruntime_ns
+    }
+    /// Lifetime hardware-event counters.
+    pub fn counters(&self) -> PerfCounters {
+        self.counters
+    }
+    /// The CPU this process last ran on.
+    pub fn last_cpu(&self) -> u16 {
+        self.last_cpu
+    }
+    /// Cumulative (read, write) IO bytes (`/proc/<pid>/io`).
+    pub fn io_bytes(&self) -> (u64, u64) {
+        (self.io_read_bytes, self.io_write_bytes)
+    }
+    /// Cumulative syscalls issued.
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls
+    }
+    /// Total CPU time consumed (user + system), ns.
+    pub fn cpu_time_ns(&self) -> u64 {
+        self.utime_ns + self.stime_ns
+    }
+    /// Current resident memory, from the workload's current phase.
+    pub fn rss_bytes(&self) -> u64 {
+        self.cursor.current_phase(&self.workload).mem_bytes
+    }
+}
+
+/// The kernel's process table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcessTable {
+    next_pid: u32,
+    procs: BTreeMap<HostPid, Process>,
+    total_forks: u64,
+}
+
+impl ProcessTable {
+    /// Creates an empty table; pids start at 300 (low pids belong to the
+    /// kernel's own threads, which we do not model individually).
+    pub fn new() -> Self {
+        ProcessTable {
+            next_pid: 300,
+            procs: BTreeMap::new(),
+            total_forks: 0,
+        }
+    }
+
+    /// Allocates the next host pid.
+    pub fn allocate_pid(&mut self) -> HostPid {
+        let pid = HostPid(self.next_pid);
+        self.next_pid += 1;
+        self.total_forks += 1;
+        pid
+    }
+
+    /// The most recently allocated pid (for `/proc/loadavg`'s last field).
+    pub fn last_pid(&self) -> u32 {
+        self.next_pid.saturating_sub(1)
+    }
+
+    /// Total forks since boot (`/proc/stat`'s `processes`).
+    pub fn total_forks(&self) -> u64 {
+        self.total_forks
+    }
+
+    /// Inserts a process.
+    pub fn insert(&mut self, p: Process) {
+        self.procs.insert(p.host_pid, p);
+    }
+
+    /// Removes a process, returning it.
+    pub fn remove(&mut self, pid: HostPid) -> Option<Process> {
+        self.procs.remove(&pid)
+    }
+
+    /// Looks up a process.
+    pub fn get(&self, pid: HostPid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, pid: HostPid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Iterates processes in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+
+    /// Iterates processes mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Process> {
+        self.procs.values_mut()
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Count of runnable processes (for loadavg / procs_running).
+    pub fn runnable(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state == ProcState::Runnable)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ns::NsId;
+    use workloads::models;
+
+    fn mk(pid: u32) -> Process {
+        let set = NamespaceSet {
+            mnt: NsId(0),
+            uts: NsId(1),
+            pid: NsId(2),
+            net: NsId(3),
+            ipc: NsId(4),
+            user: NsId(5),
+            cgroup: NsId(6),
+        };
+        Process {
+            host_pid: HostPid(pid),
+            name: "t".into(),
+            ns: set,
+            ns_pid: pid,
+            cgroups: CgroupMembership {
+                cpuacct: CgroupId(0),
+                perf_event: CgroupId(1),
+                net_prio: CgroupId(2),
+                memory: CgroupId(3),
+            },
+            workload: models::idle_loop(),
+            cursor: PhaseCursor::new(),
+            affinity: None,
+            state: ProcState::Runnable,
+            start_ns: 0,
+            utime_ns: 0,
+            stime_ns: 0,
+            vruntime_ns: 0,
+            counters: PerfCounters::default(),
+            last_cpu: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
+            syscalls: 0,
+        }
+    }
+
+    #[test]
+    fn pid_allocation_is_monotone() {
+        let mut t = ProcessTable::new();
+        let a = t.allocate_pid();
+        let b = t.allocate_pid();
+        assert!(b.0 > a.0);
+        assert_eq!(t.last_pid(), b.0);
+        assert_eq!(t.total_forks(), 2);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = ProcessTable::new();
+        t.insert(mk(301));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(HostPid(301)).unwrap().name(), "t");
+        assert!(t.remove(HostPid(301)).is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn runnable_counts_only_runnable() {
+        let mut t = ProcessTable::new();
+        t.insert(mk(301));
+        let mut p = mk(302);
+        p.state = ProcState::Sleeping;
+        t.insert(p);
+        assert_eq!(t.runnable(), 1);
+    }
+
+    #[test]
+    fn iteration_is_pid_ordered() {
+        let mut t = ProcessTable::new();
+        t.insert(mk(500));
+        t.insert(mk(302));
+        t.insert(mk(400));
+        let pids: Vec<u32> = t.iter().map(|p| p.host_pid().0).collect();
+        assert_eq!(pids, vec![302, 400, 500]);
+    }
+
+    #[test]
+    fn rss_follows_workload_phase() {
+        let p = mk(301);
+        assert_eq!(p.rss_bytes(), p.workload().phases()[0].mem_bytes);
+    }
+}

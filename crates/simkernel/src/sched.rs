@@ -1,0 +1,545 @@
+//! Fair-share fluid scheduler with per-CPU accounting.
+//!
+//! Rather than simulating individual context switches (prohibitively slow
+//! for the paper's week-long power traces), each tick divides every CPU's
+//! capacity among the runnable tasks assigned to it, weighted by their
+//! demand — the fluid limit of CFS. All the accounting the leakage channels
+//! need falls out: per-CPU busy/idle/user/system time (`/proc/stat`),
+//! run/wait time (`/proc/schedstat`), runqueue contents and vruntime
+//! (`/proc/sched_debug`), context-switch estimates (`ctxt`), and the
+//! 1/5/15-minute load averages (`/proc/loadavg`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::cgroup::{CgroupForest, PerfCounters};
+use crate::process::{HostPid, ProcState, ProcessTable};
+use crate::time::NANOS_PER_SEC;
+
+/// Default CFS scheduling period used for context-switch estimation.
+const SCHED_PERIOD_NS: u64 = 10_000_000;
+
+/// Per-CPU scheduler accounting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CpuSchedStats {
+    /// Nanoseconds executing user code.
+    pub user_ns: u64,
+    /// Nanoseconds executing kernel code on behalf of tasks.
+    pub system_ns: u64,
+    /// Nanoseconds idle.
+    pub idle_ns: u64,
+    /// Nanoseconds idle while IO was pending.
+    pub iowait_ns: u64,
+    /// Context switches performed by this CPU.
+    pub switches: u64,
+    /// schedstat: total time tasks ran on this CPU.
+    pub run_time_ns: u64,
+    /// schedstat: total time tasks waited on this CPU's runqueue.
+    pub wait_time_ns: u64,
+    /// schedstat: number of timeslices handed out.
+    pub timeslices: u64,
+    /// `max_newidle_lb_cost` of this CPU's scheduling domain — fluctuates
+    /// with load-balancing activity (a variation-only channel in Table II).
+    pub max_newidle_lb_cost_ns: u64,
+}
+
+/// What one tick of scheduling produced on one CPU (consumed by the power
+/// and interrupt models).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CpuTickLoad {
+    /// Nanoseconds the CPU was busy this tick.
+    pub busy_ns: u64,
+    /// Retired instructions this tick.
+    pub instructions: u64,
+    /// Cache misses this tick.
+    pub cache_misses: u64,
+    /// Branch misses this tick.
+    pub branch_misses: u64,
+    /// Floating-point instructions this tick.
+    pub fp_instructions: u64,
+    /// Number of distinct tasks that ran this tick.
+    pub tasks_ran: u32,
+    /// Syscalls issued this tick.
+    pub syscalls: u64,
+    /// IO bytes issued this tick.
+    pub io_bytes: u64,
+}
+
+/// Result of one scheduler tick across the machine.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Per-CPU load aggregates.
+    pub per_cpu: Vec<CpuTickLoad>,
+    /// Processes that finished their workload this tick.
+    pub exited: Vec<HostPid>,
+    /// Context switches performed this tick (whole machine).
+    pub switches: u64,
+}
+
+/// The scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scheduler {
+    percpu: Vec<CpuSchedStats>,
+    loadavg: [f64; 3],
+    total_switches: u64,
+    freq_hz: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `ncpus` CPUs at `freq_hz`.
+    pub fn new(ncpus: usize, freq_hz: u64) -> Self {
+        Scheduler {
+            percpu: vec![CpuSchedStats::default(); ncpus],
+            loadavg: [0.0; 3],
+            total_switches: 0,
+            freq_hz,
+        }
+    }
+
+    /// Per-CPU accounting snapshot.
+    pub fn cpu_stats(&self) -> &[CpuSchedStats] {
+        &self.percpu
+    }
+
+    /// Total context switches since boot.
+    pub fn total_switches(&self) -> u64 {
+        self.total_switches
+    }
+
+    /// The 1/5/15-minute load averages.
+    pub fn loadavg(&self) -> [f64; 3] {
+        self.loadavg
+    }
+
+    /// Runs one tick of length `dt_ns`, mutating process accounting and
+    /// charging cgroups. Returns per-CPU load aggregates.
+    pub fn tick(
+        &mut self,
+        dt_ns: u64,
+        procs: &mut ProcessTable,
+        cgroups: &mut CgroupForest,
+        rng: &mut StdRng,
+    ) -> TickReport {
+        let ncpus = self.percpu.len();
+        let mut report = TickReport {
+            per_cpu: vec![CpuTickLoad::default(); ncpus],
+            exited: Vec::new(),
+            switches: 0,
+        };
+
+        // 1. Assign runnable tasks to CPUs: explicit affinity wins; others
+        //    go to the least-loaded candidate, preferring their last CPU.
+        let mut assignment: Vec<Vec<HostPid>> = vec![Vec::new(); ncpus];
+        let runnable: Vec<HostPid> = procs
+            .iter()
+            .filter(|p| p.state == ProcState::Runnable)
+            .map(|p| p.host_pid)
+            .collect();
+        for pid in &runnable {
+            let p = procs.get(*pid).expect("runnable pid exists");
+            let candidates: Vec<usize> = match p.affinity.as_deref() {
+                Some(cpus) => cpus
+                    .iter()
+                    .map(|c| *c as usize)
+                    .filter(|c| *c < ncpus)
+                    .collect(),
+                None => (0..ncpus).collect(),
+            };
+            if candidates.is_empty() {
+                continue;
+            }
+            let last = p.last_cpu as usize;
+            let best = candidates
+                .iter()
+                .copied()
+                .min_by_key(|c| (assignment[*c].len(), usize::from(*c != last), *c))
+                .expect("non-empty candidates");
+            assignment[best].push(*pid);
+        }
+
+        // 2. Divide each CPU's capacity among its tasks by demand.
+        for (cpu, tasks) in assignment.iter().enumerate() {
+            // Kernel housekeeping (kworkers, RCU, timers) consumes a small
+            // slice of every CPU regardless of user tasks — this is what
+            // makes /proc/stat's system time and /proc/schedstat's run
+            // time accumulate (and diverge across hosts) even when idle.
+            let hk = dt_ns / 500 + rng.random_range(0..dt_ns / 2000 + 1);
+            self.percpu[cpu].system_ns += hk;
+            self.percpu[cpu].run_time_ns += hk;
+            if tasks.is_empty() {
+                self.percpu[cpu].idle_ns += dt_ns;
+                continue;
+            }
+            let demands: Vec<f64> = tasks
+                .iter()
+                .map(|pid| {
+                    let p = procs.get(*pid).expect("assigned pid exists");
+                    p.cursor.current_phase(&p.workload).cpu_demand
+                })
+                .collect();
+            let total_demand: f64 = demands.iter().sum();
+            let scale = if total_demand > 1.0 {
+                1.0 / total_demand
+            } else {
+                1.0
+            };
+            let mut busy_ns_total = 0u64;
+            for (pid, demand) in tasks.iter().zip(&demands) {
+                let ran_ns = (dt_ns as f64 * demand * scale) as u64;
+                if ran_ns == 0 {
+                    continue;
+                }
+                busy_ns_total += ran_ns;
+                let waited_ns = if total_demand > 1.0 {
+                    ((dt_ns as f64 * demand) as u64).saturating_sub(ran_ns)
+                } else {
+                    0
+                };
+                self.account_task(*pid, cpu, ran_ns, waited_ns, procs, cgroups, &mut report);
+            }
+            let busy_ns_total = busy_ns_total.min(dt_ns);
+            let stats = &mut self.percpu[cpu];
+            stats.idle_ns += dt_ns - busy_ns_total;
+            stats.timeslices += (busy_ns_total / SCHED_PERIOD_NS).max(tasks.len() as u64);
+
+            // Context-switch estimate: each scheduling period with more than
+            // one task costs one switch; single tasks still switch at a low
+            // background rate (timer ticks, kworkers).
+            let periods = dt_ns / SCHED_PERIOD_NS;
+            let switches = if tasks.len() > 1 {
+                periods.max(1) * tasks.len() as u64
+            } else {
+                (dt_ns * 30 / NANOS_PER_SEC).max(1)
+            };
+            stats.switches += switches;
+            report.switches += switches;
+            report.per_cpu[cpu].tasks_ran = tasks.len() as u32;
+
+            // Load-balancer cost fluctuates with contention plus jitter.
+            stats.max_newidle_lb_cost_ns =
+                4_000 + tasks.len() as u64 * 800 + rng.random_range(0..400);
+        }
+        self.total_switches += report.switches;
+
+        // 3. Reap processes whose Once workloads completed.
+        for pid in runnable {
+            if let Some(p) = procs.get(pid) {
+                if p.cursor.advance_peek_done(&p.workload) {
+                    report.exited.push(pid);
+                }
+            }
+        }
+        for pid in &report.exited {
+            if let Some(p) = procs.get_mut(*pid) {
+                p.state = ProcState::Exited;
+            }
+        }
+
+        // 4. Load averages (exponentially-weighted, Linux style).
+        let n = procs.runnable() as f64;
+        let dt_s = dt_ns as f64 / NANOS_PER_SEC as f64;
+        for (i, window) in [60.0f64, 300.0, 900.0].iter().enumerate() {
+            let decay = (-dt_s / window).exp();
+            self.loadavg[i] = self.loadavg[i] * decay + n * (1.0 - decay);
+        }
+
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn account_task(
+        &mut self,
+        pid: HostPid,
+        cpu: usize,
+        ran_ns: u64,
+        waited_ns: u64,
+        procs: &mut ProcessTable,
+        cgroups: &mut CgroupForest,
+        report: &mut TickReport,
+    ) {
+        let freq = self.freq_hz;
+        let p = procs.get_mut(pid).expect("task exists");
+        let phase = p.cursor.current_phase(&p.workload).clone();
+
+        let cycles = (ran_ns as u128 * freq as u128 / NANOS_PER_SEC as u128) as u64;
+        let instructions = (cycles as f64 * phase.instructions_per_cycle) as u64;
+        let cache_misses = (instructions as f64 * phase.cache_miss_per_kilo_instr / 1000.0) as u64;
+        let branch_misses =
+            (instructions as f64 * phase.branch_miss_per_kilo_instr / 1000.0) as u64;
+        let fp_instructions = (instructions as f64 * phase.fp_ratio) as u64;
+        let syscalls = (phase.syscalls_per_sec * ran_ns as f64 / NANOS_PER_SEC as f64) as u64;
+        let io_bytes = (phase.io_bytes_per_sec * ran_ns as f64 / NANOS_PER_SEC as f64) as u64;
+
+        // User/system split: syscall-heavy phases spend more in the kernel.
+        let sys_frac = (phase.syscalls_per_sec * 1.5e-6).clamp(0.005, 0.35);
+        let stime = (ran_ns as f64 * sys_frac) as u64;
+        let utime = ran_ns - stime;
+
+        p.utime_ns += utime;
+        p.stime_ns += stime;
+        p.vruntime_ns += ran_ns;
+        p.last_cpu = cpu as u16;
+        let delta = PerfCounters {
+            instructions,
+            cache_misses,
+            branch_misses,
+            cycles,
+        };
+        p.counters.add(&delta);
+        p.io_read_bytes += io_bytes / 3;
+        p.io_write_bytes += io_bytes - io_bytes / 3;
+        p.syscalls += syscalls;
+        p.cursor.advance(&p.workload, ran_ns);
+        let cg = p.cgroups;
+
+        cgroups.charge_cpu(cg.cpuacct, cpu, ran_ns);
+        cgroups.charge_perf(cg.perf_event, &delta);
+
+        let stats = &mut self.percpu[cpu];
+        stats.user_ns += utime;
+        stats.system_ns += stime;
+        stats.run_time_ns += ran_ns;
+        stats.wait_time_ns += waited_ns;
+        if io_bytes > 0 {
+            stats.iowait_ns += (ran_ns / 20).min(1_000_000);
+        }
+
+        let load = &mut report.per_cpu[cpu];
+        load.busy_ns += ran_ns;
+        load.instructions += instructions;
+        load.cache_misses += cache_misses;
+        load.branch_misses += branch_misses;
+        load.fp_instructions += fp_instructions;
+        load.syscalls += syscalls;
+        load.io_bytes += io_bytes;
+    }
+}
+
+/// Extension used by the scheduler to check completion without advancing.
+trait CursorPeek {
+    fn advance_peek_done(&self, spec: &workloads::WorkloadSpec) -> bool;
+}
+
+impl CursorPeek for workloads::PhaseCursor {
+    fn advance_peek_done(&self, spec: &workloads::WorkloadSpec) -> bool {
+        matches!(spec.repeat(), workloads::Repeat::Once)
+            && self.consumed_cpu_ns() >= spec.pass_duration_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgroup::CgroupKind;
+    use crate::ns::NamespaceRegistry;
+    use crate::process::{CgroupMembership, Process};
+    use rand::SeedableRng;
+    use workloads::{models, PhaseCursor};
+
+    struct Fixture {
+        sched: Scheduler,
+        procs: ProcessTable,
+        cgroups: CgroupForest,
+        rng: StdRng,
+    }
+
+    fn fixture(ncpus: usize) -> Fixture {
+        Fixture {
+            sched: Scheduler::new(ncpus, 2_000_000_000),
+            procs: ProcessTable::new(),
+            cgroups: CgroupForest::new(ncpus, &["lo".into()]),
+            rng: StdRng::seed_from_u64(7),
+        }
+    }
+
+    fn spawn(
+        f: &mut Fixture,
+        name: &str,
+        w: workloads::WorkloadSpec,
+        affinity: Option<Vec<u16>>,
+    ) -> HostPid {
+        let reg = NamespaceRegistry::new("h");
+        let pid = f.procs.allocate_pid();
+        f.procs.insert(Process {
+            host_pid: pid,
+            name: name.into(),
+            ns: reg.host_set(),
+            ns_pid: pid.0,
+            cgroups: CgroupMembership {
+                cpuacct: f.cgroups.root(CgroupKind::Cpuacct),
+                perf_event: f.cgroups.root(CgroupKind::PerfEvent),
+                net_prio: f.cgroups.root(CgroupKind::NetPrio),
+                memory: f.cgroups.root(CgroupKind::Memory),
+            },
+            workload: w,
+            cursor: PhaseCursor::new(),
+            affinity,
+            state: ProcState::Runnable,
+            start_ns: 0,
+            utime_ns: 0,
+            stime_ns: 0,
+            vruntime_ns: 0,
+            counters: PerfCounters::default(),
+            last_cpu: 0,
+            io_read_bytes: 0,
+            io_write_bytes: 0,
+            syscalls: 0,
+        });
+        pid
+    }
+
+    #[test]
+    fn single_task_uses_one_cpu_fully() {
+        let mut f = fixture(2);
+        let pid = spawn(&mut f, "prime", models::prime(), None);
+        let dt = NANOS_PER_SEC;
+        let r = f.sched.tick(dt, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        let busy: u64 = r.per_cpu.iter().map(|c| c.busy_ns).sum();
+        assert!(busy >= dt * 99 / 100, "busy {busy} < {dt}");
+        let p = f.procs.get(pid).unwrap();
+        assert!(p.cpu_time_ns() >= dt * 99 / 100);
+        // One CPU busy, the other idle.
+        let idles: Vec<u64> = f.sched.cpu_stats().iter().map(|c| c.idle_ns).collect();
+        assert!(idles.iter().any(|i| *i >= dt * 99 / 100));
+    }
+
+    #[test]
+    fn cpu_time_is_conserved_under_contention() {
+        // 4 full-demand tasks pinned on 1 CPU share it equally.
+        let mut f = fixture(1);
+        let pids: Vec<HostPid> = (0..4)
+            .map(|i| spawn(&mut f, &format!("t{i}"), models::prime(), Some(vec![0])))
+            .collect();
+        let dt = NANOS_PER_SEC;
+        let r = f.sched.tick(dt, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        let busy = r.per_cpu[0].busy_ns;
+        assert!(busy <= dt, "cannot exceed capacity");
+        assert!(busy >= dt * 95 / 100);
+        for pid in pids {
+            let t = f.procs.get(pid).unwrap().cpu_time_ns();
+            let share = dt / 4;
+            assert!(
+                (t as i64 - share as i64).unsigned_abs() < share / 10,
+                "unfair share: {t} vs {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_is_respected() {
+        let mut f = fixture(4);
+        let pid = spawn(&mut f, "pinned", models::prime(), Some(vec![3]));
+        let r = f
+            .sched
+            .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        assert!(r.per_cpu[3].busy_ns > 0);
+        assert_eq!(r.per_cpu[0].busy_ns, 0);
+        assert_eq!(f.procs.get(pid).unwrap().last_cpu(), 3);
+    }
+
+    #[test]
+    fn tasks_spread_across_cpus() {
+        let mut f = fixture(4);
+        for i in 0..4 {
+            spawn(&mut f, &format!("t{i}"), models::prime(), None);
+        }
+        let r = f
+            .sched
+            .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        for c in 0..4 {
+            assert!(
+                r.per_cpu[c].busy_ns > NANOS_PER_SEC * 9 / 10,
+                "cpu {c} underused"
+            );
+        }
+    }
+
+    #[test]
+    fn instructions_scale_with_ipc() {
+        let mut f = fixture(2);
+        spawn(&mut f, "prime", models::prime(), Some(vec![0]));
+        spawn(&mut f, "mcf", models::mcf(), Some(vec![1]));
+        let r = f
+            .sched
+            .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        // prime IPC 2.4 vs mcf IPC 0.35: ~7x instruction difference.
+        assert!(r.per_cpu[0].instructions > r.per_cpu[1].instructions * 5);
+        // mcf cache-miss rate vastly higher per instruction.
+        let prime_rate = r.per_cpu[0].cache_misses as f64 / r.per_cpu[0].instructions as f64;
+        let mcf_rate = r.per_cpu[1].cache_misses as f64 / r.per_cpu[1].instructions as f64;
+        assert!(mcf_rate > prime_rate * 50.0);
+    }
+
+    #[test]
+    fn once_workloads_exit() {
+        let mut f = fixture(1);
+        // 120-second benchmark on one CPU.
+        let pid = spawn(&mut f, "bzip2", models::bzip2(), None);
+        let mut exited = false;
+        for _ in 0..125 {
+            let r = f
+                .sched
+                .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+            if r.exited.contains(&pid) {
+                exited = true;
+                break;
+            }
+        }
+        assert!(exited, "benchmark never finished");
+        assert_eq!(f.procs.get(pid).unwrap().state(), ProcState::Exited);
+    }
+
+    #[test]
+    fn loadavg_rises_toward_runnable_count() {
+        let mut f = fixture(2);
+        for i in 0..4 {
+            spawn(&mut f, &format!("t{i}"), models::prime(), None);
+        }
+        for _ in 0..120 {
+            f.sched
+                .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        }
+        let [one, five, fifteen] = f.sched.loadavg();
+        assert!(one > 3.0, "1-min load {one} too low");
+        assert!(
+            one > five && five > fifteen,
+            "windows should lag: {one} {five} {fifteen}"
+        );
+    }
+
+    #[test]
+    fn contended_cpu_accumulates_wait_time() {
+        let mut f = fixture(1);
+        spawn(&mut f, "a", models::prime(), None);
+        spawn(&mut f, "b", models::prime(), None);
+        f.sched
+            .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        assert!(f.sched.cpu_stats()[0].wait_time_ns > 0);
+        assert!(f.sched.total_switches() > 0);
+    }
+
+    #[test]
+    fn partial_demand_leaves_idle_time() {
+        let mut f = fixture(1);
+        spawn(&mut f, "web", models::web_service(0.25), None);
+        let r = f
+            .sched
+            .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        let busy = r.per_cpu[0].busy_ns as f64 / NANOS_PER_SEC as f64;
+        assert!((busy - 0.25).abs() < 0.05, "busy {busy}");
+    }
+
+    #[test]
+    fn cgroup_charging_happens() {
+        let mut f = fixture(1);
+        spawn(&mut f, "t", models::prime(), None);
+        let root_perf = f.cgroups.root(CgroupKind::PerfEvent);
+        f.cgroups.set_perf_monitoring(root_perf, true).unwrap();
+        f.sched
+            .tick(NANOS_PER_SEC, &mut f.procs, &mut f.cgroups, &mut f.rng);
+        let root_acct = f.cgroups.root(CgroupKind::Cpuacct);
+        assert!(f.cgroups.cpuacct_usage_ns(root_acct).unwrap() > 0);
+        assert!(f.cgroups.perf_counters(root_perf).unwrap().instructions > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Kernel-operation cost model.
+//!
+//! Base latencies of the kernel paths the UnixBench-style suite exercises,
+//! calibrated to ballpark figures for a mid-2010s Xeon. The Table III
+//! harness combines these with [`crate::perf::PerfOverheadCosts`] to
+//! replay benchmark iterations with the power-based namespace on and off.
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf::PerfOverheadCosts;
+
+/// Base nanosecond costs for kernel operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SysCosts {
+    /// A trivial syscall (getpid-class) round trip.
+    pub syscall_ns: u64,
+    /// One context switch (scheduler pick + register/address-space swap).
+    pub context_switch_ns: u64,
+    /// `fork()` of a small process.
+    pub fork_ns: u64,
+    /// `execve()` of a small binary.
+    pub exec_ns: u64,
+    /// Fixed per-block cost of a file-copy read+write pair.
+    pub file_block_base_ns: u64,
+    /// Additional cost per byte copied.
+    pub file_byte_ns_x1000: u64,
+    /// Starting one shell script (interpreter spawn + parse), excluding
+    /// the forks/execs it performs (charged separately).
+    pub shell_script_ns: u64,
+    /// Per-copy slowdown factor (per mille) applied to file-copy blocks
+    /// when multiple copies contend for the same buffer cache.
+    pub file_contention_permille_per_copy: u64,
+}
+
+impl Default for SysCosts {
+    fn default() -> Self {
+        SysCosts {
+            syscall_ns: 260,
+            context_switch_ns: 1_450,
+            fork_ns: 55_000,
+            exec_ns: 240_000,
+            file_block_base_ns: 820,
+            file_byte_ns_x1000: 95,
+            shell_script_ns: 1_450_000,
+            file_contention_permille_per_copy: 55,
+        }
+    }
+}
+
+impl SysCosts {
+    /// Cost of copying one `block_bytes`-sized block with `copies` parallel
+    /// benchmark copies running, without perf overhead.
+    pub fn file_block_ns(&self, block_bytes: u64, copies: u32) -> u64 {
+        let base = self.file_block_base_ns + block_bytes * self.file_byte_ns_x1000 / 1000;
+        let contention =
+            base * self.file_contention_permille_per_copy * u64::from(copies.saturating_sub(1))
+                / 1000;
+        base + contention
+    }
+
+    /// Cost of one pipe round trip given the cost of each of its two
+    /// context switches (the caller decides whether each switch crosses a
+    /// perf_event cgroup).
+    pub fn pipe_round_trip_ns(&self, switch_extra_each_ns: u64) -> u64 {
+        2 * (self.syscall_ns + self.context_switch_ns + switch_extra_each_ns)
+    }
+
+    /// Total perf-added nanoseconds for a mix of operations, given the
+    /// active overhead costs (`None` → zero).
+    pub fn perf_extra_ns(
+        &self,
+        overhead: Option<&PerfOverheadCosts>,
+        syscalls: u64,
+        forks: u64,
+        execs: u64,
+        contended_file_blocks: u64,
+    ) -> u64 {
+        match overhead {
+            None => 0,
+            Some(o) => {
+                syscalls * o.syscall_ns
+                    + forks * o.fork_ns
+                    + execs * o.exec_ns
+                    + contended_file_blocks * o.file_block_contended_ns
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_block_cost_scales_with_size_and_copies() {
+        let c = SysCosts::default();
+        let small = c.file_block_ns(256, 1);
+        let big = c.file_block_ns(4096, 1);
+        assert!(big > small + 300);
+        let contended = c.file_block_ns(256, 8);
+        assert!(
+            contended > small * 13 / 10,
+            "contention too weak: {small} vs {contended}"
+        );
+    }
+
+    #[test]
+    fn pipe_round_trip_includes_two_switches() {
+        let c = SysCosts::default();
+        let clean = c.pipe_round_trip_ns(0);
+        let toggled = c.pipe_round_trip_ns(3_100);
+        assert_eq!(toggled - clean, 6_200);
+        // Table III row 8: the defended benchmark runs ~2.6x slower,
+        // i.e. a 61.5 % score drop on a switch-bound loop.
+        let ratio = toggled as f64 / clean as f64;
+        assert!((2.2..3.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn perf_extra_is_zero_without_monitoring() {
+        let c = SysCosts::default();
+        assert_eq!(c.perf_extra_ns(None, 1000, 10, 5, 100), 0);
+        let o = PerfOverheadCosts::default();
+        assert!(c.perf_extra_ns(Some(&o), 1000, 10, 5, 100) > 0);
+    }
+}

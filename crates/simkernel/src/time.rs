@@ -1,0 +1,81 @@
+//! Virtual time.
+
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// The kernel's virtual clock.
+///
+/// Tracks nanoseconds since boot plus a wall-clock base (seconds since the
+/// Unix epoch at boot), so uptime-style and btime-style channels can both be
+/// served. Time only moves forward via [`Clock::advance`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clock {
+    since_boot_ns: u64,
+    boot_wall_secs: u64,
+}
+
+impl Clock {
+    /// Creates a clock whose boot instant is `boot_wall_secs` after the
+    /// Unix epoch.
+    pub fn new(boot_wall_secs: u64) -> Self {
+        Clock {
+            since_boot_ns: 0,
+            boot_wall_secs,
+        }
+    }
+
+    /// Nanoseconds elapsed since boot.
+    pub fn since_boot_ns(&self) -> u64 {
+        self.since_boot_ns
+    }
+
+    /// Whole seconds elapsed since boot.
+    pub fn uptime_secs(&self) -> f64 {
+        self.since_boot_ns as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Wall-clock seconds since the Unix epoch at boot (`btime`).
+    pub fn boot_wall_secs(&self) -> u64 {
+        self.boot_wall_secs
+    }
+
+    /// Current wall-clock seconds since the Unix epoch.
+    pub fn wall_secs(&self) -> u64 {
+        self.boot_wall_secs + self.since_boot_ns / NANOS_PER_SEC
+    }
+
+    /// Moves the clock forward by `dt_ns` nanoseconds.
+    pub fn advance(&mut self, dt_ns: u64) {
+        self.since_boot_ns = self
+            .since_boot_ns
+            .checked_add(dt_ns)
+            .expect("virtual clock overflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new(1_480_000_000);
+        assert_eq!(c.since_boot_ns(), 0);
+        c.advance(NANOS_PER_SEC * 3 / 2);
+        assert_eq!(c.since_boot_ns(), 1_500_000_000);
+        assert!((c.uptime_secs() - 1.5).abs() < 1e-9);
+        assert_eq!(c.wall_secs(), 1_480_000_001);
+        assert_eq!(c.boot_wall_secs(), 1_480_000_000);
+    }
+
+    #[test]
+    fn wall_secs_floors_subsecond() {
+        let mut c = Clock::new(100);
+        c.advance(999_999_999);
+        assert_eq!(c.wall_secs(), 100);
+        c.advance(1);
+        assert_eq!(c.wall_secs(), 101);
+    }
+}

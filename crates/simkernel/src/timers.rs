@@ -1,0 +1,158 @@
+//! Kernel timer list (`/proc/timer_list`).
+//!
+//! The file dumps every armed hrtimer on the host with the owning process's
+//! *comm* and host pid — one of the paper's directly-manipulable channels
+//! (§III-C group 2): a tenant starts a process with a crafted name whose
+//! `tick_sched_timer`/custom timer then appears in every co-resident
+//! container's view. The experiment in §IV-C uses exactly this channel to
+//! aggregate attack containers onto one physical server.
+
+use serde::Serialize;
+
+use crate::process::HostPid;
+#[cfg(test)]
+use crate::time::NANOS_PER_SEC;
+
+/// One armed timer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct KernelTimer {
+    /// Owning process.
+    pub pid: HostPid,
+    /// Owning process's comm at arm time.
+    pub comm: String,
+    /// Expiry, nanoseconds since boot.
+    pub expires_ns: u64,
+    /// Callback symbol rendered in the dump.
+    pub function: &'static str,
+    /// Recurrence period (0 = one-shot); recurring timers re-arm when
+    /// rendered past expiry.
+    pub period_ns: u64,
+}
+
+/// The host-global timer list.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TimerList {
+    timers: Vec<KernelTimer>,
+}
+
+impl TimerList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        TimerList::default()
+    }
+
+    /// Arms the per-task scheduler tick timer every process carries.
+    pub fn arm_sched_timer(&mut self, pid: HostPid, comm: &str, now_ns: u64) {
+        self.timers.push(KernelTimer {
+            pid,
+            comm: comm.to_string(),
+            expires_ns: now_ns + 4_000_000,
+            function: "tick_sched_timer",
+            period_ns: 4_000_000,
+        });
+    }
+
+    /// Arms a user-created timer (the manipulation primitive: `comm` is
+    /// fully attacker-controlled).
+    pub fn arm_user_timer(&mut self, pid: HostPid, comm: &str, now_ns: u64, interval_ns: u64) {
+        self.timers.push(KernelTimer {
+            pid,
+            comm: comm.to_string(),
+            expires_ns: now_ns + interval_ns,
+            function: "hrtimer_wakeup",
+            period_ns: interval_ns,
+        });
+    }
+
+    /// Drops every timer owned by `pid` (process exit).
+    pub fn drop_timers_of(&mut self, pid: HostPid) {
+        self.timers.retain(|t| t.pid != pid);
+    }
+
+    /// Re-arms expired periodic timers against the current clock so the
+    /// rendered expiries always sit in the near future, as in a live
+    /// `/proc/timer_list`.
+    pub fn refresh(&mut self, now_ns: u64) {
+        for t in &mut self.timers {
+            if t.period_ns > 0 && t.expires_ns <= now_ns {
+                let periods = (now_ns - t.expires_ns) / t.period_ns + 1;
+                t.expires_ns += periods * t.period_ns;
+            }
+        }
+    }
+
+    /// All armed timers, soonest first.
+    pub fn timers(&self) -> Vec<&KernelTimer> {
+        let mut v: Vec<&KernelTimer> = self.timers.iter().collect();
+        v.sort_by_key(|t| (t.expires_ns, t.pid));
+        v
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Whether no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Whether any timer's comm contains `needle` — the co-residence
+    /// verification primitive used by `leakscan`.
+    pub fn contains_comm(&self, needle: &str) -> bool {
+        self.timers.iter().any(|t| t.comm.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_timer_armed_per_process() {
+        let mut tl = TimerList::new();
+        tl.arm_sched_timer(HostPid(300), "bash", 0);
+        tl.arm_sched_timer(HostPid(301), "prime", 0);
+        assert_eq!(tl.len(), 2);
+        assert!(tl.contains_comm("prime"));
+    }
+
+    #[test]
+    fn crafted_name_is_searchable() {
+        let mut tl = TimerList::new();
+        tl.arm_user_timer(HostPid(400), "coresig-8f3a91", 0, NANOS_PER_SEC);
+        assert!(tl.contains_comm("coresig-8f3a91"));
+        assert!(!tl.contains_comm("coresig-other"));
+    }
+
+    #[test]
+    fn exit_drops_timers() {
+        let mut tl = TimerList::new();
+        tl.arm_sched_timer(HostPid(300), "a", 0);
+        tl.arm_user_timer(HostPid(300), "a-extra", 0, 1);
+        tl.arm_sched_timer(HostPid(301), "b", 0);
+        tl.drop_timers_of(HostPid(300));
+        assert_eq!(tl.len(), 1);
+        assert!(!tl.contains_comm("a-extra"));
+    }
+
+    #[test]
+    fn refresh_rearms_periodic_timers() {
+        let mut tl = TimerList::new();
+        tl.arm_sched_timer(HostPid(300), "a", 0);
+        tl.refresh(NANOS_PER_SEC);
+        let t = tl.timers()[0];
+        assert!(t.expires_ns > NANOS_PER_SEC);
+        assert!(t.expires_ns <= NANOS_PER_SEC + t.period_ns);
+    }
+
+    #[test]
+    fn timers_sorted_by_expiry() {
+        let mut tl = TimerList::new();
+        tl.arm_user_timer(HostPid(1), "late", 0, 10 * NANOS_PER_SEC);
+        tl.arm_user_timer(HostPid(2), "soon", 0, NANOS_PER_SEC);
+        let order: Vec<&str> = tl.timers().iter().map(|t| t.comm.as_str()).collect();
+        assert_eq!(order, vec!["soon", "late"]);
+    }
+}

@@ -1,0 +1,482 @@
+//! Library of concrete workload models.
+//!
+//! The constants below place each workload at a distinct point in
+//! (IPC, cache-miss rate, branch-miss rate, FP ratio) space, mirroring the
+//! microarchitectural behaviour of the programs the paper measures. The
+//! paper's power-model figures (Fig. 6/7) depend on these *differing
+//! slopes*: e.g. `462.libquantum` is streaming/memory-heavy (high cache
+//! misses per instruction), `prime` is compute-dense (high IPC, near-zero
+//! misses), and `stress` variants sit in between depending on their memory
+//! configuration.
+
+use crate::spec::{Phase, Repeat, WorkloadClass, WorkloadSpec};
+
+const SEC: u64 = 1_000_000_000;
+
+#[allow(clippy::too_many_arguments)] // one row of the workload table
+fn steady(
+    name: &str,
+    class: WorkloadClass,
+    ipc: f64,
+    cmpki: f64,
+    bmpki: f64,
+    fp: f64,
+    mem_mb: u64,
+    repeat: Repeat,
+    duration_s: u64,
+) -> WorkloadSpec {
+    WorkloadSpec::new(
+        name,
+        class,
+        vec![Phase {
+            duration_ns: duration_s * SEC,
+            instructions_per_cycle: ipc,
+            cache_miss_per_kilo_instr: cmpki,
+            branch_miss_per_kilo_instr: bmpki,
+            fp_ratio: fp,
+            mem_bytes: mem_mb << 20,
+            syscalls_per_sec: 50.0,
+            io_bytes_per_sec: 0.0,
+            cpu_demand: 1.0,
+        }],
+        repeat,
+    )
+}
+
+/// A process that is blocked almost all the time (a shell waiting on a
+/// terminal): owns kernel objects (timers, locks) without consuming CPU.
+pub fn sleeper() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "sleeper",
+        WorkloadClass::Idle,
+        vec![Phase::quiescent(60 * SEC)],
+        Repeat::Forever,
+    )
+}
+
+/// The idle loop written in C from the paper's Fig. 6: spins, retires few
+/// instructions per cycle relative to real work, touches almost no memory.
+pub fn idle_loop() -> WorkloadSpec {
+    steady(
+        "idle-loop",
+        WorkloadClass::Idle,
+        0.9,
+        0.02,
+        0.1,
+        0.0,
+        1,
+        Repeat::Forever,
+        60,
+    )
+}
+
+/// Prime95-style torture test: very dense integer/FP arithmetic, tiny
+/// working set, the paper's canonical power-attack payload (§IV-C runs four
+/// copies per container, each contributing ≈ 10 W per core).
+pub fn prime() -> WorkloadSpec {
+    steady(
+        "prime",
+        WorkloadClass::ComputeInt,
+        2.4,
+        0.05,
+        0.4,
+        0.35,
+        8,
+        Repeat::Forever,
+        60,
+    )
+}
+
+/// `stress` with a small memory configuration: moderate IPC, light misses.
+pub fn stress_small() -> WorkloadSpec {
+    steady(
+        "stress-small",
+        WorkloadClass::Mixed,
+        1.4,
+        1.5,
+        2.0,
+        0.05,
+        64,
+        Repeat::Forever,
+        60,
+    )
+}
+
+/// `stress --vm` with a large memory configuration: thrashes the LLC.
+pub fn stress_vm() -> WorkloadSpec {
+    steady(
+        "stress-vm",
+        WorkloadClass::MemoryBound,
+        0.6,
+        18.0,
+        3.0,
+        0.02,
+        2048,
+        Repeat::Forever,
+        60,
+    )
+}
+
+/// SPEC CPU2006 `462.libquantum`: streaming access pattern, the highest
+/// cache-miss-per-instruction of the training set.
+pub fn libquantum() -> WorkloadSpec {
+    steady(
+        "462.libquantum",
+        WorkloadClass::MemoryBound,
+        0.8,
+        22.0,
+        1.2,
+        0.25,
+        96,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `401.bzip2`: mixed compression workload (used in Fig. 9).
+pub fn bzip2() -> WorkloadSpec {
+    steady(
+        "401.bzip2",
+        WorkloadClass::Mixed,
+        1.3,
+        3.2,
+        6.1,
+        0.02,
+        856,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `429.mcf`: pointer-chasing, severely memory bound.
+pub fn mcf() -> WorkloadSpec {
+    steady(
+        "429.mcf",
+        WorkloadClass::MemoryBound,
+        0.35,
+        28.0,
+        4.5,
+        0.01,
+        1700,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `456.hmmer`: compute dense, branchy.
+pub fn hmmer() -> WorkloadSpec {
+    steady(
+        "456.hmmer",
+        WorkloadClass::ComputeInt,
+        2.1,
+        0.6,
+        3.8,
+        0.05,
+        64,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `458.sjeng`: chess search, branch-miss heavy.
+pub fn sjeng() -> WorkloadSpec {
+    steady(
+        "458.sjeng",
+        WorkloadClass::ComputeInt,
+        1.5,
+        0.9,
+        9.5,
+        0.0,
+        180,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `445.gobmk`: go engine, mixed.
+pub fn gobmk() -> WorkloadSpec {
+    steady(
+        "445.gobmk",
+        WorkloadClass::Mixed,
+        1.2,
+        1.4,
+        8.8,
+        0.01,
+        30,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `433.milc`: FP lattice QCD, memory streaming.
+pub fn milc() -> WorkloadSpec {
+    steady(
+        "433.milc",
+        WorkloadClass::ComputeFp,
+        0.9,
+        16.0,
+        0.8,
+        0.6,
+        700,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `453.povray`: ray tracing, FP dense, cache friendly.
+pub fn povray() -> WorkloadSpec {
+    steady(
+        "453.povray",
+        WorkloadClass::ComputeFp,
+        1.9,
+        0.2,
+        2.5,
+        0.55,
+        8,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `471.omnetpp`: discrete event simulation, cache hostile.
+pub fn omnetpp() -> WorkloadSpec {
+    steady(
+        "471.omnetpp",
+        WorkloadClass::MemoryBound,
+        0.7,
+        12.0,
+        5.5,
+        0.0,
+        170,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// SPEC CPU2006 `464.h264ref`: video encoding, compute dense.
+pub fn h264ref() -> WorkloadSpec {
+    steady(
+        "464.h264ref",
+        WorkloadClass::ComputeInt,
+        2.0,
+        1.1,
+        2.9,
+        0.15,
+        65,
+        Repeat::Once,
+        120,
+    )
+}
+
+/// A three-stage batch pipeline (parse → compute → write back): distinct
+/// microarchitectural phases in one process, exercising the kernel's
+/// phase-cursor machinery the way real batch jobs do.
+pub fn batch_pipeline() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "batch-pipeline",
+        WorkloadClass::Mixed,
+        vec![
+            // Parse: syscall- and IO-heavy, light compute.
+            Phase {
+                duration_ns: 20 * SEC,
+                instructions_per_cycle: 0.9,
+                cache_miss_per_kilo_instr: 6.0,
+                branch_miss_per_kilo_instr: 7.0,
+                fp_ratio: 0.0,
+                mem_bytes: 256 << 20,
+                syscalls_per_sec: 40_000.0,
+                io_bytes_per_sec: 2.0e7,
+                cpu_demand: 0.8,
+            },
+            // Compute: dense arithmetic, cache friendly.
+            Phase {
+                duration_ns: 60 * SEC,
+                instructions_per_cycle: 2.2,
+                cache_miss_per_kilo_instr: 0.4,
+                branch_miss_per_kilo_instr: 1.5,
+                fp_ratio: 0.3,
+                mem_bytes: 512 << 20,
+                syscalls_per_sec: 100.0,
+                io_bytes_per_sec: 0.0,
+                cpu_demand: 1.0,
+            },
+            // Write back: streaming stores, miss heavy.
+            Phase {
+                duration_ns: 15 * SEC,
+                instructions_per_cycle: 0.7,
+                cache_miss_per_kilo_instr: 15.0,
+                branch_miss_per_kilo_instr: 2.0,
+                fp_ratio: 0.0,
+                mem_bytes: 512 << 20,
+                syscalls_per_sec: 15_000.0,
+                io_bytes_per_sec: 4.0e7,
+                cpu_demand: 0.9,
+            },
+        ],
+        Repeat::Once,
+    )
+}
+
+/// A genetic-algorithm style power virus (SYMPO/MAMPO from the paper's
+/// related work): tuned to maximize simultaneous functional-unit activity,
+/// drawing more power than any natural benchmark.
+pub fn power_virus() -> WorkloadSpec {
+    steady(
+        "power-virus",
+        WorkloadClass::PowerVirus,
+        3.2,
+        6.0,
+        0.5,
+        0.45,
+        128,
+        Repeat::Forever,
+        60,
+    )
+}
+
+/// A web-serving style workload with bursty demand; used as background
+/// tenant load in cloud simulations.
+pub fn web_service(demand: f64) -> WorkloadSpec {
+    let demand = demand.clamp(0.01, 1.0);
+    WorkloadSpec::new(
+        format!("web-service@{demand:.2}"),
+        WorkloadClass::Mixed,
+        vec![Phase {
+            duration_ns: 60 * SEC,
+            instructions_per_cycle: 1.1,
+            cache_miss_per_kilo_instr: 4.0,
+            branch_miss_per_kilo_instr: 5.0,
+            fp_ratio: 0.02,
+            mem_bytes: 512 << 20,
+            syscalls_per_sec: 20_000.0,
+            io_bytes_per_sec: 2.0e6,
+            cpu_demand: demand,
+        }],
+        Repeat::Forever,
+    )
+}
+
+/// The training set the paper uses to fit its power model (Fig. 6/7):
+/// idle loop, prime, 462.libquantum, and stress at two memory configurations.
+pub fn training_set() -> Vec<WorkloadSpec> {
+    vec![
+        idle_loop(),
+        prime(),
+        libquantum(),
+        stress_small(),
+        stress_vm(),
+    ]
+}
+
+/// The held-out evaluation set (paper: SPEC benchmarks runnable in Docker,
+/// disjoint from the training set) used for the Fig. 8 accuracy experiment.
+pub fn evaluation_set() -> Vec<WorkloadSpec> {
+    vec![
+        bzip2(),
+        mcf(),
+        hmmer(),
+        sjeng(),
+        gobmk(),
+        milc(),
+        povray(),
+        omnetpp(),
+        h264ref(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_models_validate() {
+        let mut all = training_set();
+        all.extend(evaluation_set());
+        all.push(power_virus());
+        all.push(web_service(0.3));
+        for w in &all {
+            for p in w.phases() {
+                p.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn training_and_evaluation_sets_are_disjoint() {
+        let train: HashSet<_> = training_set()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        for w in evaluation_set() {
+            assert!(
+                !train.contains(w.name()),
+                "{} leaked into training",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_slopes_are_distinct() {
+        // Fig. 6 requires visibly different energy-per-instruction slopes.
+        // Cache-miss rate is the dominant slope driver; check the training
+        // set spans more than an order of magnitude.
+        let rates: Vec<f64> = training_set()
+            .iter()
+            .map(|w| w.phases()[0].cache_miss_per_kilo_instr)
+            .collect();
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 10.0, "slope spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn power_virus_outdraws_natural_benchmarks() {
+        // Proxy for power: IPC * (1 + fp) — the virus should dominate.
+        let virus = power_virus();
+        let vp = virus.phases()[0].instructions_per_cycle * (1.0 + virus.phases()[0].fp_ratio);
+        for w in training_set().iter().chain(evaluation_set().iter()) {
+            let p = &w.phases()[0];
+            assert!(
+                vp > p.instructions_per_cycle * (1.0 + p.fp_ratio),
+                "{} outdraws the power virus",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_pipeline_has_three_distinct_phases() {
+        let w = batch_pipeline();
+        assert_eq!(w.phases().len(), 3);
+        let ipcs: Vec<f64> = w
+            .phases()
+            .iter()
+            .map(|p| p.instructions_per_cycle)
+            .collect();
+        assert!(ipcs[1] > ipcs[0] * 2.0 && ipcs[1] > ipcs[2] * 2.0);
+        // Phase lookup transitions at the boundaries.
+        assert_eq!(
+            w.phase_at_progress(19 * 1_000_000_000).syscalls_per_sec,
+            40_000.0
+        );
+        assert_eq!(
+            w.phase_at_progress(21 * 1_000_000_000).syscalls_per_sec,
+            100.0
+        );
+    }
+
+    #[test]
+    fn web_service_demand_is_clamped() {
+        assert!(web_service(5.0).phases()[0].cpu_demand <= 1.0);
+        assert!(web_service(-1.0).phases()[0].cpu_demand > 0.0);
+    }
+
+    #[test]
+    fn spec_benchmarks_terminate() {
+        for w in evaluation_set() {
+            assert_eq!(w.repeat(), crate::Repeat::Once, "{}", w.name());
+        }
+    }
+}

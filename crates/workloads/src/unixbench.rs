@@ -1,0 +1,252 @@
+//! UnixBench-like micro-benchmark suite used for the Table III overhead
+//! experiment.
+//!
+//! Each benchmark is described as an [`OpMix`]: the bundle of user-space CPU
+//! time and kernel operations (syscalls, pipe round trips, forks, execs,
+//! file-copy blocks, shell-script invocations) that *one iteration* of the
+//! benchmark performs. The overhead harness in the `powerns` crate replays
+//! these mixes against the simulated kernel's cost model twice — with the
+//! power-based namespace disabled and enabled — and reports the relative
+//! slowdown per benchmark, reproducing the structure of the paper's
+//! Table III (e.g. pipe-based context switching pays the inter-cgroup
+//! perf-event toggle on every round trip with one parallel copy, but almost
+//! never with eight copies keeping all cores inside the same cgroup).
+
+use serde::{Deserialize, Serialize};
+
+/// Kernel/user operation bundle for one benchmark iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Pure user-space CPU nanoseconds per iteration.
+    pub user_ns: u64,
+    /// Plain syscalls (getpid-style) per iteration.
+    pub syscalls: u64,
+    /// Pipe round trips per iteration. Each round trip forces two context
+    /// switches between the two benchmark processes (or between a benchmark
+    /// process and the idle task when the partner is not runnable).
+    pub pipe_round_trips: u64,
+    /// `fork()` calls per iteration.
+    pub forks: u64,
+    /// `execve()` calls per iteration.
+    pub execs: u64,
+    /// File-copy blocks per iteration (each block is one read + one write
+    /// syscall plus buffer-size-dependent copy time).
+    pub file_blocks: u64,
+    /// Copy buffer size in bytes (meaningful when `file_blocks > 0`).
+    pub block_bytes: u64,
+    /// Shell scripts started per iteration (each is a fork+exec chain of
+    /// several processes).
+    pub shell_scripts: u64,
+}
+
+/// A named UnixBench-style benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnixBenchSpec {
+    /// Display name matching the paper's Table III rows.
+    pub name: &'static str,
+    /// Work performed by one iteration.
+    pub mix: OpMix,
+    /// Number of cooperating processes inside one copy of the benchmark
+    /// (pipe-based context switching uses 2; most others use 1).
+    pub procs_per_copy: u32,
+    /// UnixBench baseline score divisor: the suite's index normalizes raw
+    /// iterations/second against a 1995-era SPARCstation; we keep per-bench
+    /// scale factors so our simulated scores land near the paper's figures.
+    pub index_scale: f64,
+}
+
+impl UnixBenchSpec {
+    /// Whether the benchmark's inner loop is dominated by context switching.
+    pub fn is_switch_bound(&self) -> bool {
+        self.mix.pipe_round_trips > 0 && self.procs_per_copy > 1
+    }
+}
+
+/// The twelve benchmarks of Table III, in paper order.
+pub const UNIXBENCH_SUITE: &[UnixBenchSpec] = &[
+    UnixBenchSpec {
+        name: "Dhrystone 2 using register variables",
+        mix: OpMix {
+            user_ns: 50_000,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.1894,
+    },
+    UnixBenchSpec {
+        name: "Double-Precision Whetstone",
+        mix: OpMix {
+            user_ns: 180_000,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.1668,
+    },
+    UnixBenchSpec {
+        name: "Execl Throughput",
+        mix: OpMix {
+            user_ns: 24_000,
+            syscalls: 40,
+            execs: 1,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.0798,
+    },
+    UnixBenchSpec {
+        name: "File Copy 1024 bufsize 2000 maxblocks",
+        mix: OpMix {
+            user_ns: 4_000,
+            file_blocks: 40,
+            block_bytes: 1024,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.1422,
+    },
+    UnixBenchSpec {
+        name: "File Copy 256 bufsize 500 maxblocks",
+        mix: OpMix {
+            user_ns: 2_200,
+            file_blocks: 40,
+            block_bytes: 256,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.0794,
+    },
+    UnixBenchSpec {
+        name: "File Copy 4096 bufsize 8000 maxblocks",
+        mix: OpMix {
+            user_ns: 8_000,
+            file_blocks: 40,
+            block_bytes: 4096,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.321,
+    },
+    UnixBenchSpec {
+        name: "Pipe Throughput",
+        mix: OpMix {
+            user_ns: 600,
+            syscalls: 2,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 2.127e-3,
+    },
+    UnixBenchSpec {
+        name: "Pipe-based Context Switching",
+        mix: OpMix {
+            user_ns: 500,
+            pipe_round_trips: 1,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 2,
+        index_scale: 2.56e-3,
+    },
+    UnixBenchSpec {
+        name: "Process Creation",
+        mix: OpMix {
+            user_ns: 30_000,
+            syscalls: 6,
+            forks: 1,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 0.1226,
+    },
+    UnixBenchSpec {
+        name: "Shell Scripts (1 concurrent)",
+        mix: OpMix {
+            user_ns: 160_000,
+            syscalls: 120,
+            shell_scripts: 1,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 9.245,
+    },
+    UnixBenchSpec {
+        name: "Shell Scripts (8 concurrent)",
+        mix: OpMix {
+            user_ns: 1_200_000,
+            syscalls: 960,
+            shell_scripts: 8,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 233.8,
+    },
+    UnixBenchSpec {
+        name: "System Call Overhead",
+        mix: OpMix {
+            user_ns: 300,
+            syscalls: 5,
+            ..EMPTY_MIX
+        },
+        procs_per_copy: 1,
+        index_scale: 1.963e-3,
+    },
+];
+
+const EMPTY_MIX: OpMix = OpMix {
+    user_ns: 0,
+    syscalls: 0,
+    pipe_round_trips: 0,
+    forks: 0,
+    execs: 0,
+    file_blocks: 0,
+    block_bytes: 0,
+    shell_scripts: 0,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table_iii_rows() {
+        assert_eq!(UNIXBENCH_SUITE.len(), 12);
+        assert_eq!(
+            UNIXBENCH_SUITE[0].name,
+            "Dhrystone 2 using register variables"
+        );
+        assert_eq!(UNIXBENCH_SUITE[11].name, "System Call Overhead");
+    }
+
+    #[test]
+    fn only_pipe_context_switching_is_switch_bound() {
+        let bound: Vec<_> = UNIXBENCH_SUITE
+            .iter()
+            .filter(|b| b.is_switch_bound())
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(bound, vec!["Pipe-based Context Switching"]);
+    }
+
+    #[test]
+    fn every_iteration_does_some_work() {
+        for b in UNIXBENCH_SUITE {
+            let m = &b.mix;
+            let total = m.user_ns
+                + m.syscalls
+                + m.pipe_round_trips
+                + m.forks
+                + m.execs
+                + m.file_blocks
+                + m.shell_scripts;
+            assert!(total > 0, "{} performs no work", b.name);
+        }
+    }
+
+    #[test]
+    fn file_copy_benches_define_block_size() {
+        for b in UNIXBENCH_SUITE {
+            if b.mix.file_blocks > 0 {
+                assert!(b.mix.block_bytes > 0, "{}", b.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Covert messaging between two containers with no network path (§III-C):
+//! the sender encodes a string over the leaked `/proc/timer_list` and the
+//! RAPL energy counter; the receiver decodes it from its own container.
+//!
+//! ```sh
+//! cargo run --release --example covert_channel
+//! ```
+
+use containerleaks::container_runtime::{ContainerSpec, Runtime};
+use containerleaks::leakscan::{CovertLink, CovertMedium};
+use containerleaks::simkernel::{Kernel, MachineConfig};
+use containerleaks::workloads::models;
+
+fn to_bits(msg: &str) -> Vec<bool> {
+    msg.bytes()
+        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+fn from_bits(bits: &[bool]) -> String {
+    bits.chunks(8)
+        .map(|c| c.iter().fold(0u8, |acc, b| (acc << 1) | u8::from(*b)))
+        .map(|b| b as char)
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(MachineConfig::testbed_i7_6700(), 31337);
+    let mut runtime = Runtime::new();
+    let tx = runtime.create(&mut kernel, ContainerSpec::new("sender"))?;
+    let rx = runtime.create(&mut kernel, ContainerSpec::new("receiver"))?;
+    runtime.exec(&mut kernel, tx, "agent", models::sleeper())?;
+    runtime.exec(&mut kernel, rx, "agent", models::sleeper())?;
+    kernel.advance_secs(2);
+
+    let secret = "PWNED";
+    let bits = to_bits(secret);
+    println!("sender encodes {secret:?} = {} bits\n", bits.len());
+
+    for (label, medium, slot) in [
+        ("timer_list storage channel", CovertMedium::TimerList, 1),
+        ("RAPL physical channel", CovertMedium::RaplPower, 2),
+    ] {
+        let mut link = CovertLink::new(medium).slot_secs(slot);
+        let out = link.transmit(&mut kernel, &mut runtime, tx, rx, &bits)?;
+        println!(
+            "{label:<28} decoded {:?} ({} errors, {:.2} bit/s)",
+            from_bits(&out.received),
+            out.errors,
+            out.bandwidth_bps
+        );
+    }
+    println!("\ntwo isolated containers just exchanged data through /proc and RAPL.");
+    Ok(())
+}

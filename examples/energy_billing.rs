@@ -1,0 +1,64 @@
+//! The operator-side upside of the power-based namespace (§V-B): energy
+//! metered billing and power-budget throttling. Two tenants burn identical
+//! CPU time; the namespace tells them apart by energy — and caps the one
+//! that blows its power budget.
+//!
+//! ```sh
+//! cargo run --release --example energy_billing
+//! ```
+
+use containerleaks::container_runtime::ContainerSpec;
+use containerleaks::powerns::{
+    DefendedHost, EnergyBilling, EnergyTariff, PowerThrottle, ThrottleState, Trainer,
+};
+use containerleaks::simkernel::MachineConfig;
+use containerleaks::workloads::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training the power model...");
+    let model = Trainer::new(1729).train();
+    let mut host = DefendedHost::new(MachineConfig::testbed_i7_6700(), 8, model);
+
+    let hot = host.create_container(ContainerSpec::new("render-farm"))?;
+    let cool = host.create_container(ContainerSpec::new("pointer-chaser"))?;
+    let mut hot_pids = Vec::new();
+    for i in 0..2 {
+        hot_pids.push(host.exec(hot, &format!("virus-{i}"), models::power_virus())?);
+        host.exec(cool, &format!("mcf-{i}"), models::mcf())?;
+    }
+
+    let mut billing = EnergyBilling::new(EnergyTariff::default());
+    let mut throttle = PowerThrottle::new(30.0, 5);
+    throttle.watch(hot, hot_pids);
+
+    for minute in 1..=3 {
+        for _ in 0..60 {
+            host.advance_secs(1);
+            billing.meter(&host, &[hot, cool]);
+            throttle.enforce(&mut host, 1);
+        }
+        let hb = billing.bill(hot);
+        let cb = billing.bill(cool);
+        println!(
+            "minute {minute}: render-farm {:7.1} J (${:.6}) [{}]   pointer-chaser {:7.1} J (${:.6})",
+            hb.joules,
+            hb.usd,
+            match throttle.state(hot) {
+                ThrottleState::Throttled => "THROTTLED",
+                ThrottleState::Normal => "normal",
+            },
+            cb.joules,
+            cb.usd,
+        );
+    }
+
+    let hot_cpu = host.runtime.cpu_usage_ns(&host.kernel, hot).unwrap_or(0);
+    let cool_cpu = host.runtime.cpu_usage_ns(&host.kernel, cool).unwrap_or(0);
+    println!(
+        "\nCPU-seconds consumed: render-farm {:.0}, pointer-chaser {:.0}",
+        hot_cpu as f64 / 1e9,
+        cool_cpu as f64 / 1e9
+    );
+    println!("same utilization billing — different energy bills, and the hog got capped.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Host fingerprinting: a tenant recognizes the physical machine it was
+//! on before — across instance churn and even across a host reboot — using
+//! nothing but leaked channels (the uniqueness metric of §III-C, weaponized
+//! as persistent re-identification).
+//!
+//! ```sh
+//! cargo run --release --example host_fingerprint
+//! ```
+
+use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, InstanceSpec, PlacementPolicy};
+use containerleaks::leakscan::{FingerprintMatch, HostFingerprint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cloud = Cloud::new(
+        CloudConfig::new(CloudProfile::CC1)
+            .hosts(3)
+            .placement(PlacementPolicy::Random),
+        20_26,
+    );
+    cloud.advance_secs(2);
+
+    // Visit 1: remember where we are.
+    let first = cloud.launch("tenant", InstanceSpec::new("visit-1"))?;
+    let remembered = HostFingerprint::capture(&cloud, first, 0.0)?;
+    let home = cloud.instance(first).expect("instance").host();
+    println!("visit 1 landed on {home} — fingerprint captured:");
+    println!("  boot_id       {}", remembered.boot_id);
+    println!("  hardware hash {:016x}", remembered.hardware_hash);
+    println!("  uptime        {:.0} s\n", remembered.uptime_s);
+    cloud.terminate(first)?;
+
+    // Churn until the fingerprint says "welcome back".
+    let mut clock = 0.0;
+    for attempt in 1..=24 {
+        cloud.advance_secs(2);
+        clock += 2.0;
+        let probe = cloud.launch("tenant", InstanceSpec::new(format!("probe-{attempt}")))?;
+        let fp = HostFingerprint::capture(&cloud, probe, clock)?;
+        let verdict = remembered.matches(&fp);
+        let actual = cloud.instance(probe).expect("instance").host();
+        println!("attempt {attempt:>2}: landed on {actual} -> {verdict:?}");
+        if verdict == FingerprintMatch::SameBoot {
+            println!("\nre-identified the original host in {attempt} attempts,");
+            println!("purely from /proc and /sys — no provider API involved.");
+
+            // Even a reboot doesn't hide the hardware.
+            cloud.reboot_host(actual);
+            cloud.advance_secs(5);
+            clock += 5.0;
+            let after = cloud.launch("tenant", InstanceSpec::new("post-reboot"))?;
+            // Keep launching until placement returns us to the same host.
+            let mut post = after;
+            for _ in 0..24 {
+                if cloud.instance(post).expect("instance").host() == actual {
+                    break;
+                }
+                cloud.terminate(post)?;
+                post = cloud.launch("tenant", InstanceSpec::new("post-reboot"))?;
+            }
+            let fp2 = HostFingerprint::capture(&cloud, post, clock)?;
+            println!(
+                "after rebooting {actual}: boot_id rotated, verdict {:?}",
+                remembered.matches(&fp2)
+            );
+            return Ok(());
+        }
+        cloud.terminate(probe)?;
+    }
+    println!("placement never returned to the original host this run");
+    Ok(())
+}

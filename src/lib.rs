@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Root facade of the ContainerLeaks reproduction workspace.
+//!
+//! Re-exports the [`containerleaks`] crate so the repository root hosts
+//! the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). See `README.md` for the tour and `DESIGN.md` for the
+//! architecture.
+
+pub use containerleaks::*;
