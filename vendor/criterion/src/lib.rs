@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the subset the workspace's benches use — `criterion_group!`
+//! with a `config`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, and `BatchSize` — and additionally
+//! writes machine-readable results to `BENCH_<file>.json` at the
+//! workspace root so the perf trajectory is tracked across PRs.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How `iter_batched` amortizes setup (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs; batches may share one timing window.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark id.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static ALL_RESULTS: Mutex<Vec<(String, Vec<BenchStats>)>> = Mutex::new(Vec::new());
+static RUN_STEM: Mutex<Option<String>> = Mutex::new(None);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark, printing a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let mut samples = b.samples_ns;
+        assert!(!samples.is_empty(), "bench `{name}` measured nothing");
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let stats = BenchStats {
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: samples[0],
+            samples: samples.len(),
+        };
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(samples[samples.len() - 1]),
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Records this driver's results under `group` for the JSON report.
+    pub fn finalize(self, group: &str) {
+        ALL_RESULTS
+            .lock()
+            .unwrap()
+            .push((group.to_string(), self.results));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+/// Target wall-clock time per sample: long enough to average out timer
+/// noise, short enough that 10–20 samples of ~15 benches stay fast.
+const TARGET_SAMPLE_NS: f64 = 5_000_000.0;
+
+impl Bencher {
+    /// Times `f` in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + per-iteration estimate.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if start.elapsed().as_nanos() >= 10_000_000 || warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let iters_per_sample = (TARGET_SAMPLE_NS / est_ns.max(0.5)).ceil().max(1.0) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Estimate with one warmup pass.
+        let input = setup();
+        let t = Instant::now();
+        std::hint::black_box(routine(input));
+        let est_ns = t.elapsed().as_nanos() as f64;
+        let iters_per_sample = (TARGET_SAMPLE_NS / est_ns.max(0.5))
+            .ceil()
+            .clamp(1.0, 10_000.0) as u64;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Called by `criterion_main!` before any group runs.
+#[doc(hidden)]
+pub fn start_run(source_file: &str) {
+    let stem = PathBuf::from(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    *RUN_STEM.lock().unwrap() = Some(stem);
+}
+
+/// Called by `criterion_main!` after all groups ran; writes
+/// `BENCH_<stem>.json` at the workspace root.
+#[doc(hidden)]
+pub fn finish_run() {
+    let stem = RUN_STEM
+        .lock()
+        .unwrap()
+        .clone()
+        .unwrap_or_else(|| "bench".to_string());
+    let results = ALL_RESULTS.lock().unwrap();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench_file\": \"{stem}\",\n"));
+    json.push_str("  \"groups\": {\n");
+    for (gi, (group, stats)) in results.iter().enumerate() {
+        json.push_str(&format!("    \"{group}\": {{\n"));
+        for (si, s) in stats.iter().enumerate() {
+            json.push_str(&format!(
+                "      \"{}\": {{\"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                s.name,
+                s.mean_ns,
+                s.median_ns,
+                s.min_ns,
+                s.samples,
+                if si + 1 < stats.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    }}{}\n",
+            if gi + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = workspace_root().join(format!("BENCH_{stem}.json"));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {}", path.display());
+    }
+}
+
+/// The outermost ancestor of the current directory that still contains a
+/// `Cargo.toml` (cargo runs benches with CWD = package root).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    while let Some(parent) = dir.parent() {
+        if parent.join("Cargo.toml").exists() {
+            dir = parent.to_path_buf();
+        } else {
+            break;
+        }
+    }
+    dir
+}
+
+/// Environment-variable filter (`BENCH_FILTER`), applied by groups.
+#[doc(hidden)]
+pub fn bench_enabled(name: &str) -> bool {
+    match std::env::var("BENCH_FILTER") {
+        Ok(f) if !f.is_empty() => name.contains(&f),
+        _ => true,
+    }
+}
+
+/// Defines a benchmark group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $(
+                if $crate::bench_enabled(stringify!($target)) {
+                    $target(&mut c);
+                }
+            )+
+            c.finalize(stringify!($name));
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::std::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench `main`, running each group then writing the JSON
+/// report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::start_run(file!());
+            $( $group(); )+
+            $crate::finish_run();
+        }
+    };
+}
+
+/// Re-export for convenience; benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].samples, 3);
+        assert!(c.results[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.results[0].samples, 2);
+    }
+}

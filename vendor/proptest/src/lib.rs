@@ -1,0 +1,588 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the API subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / string-pattern
+//! strategies, [`collection::vec`], `ProptestConfig::with_cases`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking: each case draws inputs
+//! from a generator seeded by `(test name, case index)`, so failures are
+//! reproducible run-to-run without persistence files.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Per-test configuration (only `cases` is modeled).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The deterministic input source for one test case.
+#[derive(Debug)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Seeds the runner from the test name and case index, so every case
+    /// is reproducible without persistence.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(runner.next_u64()) % width) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * runner.unit_f64()
+    }
+}
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$n.generate(runner),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        pattern::generate(self, runner)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Element count for [`vec`]: a half-open range or an exact size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// A strategy generating `Vec`s of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + runner.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+mod pattern {
+    //! A tiny regex-subset sampler for string strategies: literals,
+    //! classes `[a-z0-9_]`, groups with alternation `(a|b)`, and the
+    //! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+    use super::TestRunner;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Piece>>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    pub fn generate(pattern: &str, runner: &mut TestRunner) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let alts = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported pattern `{pattern}` (stopped at {pos})"
+        );
+        let mut out = String::new();
+        gen_alt(&alts, runner, &mut out);
+        out
+    }
+
+    fn gen_alt(alts: &[Vec<Piece>], runner: &mut TestRunner, out: &mut String) {
+        let pick = runner.below(alts.len() as u64) as usize;
+        for piece in &alts[pick] {
+            let span = u64::from(piece.max - piece.min) + 1;
+            let reps = piece.min + runner.below(span) as u32;
+            for _ in 0..reps {
+                match &piece.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(a, b)| u64::from(*b as u32 - *a as u32) + 1)
+                            .sum();
+                        let mut idx = runner.below(total);
+                        for (a, b) in ranges {
+                            let w = u64::from(*b as u32 - *a as u32) + 1;
+                            if idx < w {
+                                out.push(char::from_u32(*a as u32 + idx as u32).unwrap());
+                                break;
+                            }
+                            idx -= w;
+                        }
+                    }
+                    Node::Group(alts) => gen_alt(alts, runner, out),
+                }
+            }
+        }
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Vec<Vec<Piece>> {
+        let mut alts = vec![parse_concat(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_concat(chars, pos));
+        }
+        alts
+    }
+
+    fn parse_concat(chars: &[char], pos: &mut usize) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let node = match chars[*pos] {
+                '(' => {
+                    *pos += 1;
+                    let alts = parse_alt(chars, pos);
+                    assert!(*pos < chars.len() && chars[*pos] == ')', "unclosed group");
+                    *pos += 1;
+                    Node::Group(alts)
+                }
+                '[' => {
+                    *pos += 1;
+                    let mut ranges = Vec::new();
+                    while *pos < chars.len() && chars[*pos] != ']' {
+                        let mut c = chars[*pos];
+                        if c == '\\' {
+                            *pos += 1;
+                            c = chars[*pos];
+                        }
+                        *pos += 1;
+                        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                            let hi = chars[*pos + 1];
+                            ranges.push((c, hi));
+                            *pos += 2;
+                        } else {
+                            ranges.push((c, c));
+                        }
+                    }
+                    assert!(*pos < chars.len(), "unclosed class");
+                    *pos += 1;
+                    Node::Class(ranges)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Class(vec![('a', 'z'), ('0', '9')])
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let (min, max) = parse_quant(chars, pos);
+            pieces.push(Piece { node, min, max });
+        }
+        pieces
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        if *pos >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*pos] {
+            '{' => {
+                *pos += 1;
+                let mut min = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut m = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    m
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "bad quantifier");
+                *pos += 1;
+                (min, max)
+            }
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                (0, 8)
+            }
+            '+' => {
+                *pos += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+/// Defines property tests. Mirrors real proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, s in "[a-z]{1,8}") { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __runner = $crate::TestRunner::for_case(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __runner);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name), __case, __config.cases, e.0
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the current property case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut r = TestRunner::for_case("t", 0);
+        let s = (0u64..10, 0.5f64..1.5, 1usize..4);
+        for _ in 0..100 {
+            let (a, b, c) = s.generate(&mut r);
+            assert!(a < 10);
+            assert!((0.5..1.5).contains(&b));
+            assert!((1..4).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut r = TestRunner::for_case("v", 3);
+        let s = collection::vec(0u8..16, 2..5);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 16));
+        }
+        let exact = collection::vec(0u8..16, 3);
+        assert_eq!(exact.generate(&mut r).len(), 3);
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut r = TestRunner::for_case("s", 1);
+        for _ in 0..50 {
+            let s = "[a-z0-9_]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let p = "/(proc|sys)/[a-z_*]{1,12}(/[a-z_*]{1,12}){0,2}".generate(&mut r);
+            assert!(p.starts_with("/proc/") || p.starts_with("/sys/"), "{p:?}");
+
+            let q = "[/a-z0-9_.:*-]{0,60}".generate(&mut r);
+            assert!(q.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut r = TestRunner::for_case("m", 2);
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            let v = s.generate(&mut r);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..50, s in "[a-z]{2,4}") {
+            prop_assert!(x < 50);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert!((2..=4).contains(&s.len()), "len {} out of range", s.len());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline, deterministic stand-in for the `rand` crate.
+//!
+//! The workspace's registry source is unreachable in the build
+//! environment, so this in-tree crate provides the exact API subset the
+//! simulation uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`RngExt`] extension with `random_range` / `random`.
+//!
+//! The generator is SplitMix64: a 64-bit state advanced by a Weyl
+//! constant and finalized with an avalanche mixer. It is fast, has no
+//! allocation, and — the property the simulation actually relies on —
+//! every stream is a pure function of its seed, so two rngs seeded alike
+//! produce identical streams regardless of thread interleaving.
+
+pub mod rngs {
+    /// A seedable deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Seeding constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open `start..end` range.
+pub trait SampleUniform: Sized + Copy {
+    /// Draws uniformly from `[start, end)`.
+    fn sample_range(rng: &mut rngs::StdRng, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, start: Self, end: Self) -> Self {
+                assert!(start < end, "empty random_range");
+                let width = (end as i128).wrapping_sub(start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % width) as i128;
+                ((start as i128) + v) as $t
+            }
+        }
+    )*};
+}
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, start: Self, end: Self) -> Self {
+        assert!(start < end, "empty random_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + (end - start) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut rngs::StdRng, start: Self, end: Self) -> Self {
+        f64::sample_range(rng, f64::from(start), f64::from(end)) as f32
+    }
+}
+
+/// Types drawable from the full-width "standard" distribution.
+pub trait StandardDist: Sized {
+    /// Draws one value covering the type's whole range (or `[0, 1)` for
+    /// floats).
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+macro_rules! impl_int_standard {
+    ($($t:ty),* $(,)?) => {$(
+        impl StandardDist for $t {
+            fn sample(rng: &mut rngs::StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardDist for bool {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardDist for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The `Rng`-style extension methods the workspace calls.
+pub trait RngExt {
+    /// Uniform draw from the half-open range `start..end`.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T;
+    /// Full-width draw (ints) or `[0, 1)` (floats).
+    fn random<T: StandardDist>(&mut self) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn random<T: StandardDist>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = r.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let i: i64 = r.random_range(-100..-50);
+            assert!((-100..-50).contains(&i));
+            let u: usize = r.random_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn standard_draws_cover_types() {
+        let mut r = rngs::StdRng::seed_from_u64(9);
+        let _: u16 = r.random();
+        let _: u32 = r.random();
+        let _: u64 = r.random();
+        let f: f64 = r.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn range_distribution_is_not_degenerate() {
+        let mut r = rngs::StdRng::seed_from_u64(11);
+        let draws: std::collections::HashSet<u64> =
+            (0..200).map(|_| r.random_range(0..1000u64)).collect();
+        assert!(draws.len() > 100, "only {} distinct draws", draws.len());
+    }
+}

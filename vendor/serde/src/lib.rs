@@ -1,0 +1,483 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in the build environment, so this in-tree
+//! crate supplies the subset the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` plus value-tree serialization consumed by the in-tree
+//! `serde_json`. Instead of serde's visitor architecture, both traits go
+//! through one dynamic [`Value`] tree: simpler, and exactly as capable as
+//! the workspace needs (derived structs/enums with no field attributes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A dynamically typed serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered so struct output is stable.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable mismatch description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn mismatch(expected: &str, got: &Value) -> DeError {
+    DeError(format!("expected {expected}, got {}", got.type_name()))
+}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- helpers used by the derive-generated code ----------------------
+
+/// Looks up a struct field; missing fields read as `Null` (so `Option`
+/// fields tolerate omission, like serde).
+#[doc(hidden)]
+pub fn __field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DeError> {
+    const NULL: Value = Value::Null;
+    match v {
+        Value::Object(fields) => Ok(fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(&NULL, |(_, fv)| fv)),
+        other => Err(mismatch("object", other)),
+    }
+}
+
+/// Checks an array payload of exactly `n` elements (tuple structs).
+#[doc(hidden)]
+pub fn __array(v: &Value, n: usize) -> Result<&[Value], DeError> {
+    match v {
+        Value::Array(items) if items.len() == n => Ok(items),
+        Value::Array(items) => Err(DeError(format!(
+            "expected array of {n}, got {}",
+            items.len()
+        ))),
+        other => Err(mismatch("array", other)),
+    }
+}
+
+/// The `(tag, payload)` of an externally tagged enum value.
+#[doc(hidden)]
+pub fn __variant(v: &Value) -> Result<(&str, &Value), DeError> {
+    match v {
+        Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+        other => Err(mismatch("single-key variant object", other)),
+    }
+}
+
+#[doc(hidden)]
+pub fn __unknown_variant(ty: &str, tag: &str) -> DeError {
+    DeError(format!("unknown variant `{tag}` for {ty}"))
+}
+
+/// Map keys rendered as JSON object keys.
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key type: {}", other.type_name()),
+    }
+}
+
+/// Inverse of [`key_to_string`]: keys parse back to the numeric value
+/// shapes integer newtypes deserialize from.
+fn key_from_string(s: &str) -> Value {
+    if let Ok(n) = s.parse::<u64>() {
+        Value::UInt(n)
+    } else if let Ok(n) = s.parse::<i64>() {
+        Value::Int(n)
+    } else {
+        Value::Str(s.to_string())
+    }
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    other => Err(mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        u64::deserialize_value(v)
+            .and_then(|n| usize::try_from(n).map_err(|_| DeError(format!("{n} out of range"))))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    other => Err(mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        (*self as i64).serialize_value()
+    }
+}
+impl Deserialize for isize {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        i64::deserialize_value(v)
+            .and_then(|n| isize::try_from(n).map_err(|_| DeError(format!("{n} out of range"))))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => Err(mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Supports derived structs carrying `&'static str` table labels.
+    /// Leaks the parsed string; acceptable because the workspace only
+    /// round-trips such types in tests, if at all.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(mismatch("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.serialize_value()), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, fv)| {
+                    Ok((
+                        K::deserialize_value(&key_from_string(k))?,
+                        V::deserialize_value(fv)?,
+                    ))
+                })
+                .collect(),
+            other => Err(mismatch("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort by rendered key for deterministic output; HashMap
+        // iteration order is not.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.serialize_value()), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, fv)| {
+                    Ok((
+                        K::deserialize_value(&key_from_string(k))?,
+                        V::deserialize_value(fv)?,
+                    ))
+                })
+                .collect(),
+            other => Err(mismatch("object", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = __array(v, N)?;
+        let parsed: Result<Vec<T>, DeError> = items.iter().map(T::deserialize_value).collect();
+        parsed.map(|v| match v.try_into() {
+            Ok(arr) => arr,
+            Err(_) => unreachable!("__array checked the length"),
+        })
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                const N: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let items = __array(v, N)?;
+                Ok(($($t::deserialize_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip_through_null() {
+        let v = Option::<u32>::serialize_value(&None);
+        assert_eq!(v, Value::Null);
+        assert_eq!(Option::<u32>::deserialize_value(&v).unwrap(), None);
+        let v = Some(7u32).serialize_value();
+        assert_eq!(Option::<u32>::deserialize_value(&v).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn btreemap_uses_stringified_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "c".to_string());
+        m.insert(1u32, "a".to_string());
+        let v = m.serialize_value();
+        match &v {
+            Value::Object(fields) => {
+                assert_eq!(fields[0].0, "1");
+                assert_eq!(fields[1].0, "3");
+            }
+            other => panic!("not an object: {other:?}"),
+        }
+        let back: BTreeMap<u32, String> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn negative_ints_survive() {
+        let v = (-5i64).serialize_value();
+        assert_eq!(i64::deserialize_value(&v).unwrap(), -5);
+    }
+
+    #[test]
+    fn missing_struct_field_reads_as_null() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(__field(&obj, "b").unwrap(), &Value::Null);
+        assert_eq!(
+            Option::<u32>::deserialize_value(__field(&obj, "b").unwrap()).unwrap(),
+            None
+        );
+    }
+}
