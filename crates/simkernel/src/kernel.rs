@@ -16,7 +16,7 @@ use crate::net::NetState;
 use crate::ns::{NamespaceRegistry, NamespaceSet};
 use crate::perf::{PerfOverheadCosts, PerfSubsystem};
 use crate::process::{CgroupMembership, HostPid, ProcState, Process, ProcessTable};
-use crate::sched::Scheduler;
+use crate::sched::{SchedScratch, Scheduler, TickReport};
 use crate::syscost::SysCosts;
 use crate::time::{Clock, NANOS_PER_SEC};
 use crate::timers::TimerList;
@@ -120,6 +120,21 @@ pub struct Kernel {
     syscost: SysCosts,
     docker_parents: HashMap<CgroupKind, CgroupId>,
     container_seq: u32,
+    scratch: TickScratch,
+}
+
+/// Per-kernel buffers reused across ticks so the steady-state tick path
+/// performs no heap allocation. Pure scratch: holds no simulation state
+/// that outlives a tick except the memoized RSS aggregation below.
+#[derive(Debug, Default)]
+struct TickScratch {
+    report: TickReport,
+    sched: SchedScratch,
+    by_cgroup: HashMap<CgroupId, u64>,
+    /// Process-table epoch at the last RSS aggregation, if still valid.
+    mem_epoch: Option<u64>,
+    /// Total RSS from that aggregation.
+    rss_total: u64,
 }
 
 impl Kernel {
@@ -158,6 +173,7 @@ impl Kernel {
             syscost: SysCosts::default(),
             docker_parents: HashMap::new(),
             container_seq: 0,
+            scratch: TickScratch::default(),
             seed,
             cfg,
             rng,
@@ -331,34 +347,57 @@ impl Kernel {
     }
 
     fn tick_once(&mut self, dt_ns: u64) {
-        let report = self
-            .sched
-            .tick(dt_ns, &mut self.procs, &mut self.cgroups, &mut self.rng);
+        self.sched.tick_into(
+            dt_ns,
+            &mut self.procs,
+            &mut self.cgroups,
+            &mut self.rng,
+            &mut self.scratch.sched,
+            &mut self.scratch.report,
+        );
+        let report = &self.scratch.report;
 
         self.hw.tick(dt_ns, &report.per_cpu, &mut self.rng);
 
-        let syscalls: u64 = report.per_cpu.iter().map(|c| c.syscalls).sum();
-        let io_bytes: u64 = report.per_cpu.iter().map(|c| c.io_bytes).sum();
+        let mut syscalls = 0u64;
+        let mut io_bytes = 0u64;
+        for c in &report.per_cpu {
+            syscalls += c.syscalls;
+            io_bytes += c.io_bytes;
+        }
         self.stats.total_syscalls += syscalls;
         self.stats.total_io_bytes += io_bytes;
 
-        // Memory: per-cgroup RSS sums and the global total.
-        let mut by_cgroup: HashMap<CgroupId, u64> = HashMap::new();
-        let mut rss_total = 0u64;
-        for p in self.procs.iter() {
-            if p.state() != ProcState::Exited {
-                let rss = p.rss_bytes();
-                rss_total += rss;
-                *by_cgroup.entry(p.cgroups().memory).or_insert(0) += rss;
+        // Memory: per-cgroup RSS sums and the global total. The pass is
+        // memoized on the process-table epoch: when nothing was spawned,
+        // killed, or mutated since the last aggregation and nothing is
+        // runnable (so no workload cursor moved), every per-process RSS is
+        // unchanged and the cgroup usages already hold the right values.
+        let epoch = self.procs.epoch();
+        let stale = self.scratch.mem_epoch != Some(epoch) || self.procs.runnable() > 0;
+        if stale {
+            let by_cgroup = &mut self.scratch.by_cgroup;
+            by_cgroup.clear();
+            let mut rss_total = 0u64;
+            for p in self.procs.iter() {
+                if p.state() != ProcState::Exited {
+                    let rss = p.rss_bytes();
+                    rss_total += rss;
+                    *by_cgroup.entry(p.cgroups().memory).or_insert(0) += rss;
+                }
             }
+            for (cg, bytes) in self.scratch.by_cgroup.iter() {
+                self.cgroups.set_memory_usage(*cg, *bytes);
+            }
+            let mem_root = self.cgroups.root(CgroupKind::Memory);
+            self.cgroups.set_memory_usage(mem_root, rss_total);
+            self.scratch.rss_total = rss_total;
+            self.scratch.mem_epoch = Some(epoch);
         }
-        for (cg, bytes) in &by_cgroup {
-            self.cgroups.set_memory_usage(*cg, *bytes);
-        }
-        let mem_root = self.cgroups.root(CgroupKind::Memory);
-        self.cgroups.set_memory_usage(mem_root, rss_total);
-        self.mem.tick(dt_ns, rss_total, io_bytes, &mut self.rng);
+        self.mem
+            .tick(dt_ns, self.scratch.rss_total, io_bytes, &mut self.rng);
 
+        let report = &self.scratch.report;
         let intr_before = self.irq.total_interrupts();
         self.irq
             .tick(dt_ns, &report.per_cpu, report.switches, &mut self.rng);
@@ -377,9 +416,11 @@ impl Kernel {
         self.clock.advance(dt_ns);
         self.timers.refresh(self.clock.since_boot_ns());
 
-        for pid in report.exited {
+        let mut exited = std::mem::take(&mut self.scratch.report.exited);
+        for pid in exited.drain(..) {
             self.cleanup_process(pid);
         }
+        self.scratch.report.exited = exited;
     }
 
     // ------------------------------------------------------------------

@@ -147,6 +147,7 @@ pub struct ProcessTable {
     next_pid: u32,
     procs: BTreeMap<HostPid, Process>,
     total_forks: u64,
+    epoch: u64,
 }
 
 impl ProcessTable {
@@ -157,7 +158,15 @@ impl ProcessTable {
             next_pid: 300,
             procs: BTreeMap::new(),
             total_forks: 0,
+            epoch: 0,
         }
+    }
+
+    /// Monotonic counter bumped on every mutable access. Two equal epochs
+    /// guarantee no process was added, removed, or mutated in between, so
+    /// derived aggregates (per-cgroup RSS) are still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Allocates the next host pid.
@@ -180,11 +189,13 @@ impl ProcessTable {
 
     /// Inserts a process.
     pub fn insert(&mut self, p: Process) {
+        self.epoch += 1;
         self.procs.insert(p.host_pid, p);
     }
 
     /// Removes a process, returning it.
     pub fn remove(&mut self, pid: HostPid) -> Option<Process> {
+        self.epoch += 1;
         self.procs.remove(&pid)
     }
 
@@ -195,6 +206,7 @@ impl ProcessTable {
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, pid: HostPid) -> Option<&mut Process> {
+        self.epoch += 1;
         self.procs.get_mut(&pid)
     }
 
@@ -205,6 +217,7 @@ impl ProcessTable {
 
     /// Iterates processes mutably.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Process> {
+        self.epoch += 1;
         self.procs.values_mut()
     }
 

@@ -77,6 +77,16 @@ pub struct TickReport {
     pub switches: u64,
 }
 
+/// Reusable buffers for [`Scheduler::tick_into`]. Week-long traces run
+/// millions of ticks; keeping these across ticks takes every per-tick
+/// allocation off the steady-state path.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    assignment: Vec<Vec<HostPid>>,
+    runnable: Vec<HostPid>,
+    demands: Vec<f64>,
+}
+
 /// The scheduler.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scheduler {
@@ -114,6 +124,10 @@ impl Scheduler {
 
     /// Runs one tick of length `dt_ns`, mutating process accounting and
     /// charging cgroups. Returns per-CPU load aggregates.
+    ///
+    /// Convenience wrapper over [`Scheduler::tick_into`] that allocates
+    /// fresh buffers; hot loops should hold a [`SchedScratch`] and a
+    /// [`TickReport`] and call `tick_into` directly.
     pub fn tick(
         &mut self,
         dt_ns: u64,
@@ -121,45 +135,62 @@ impl Scheduler {
         cgroups: &mut CgroupForest,
         rng: &mut StdRng,
     ) -> TickReport {
+        let mut scratch = SchedScratch::default();
+        let mut report = TickReport::default();
+        self.tick_into(dt_ns, procs, cgroups, rng, &mut scratch, &mut report);
+        report
+    }
+
+    /// Allocation-free form of [`Scheduler::tick`]: writes the result into
+    /// `report` and keeps working buffers in `scratch`, both reused across
+    /// ticks. Produces bit-identical results to `tick`.
+    pub fn tick_into(
+        &mut self,
+        dt_ns: u64,
+        procs: &mut ProcessTable,
+        cgroups: &mut CgroupForest,
+        rng: &mut StdRng,
+        scratch: &mut SchedScratch,
+        report: &mut TickReport,
+    ) {
         let ncpus = self.percpu.len();
-        let mut report = TickReport {
-            per_cpu: vec![CpuTickLoad::default(); ncpus],
-            exited: Vec::new(),
-            switches: 0,
-        };
+        report.per_cpu.clear();
+        report.per_cpu.resize(ncpus, CpuTickLoad::default());
+        report.exited.clear();
+        report.switches = 0;
 
         // 1. Assign runnable tasks to CPUs: explicit affinity wins; others
         //    go to the least-loaded candidate, preferring their last CPU.
-        let mut assignment: Vec<Vec<HostPid>> = vec![Vec::new(); ncpus];
-        let runnable: Vec<HostPid> = procs
-            .iter()
-            .filter(|p| p.state == ProcState::Runnable)
-            .map(|p| p.host_pid)
-            .collect();
-        for pid in &runnable {
+        scratch.assignment.resize_with(ncpus, Vec::new);
+        for a in scratch.assignment.iter_mut() {
+            a.clear();
+        }
+        scratch.runnable.clear();
+        scratch.runnable.extend(
+            procs
+                .iter()
+                .filter(|p| p.state == ProcState::Runnable)
+                .map(|p| p.host_pid),
+        );
+        for pid in &scratch.runnable {
             let p = procs.get(*pid).expect("runnable pid exists");
-            let candidates: Vec<usize> = match p.affinity.as_deref() {
+            let last = p.last_cpu as usize;
+            let assignment = &scratch.assignment;
+            let key = |c: usize| (assignment[c].len(), usize::from(c != last), c);
+            let best = match p.affinity.as_deref() {
                 Some(cpus) => cpus
                     .iter()
                     .map(|c| *c as usize)
                     .filter(|c| *c < ncpus)
-                    .collect(),
-                None => (0..ncpus).collect(),
+                    .min_by_key(|c| key(*c)),
+                None => (0..ncpus).min_by_key(|c| key(*c)),
             };
-            if candidates.is_empty() {
-                continue;
-            }
-            let last = p.last_cpu as usize;
-            let best = candidates
-                .iter()
-                .copied()
-                .min_by_key(|c| (assignment[*c].len(), usize::from(*c != last), *c))
-                .expect("non-empty candidates");
-            assignment[best].push(*pid);
+            let Some(best) = best else { continue };
+            scratch.assignment[best].push(*pid);
         }
 
         // 2. Divide each CPU's capacity among its tasks by demand.
-        for (cpu, tasks) in assignment.iter().enumerate() {
+        for (cpu, tasks) in scratch.assignment.iter().enumerate() {
             // Kernel housekeeping (kworkers, RCU, timers) consumes a small
             // slice of every CPU regardless of user tasks — this is what
             // makes /proc/stat's system time and /proc/schedstat's run
@@ -171,13 +202,12 @@ impl Scheduler {
                 self.percpu[cpu].idle_ns += dt_ns;
                 continue;
             }
-            let demands: Vec<f64> = tasks
-                .iter()
-                .map(|pid| {
-                    let p = procs.get(*pid).expect("assigned pid exists");
-                    p.cursor.current_phase(&p.workload).cpu_demand
-                })
-                .collect();
+            scratch.demands.clear();
+            scratch.demands.extend(tasks.iter().map(|pid| {
+                let p = procs.get(*pid).expect("assigned pid exists");
+                p.cursor.current_phase(&p.workload).cpu_demand
+            }));
+            let demands = &scratch.demands;
             let total_demand: f64 = demands.iter().sum();
             let scale = if total_demand > 1.0 {
                 1.0 / total_demand
@@ -185,7 +215,7 @@ impl Scheduler {
                 1.0
             };
             let mut busy_ns_total = 0u64;
-            for (pid, demand) in tasks.iter().zip(&demands) {
+            for (pid, demand) in tasks.iter().zip(demands.iter()) {
                 let ran_ns = (dt_ns as f64 * demand * scale) as u64;
                 if ran_ns == 0 {
                     continue;
@@ -196,7 +226,7 @@ impl Scheduler {
                 } else {
                     0
                 };
-                self.account_task(*pid, cpu, ran_ns, waited_ns, procs, cgroups, &mut report);
+                self.account_task(*pid, cpu, ran_ns, waited_ns, procs, cgroups, report);
             }
             let busy_ns_total = busy_ns_total.min(dt_ns);
             let stats = &mut self.percpu[cpu];
@@ -223,10 +253,10 @@ impl Scheduler {
         self.total_switches += report.switches;
 
         // 3. Reap processes whose Once workloads completed.
-        for pid in runnable {
-            if let Some(p) = procs.get(pid) {
+        for pid in &scratch.runnable {
+            if let Some(p) = procs.get(*pid) {
                 if p.cursor.advance_peek_done(&p.workload) {
-                    report.exited.push(pid);
+                    report.exited.push(*pid);
                 }
             }
         }
@@ -243,8 +273,6 @@ impl Scheduler {
             let decay = (-dt_s / window).exp();
             self.loadavg[i] = self.loadavg[i] * decay + n * (1.0 - decay);
         }
-
-        report
     }
 
     #[allow(clippy::too_many_arguments)]

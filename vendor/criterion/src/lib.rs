@@ -233,15 +233,14 @@ pub fn finish_run() {
 /// The outermost ancestor of the current directory that still contains a
 /// `Cargo.toml` (cargo runs benches with CWD = package root).
 fn workspace_root() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    while let Some(parent) = dir.parent() {
-        if parent.join("Cargo.toml").exists() {
-            dir = parent.to_path_buf();
-        } else {
-            break;
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut best = cwd.clone();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").exists() {
+            best = dir.to_path_buf();
         }
     }
-    dir
+    best
 }
 
 /// Environment-variable filter (`BENCH_FILTER`), applied by groups.
