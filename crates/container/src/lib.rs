@@ -292,6 +292,28 @@ impl Runtime {
         Ok(self.fs.read(kernel, &c.view(), path)?)
     }
 
+    /// [`Runtime::read_file`] into a caller-provided buffer, reusing its
+    /// allocation across reads.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoSuchContainer`] or the underlying [`FsError`];
+    /// on error `buf` is left empty.
+    pub fn read_file_into(
+        &self,
+        kernel: &Kernel,
+        id: ContainerId,
+        path: &str,
+        buf: &mut String,
+    ) -> Result<(), RuntimeError> {
+        buf.clear();
+        let c = self
+            .containers
+            .get(&id)
+            .ok_or(RuntimeError::NoSuchContainer(id))?;
+        Ok(self.fs.read_into(kernel, &c.view(), path, buf)?)
+    }
+
     /// Lists the pseudo files visible inside the container.
     ///
     /// # Errors

@@ -60,6 +60,10 @@ impl CrossValidator {
         let host_paths = self.fs.list(kernel, &host_view);
         let cont_paths = self.fs.list(kernel, container_view);
 
+        // Two buffers reused across the whole walk: each path's pair of
+        // renders lands in the same allocations as the previous path's.
+        let mut host_buf = String::new();
+        let mut cont_buf = String::new();
         let mut findings = Vec::with_capacity(host_paths.len());
         for path in &host_paths {
             // Per-pid directories cannot be aligned across contexts (the
@@ -72,14 +76,20 @@ impl CrossValidator {
                 });
                 continue;
             }
-            let host_content = match self.fs.read(kernel, &host_view, path) {
-                Ok(c) => c,
-                Err(_) => continue,
-            };
-            let class = match self.fs.read(kernel, container_view, path) {
+            if self
+                .fs
+                .read_into(kernel, &host_view, path, &mut host_buf)
+                .is_err()
+            {
+                continue;
+            }
+            let class = match self
+                .fs
+                .read_into(kernel, container_view, path, &mut cont_buf)
+            {
                 Err(_) => ChannelClass::Masked,
-                Ok(cont_content) => {
-                    if cont_content == host_content {
+                Ok(()) => {
+                    if cont_buf == host_buf {
                         ChannelClass::Leaking
                     } else if container_view.mask_action(path) == Some(MaskAction::Partial) {
                         ChannelClass::PartiallyMasked
@@ -93,9 +103,10 @@ impl CrossValidator {
                 class,
             });
         }
-        // Container-only paths (its own pid dirs): namespaced.
+        // Container-only paths (its own pid dirs): namespaced. `list`
+        // returns sorted paths, so membership is a binary search.
         for path in cont_paths {
-            if !host_paths.contains(&path) {
+            if host_paths.binary_search(&path).is_err() {
                 findings.push(FileFinding {
                     path,
                     class: ChannelClass::Namespaced,

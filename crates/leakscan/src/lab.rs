@@ -33,6 +33,18 @@ impl LabHost {
         self.runtime.read_file(&self.kernel, self.container, path)
     }
 
+    /// [`LabHost::read_container`] into a caller-provided buffer; the
+    /// metric windows call this dozens of times per channel and reuse
+    /// one allocation throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pseudo-fs errors; on error `buf` is left empty.
+    pub fn read_container_into(&self, path: &str, buf: &mut String) -> Result<(), RuntimeError> {
+        self.runtime
+            .read_file_into(&self.kernel, self.container, path, buf)
+    }
+
     /// Reads a path from the host context.
     ///
     /// # Errors

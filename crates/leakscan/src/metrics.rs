@@ -109,10 +109,37 @@ fn manipulation_load() -> WorkloadSpec {
     )
 }
 
+/// Streaming per-channel idle-window state: everything the analysis
+/// needs, without retaining the window's rendered snapshots. Snapshots
+/// are parsed as they are read; only the final one of each host is kept
+/// verbatim (for the static-id and accumulator-value comparisons).
+#[derive(Debug, Default)]
+struct IdleTrace {
+    /// Any two adjacent host-0 snapshots differed.
+    varies: bool,
+    /// Parsed numeric fields of every host-0 snapshot, in order.
+    fields: Vec<Vec<f64>>,
+    /// Scalar series for accumulator channels (empty otherwise).
+    acc_series: Vec<f64>,
+    /// Final host-0 snapshot.
+    last0: String,
+    /// Final host-1 snapshot.
+    last1: String,
+}
+
 /// Measures all channels on a lab of at least two hosts.
 #[derive(Debug)]
 pub struct MetricsAssessor {
     sig: String,
+}
+
+/// The accumulator scalar for `ch` in `content`, if `ch` tracks one.
+fn acc_scalar(ch: &Channel, content: &str) -> Option<f64> {
+    match ch.uniqueness {
+        UniquenessKind::Accumulator(Some(i)) => parse::field(content, i),
+        UniquenessKind::Accumulator(None) => Some(parse::numeric_sum(content)),
+        _ => None,
+    }
 }
 
 impl MetricsAssessor {
@@ -131,13 +158,29 @@ impl MetricsAssessor {
         assert!(lab.len() >= 2, "uniqueness measurement needs >= 2 hosts");
 
         // ---- Phase 1: idle observation window on hosts 0 and 1. ----
-        let mut traces0: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
-        let mut traces1: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
-        for _ in 0..IDLE_WINDOW {
+        // Streamed: each snapshot is rendered into one reused buffer,
+        // parsed, folded into the per-channel state, then overwritten.
+        // Pseudo-fs reads are pure (they take `&Kernel`), so host 1 —
+        // whose trace only contributes its final snapshot — is read once
+        // at the end of the window.
+        let mut idle: Vec<IdleTrace> = channels.iter().map(|_| IdleTrace::default()).collect();
+        let mut buf = String::new();
+        for snap in 0..IDLE_WINDOW {
             lab.advance_secs(1);
             for (ci, ch) in channels.iter().enumerate() {
-                traces0[ci].push(lab.host(0).read_container(ch.probe).unwrap_or_default());
-                traces1[ci].push(lab.host(1).read_container(ch.probe).unwrap_or_default());
+                let t = &mut idle[ci];
+                let _ = lab.host(0).read_container_into(ch.probe, &mut buf);
+                if snap > 0 && !t.varies && buf != t.last0 {
+                    t.varies = true;
+                }
+                t.fields.push(parse::numeric_fields(&buf));
+                if let Some(v) = acc_scalar(ch, &buf) {
+                    t.acc_series.push(v);
+                }
+                std::mem::swap(&mut t.last0, &mut buf);
+                if snap + 1 == IDLE_WINDOW {
+                    let _ = lab.host(1).read_container_into(ch.probe, &mut t.last1);
+                }
             }
         }
 
@@ -164,16 +207,14 @@ impl MetricsAssessor {
         lab.advance_secs(1);
         let mut implant_hit: Vec<(bool, bool)> = Vec::with_capacity(channels.len());
         for ch in channels {
-            let on_host0 = lab
-                .host(0)
-                .read_container(ch.probe)
-                .map(|c| c.contains(&sig) || c.contains("1364262912"))
-                .unwrap_or(false);
-            let on_host1 = lab
-                .host(1)
-                .read_container(ch.probe)
-                .map(|c| c.contains(&sig) || c.contains("1364262912"))
-                .unwrap_or(false);
+            let mut hit = |host: usize| {
+                lab.host(host)
+                    .read_container_into(ch.probe, &mut buf)
+                    .is_ok()
+                    && (buf.contains(&sig) || buf.contains("1364262912"))
+            };
+            let on_host0 = hit(0);
+            let on_host1 = hit(1);
             implant_hit.push((on_host0, on_host1));
         }
 
@@ -193,11 +234,15 @@ impl MetricsAssessor {
                 load_pids.push(pid);
             }
         }
-        let mut loaded0: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
+        let mut loaded_fields: Vec<Vec<Vec<f64>>> = channels
+            .iter()
+            .map(|_| Vec::with_capacity(LOAD_WINDOW))
+            .collect();
         for _ in 0..LOAD_WINDOW {
             lab.advance_secs(1);
             for (ci, ch) in channels.iter().enumerate() {
-                loaded0[ci].push(lab.host(0).read_container(ch.probe).unwrap_or_default());
+                let _ = lab.host(0).read_container_into(ch.probe, &mut buf);
+                loaded_fields[ci].push(parse::numeric_fields(&buf));
             }
         }
         {
@@ -211,32 +256,19 @@ impl MetricsAssessor {
         channels
             .iter()
             .enumerate()
-            .map(|(ci, ch)| {
-                self.analyze(
-                    ch,
-                    &traces0[ci],
-                    &traces1[ci],
-                    &loaded0[ci],
-                    implant_hit[ci],
-                )
-            })
+            .map(|(ci, ch)| self.analyze(ch, &idle[ci], &loaded_fields[ci], implant_hit[ci]))
             .collect()
     }
 
     fn analyze(
         &self,
         ch: &Channel,
-        idle0: &[String],
-        idle1: &[String],
-        loaded0: &[String],
+        idle: &IdleTrace,
+        loaded_fields: &[Vec<f64>],
         implant: (bool, bool),
     ) -> ChannelAssessment {
-        let varies = idle0.windows(2).any(|w| w[0] != w[1]);
-
-        // Numeric traces.
-        let idle_fields: Vec<Vec<f64>> = idle0.iter().map(|s| parse::numeric_fields(s)).collect();
-        let loaded_fields: Vec<Vec<f64>> =
-            loaded0.iter().map(|s| parse::numeric_fields(s)).collect();
+        let varies = idle.varies;
+        let idle_fields = &idle.fields;
         let entropy_bits =
             joint_entropy(&idle_fields[idle_fields.len().saturating_sub(IDLE_WINDOW)..]);
 
@@ -244,18 +276,12 @@ impl MetricsAssessor {
         let (unique, growth_per_sec) = match ch.uniqueness {
             UniquenessKind::StaticId => {
                 let stable = !varies;
-                let distinct = idle0.last() != idle1.last();
+                let distinct = idle.last0 != idle.last1;
                 (stable && distinct, 0.0)
             }
             UniquenessKind::Implant => (implant.0 && !implant.1, 0.0),
-            UniquenessKind::Accumulator(field) => {
-                let scalar = |content: &str| -> Option<f64> {
-                    match field {
-                        Some(i) => parse::field(content, i),
-                        None => Some(parse::numeric_sum(content)),
-                    }
-                };
-                let series: Vec<f64> = idle0.iter().filter_map(|s| scalar(s)).collect();
+            UniquenessKind::Accumulator(_) => {
+                let series = &idle.acc_series;
                 let monotone = series.windows(2).all(|w| w[1] >= w[0]);
                 let grows =
                     series.last().copied().unwrap_or(0.0) > series.first().copied().unwrap_or(0.0);
@@ -263,8 +289,8 @@ impl MetricsAssessor {
                     .windows(2)
                     .map(|w| w[1] - w[0])
                     .fold(0.0f64, f64::max);
-                let v0 = idle0.last().and_then(|s| scalar(s)).unwrap_or(0.0);
-                let v1 = idle1.last().and_then(|s| scalar(s)).unwrap_or(0.0);
+                let v0 = acc_scalar(ch, &idle.last0).unwrap_or(0.0);
+                let v1 = acc_scalar(ch, &idle.last1).unwrap_or(0.0);
                 let distinct = (v0 - v1).abs() > 10.0 * max_step.max(1.0);
                 let rate = if series.len() > 1 {
                     (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64
@@ -279,7 +305,7 @@ impl MetricsAssessor {
         // Manipulation: direct via implant; indirect via rate comparison.
         let manipulation = if implant.0 && !implant.1 {
             ManipulationKind::Direct
-        } else if rates_differ(&idle_fields, &loaded_fields) {
+        } else if rates_differ(idle_fields, loaded_fields) {
             ManipulationKind::Indirect
         } else {
             ManipulationKind::None

@@ -35,6 +35,44 @@ impl PseudoFs {
             .ok_or_else(|| FsError::NotFound(path.to_string()))
     }
 
+    /// Reads `path` into `buf`, clearing it first and reusing its
+    /// allocation. Scan loops that read thousands of files (the
+    /// cross-validator's two-context walk, the Table II metric windows)
+    /// use this to avoid a fresh `String` per read; for the hottest
+    /// channels the renderer writes straight into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PseudoFs::read`]. On error `buf` is left empty.
+    pub fn read_into(
+        &self,
+        k: &Kernel,
+        view: &View,
+        path: &str,
+        buf: &mut String,
+    ) -> Result<(), FsError> {
+        buf.clear();
+        if view.mask_action(path) == Some(MaskAction::Deny) {
+            return Err(FsError::PermissionDenied(path.to_string()));
+        }
+        match path {
+            "/proc/meminfo" => proc_basic::meminfo_into(k, view, buf),
+            "/proc/stat" => proc_basic::stat_into(k, view, buf),
+            "/proc/uptime" => proc_basic::uptime_into(k, view, buf),
+            "/proc/loadavg" => proc_basic::loadavg_into(k, view, buf),
+            "/proc/interrupts" => proc_irq::interrupts_into(k, view, buf),
+            "/proc/softirqs" => proc_irq::softirqs_into(k, view, buf),
+            "/proc/schedstat" => proc_sched::schedstat_into(k, view, buf),
+            "/proc/sched_debug" => proc_sched::sched_debug_into(k, view, buf),
+            "/proc/timer_list" => proc_sched::timer_list_into(k, view, buf),
+            _ => match self.dispatch(k, view, path) {
+                Some(s) => *buf = s,
+                None => return Err(FsError::NotFound(path.to_string())),
+            },
+        }
+        Ok(())
+    }
+
     /// Enumerates every readable file path in this view, sorted — the
     /// recursive exploration step of the paper's detection framework.
     /// Deny-masked paths are excluded (they are unreadable in the cloud).

@@ -50,6 +50,13 @@ pub fn cpuinfo(k: &Kernel, view: &View) -> String {
 /// trace used by the variation metric. `Partial` restricts to the
 /// container's limit and its own usage.
 pub fn meminfo(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    meminfo_into(k, view, &mut out);
+    out
+}
+
+/// [`meminfo`] writing into a caller-provided buffer.
+pub fn meminfo_into(k: &Kernel, view: &View, out: &mut String) {
     let partial = view.mask_action("/proc/meminfo") == Some(MaskAction::Partial);
     let m = k.mem();
     let (total, free, available, cached) = if partial {
@@ -68,7 +75,8 @@ pub fn meminfo(k: &Kernel, view: &View) -> String {
     let (swap_total, swap_free) = m.swap();
     let active = m.rss_bytes() * 3 / 5 + cached / 2;
     let inactive = m.rss_bytes() * 2 / 5 + cached / 2;
-    format!(
+    let _ = write!(
+        out,
         "MemTotal:       {:>8} kB\n\
          MemFree:        {:>8} kB\n\
          MemAvailable:   {:>8} kB\n\
@@ -114,7 +122,7 @@ pub fn meminfo(k: &Kernel, view: &View) -> String {
         kb(m.rss_bytes() / 50),
         kb(swap_total + total / 2),
         kb(m.rss_bytes() + (1 << 30)),
-    )
+    );
 }
 
 fn container_usage(k: &Kernel, view: &View) -> u64 {
@@ -130,8 +138,14 @@ fn container_usage(k: &Kernel, view: &View) -> u64 {
 
 /// `/proc/stat`. LEAK (Table I): host-wide kernel activity — per-CPU time
 /// breakdown, total interrupts, context switches, forks.
-pub fn stat(k: &Kernel, _view: &View) -> String {
+pub fn stat(k: &Kernel, view: &View) -> String {
     let mut out = String::new();
+    stat_into(k, view, &mut out);
+    out
+}
+
+/// [`stat`] writing into a caller-provided buffer.
+pub fn stat_into(k: &Kernel, _view: &View, out: &mut String) {
     let stats = k.sched().cpu_stats();
     let sum = |f: fn(&simkernel::sched::CpuSchedStats) -> u64| -> u64 { stats.iter().map(f).sum() };
     let _ = writeln!(
@@ -168,16 +182,22 @@ pub fn stat(k: &Kernel, _view: &View) -> String {
     let _ = writeln!(out, "procs_blocked 0");
     let softirq_total: u64 = k.irq().softirqs().iter().flatten().sum();
     let _ = writeln!(out, "softirq {softirq_total} 0 0 0 0 0 0 0 0 0 0");
-    out
 }
 
 /// `/proc/uptime`. LEAK (Table I): host up time and accumulated idle time —
 /// a unique dynamic identifier (§III-C group 3) also used in §IV-C to group
 /// servers installed at the same time.
-pub fn uptime(k: &Kernel, _view: &View) -> String {
+pub fn uptime(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    uptime_into(k, view, &mut out);
+    out
+}
+
+/// [`uptime`] writing into a caller-provided buffer.
+pub fn uptime_into(k: &Kernel, _view: &View, out: &mut String) {
     let up = k.clock().uptime_secs();
     let idle = k.total_idle_ns() as f64 / NANOS_PER_SEC as f64;
-    format!("{up:.2} {idle:.2}\n")
+    let _ = writeln!(out, "{up:.2} {idle:.2}");
 }
 
 /// `/proc/version`. LEAK (Table I): kernel, gcc and distribution versions.
@@ -191,17 +211,25 @@ pub fn version(k: &Kernel, _view: &View) -> String {
 }
 
 /// `/proc/loadavg`. LEAK (Table I): host CPU/IO utilization over time.
-pub fn loadavg(k: &Kernel, _view: &View) -> String {
+pub fn loadavg(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    loadavg_into(k, view, &mut out);
+    out
+}
+
+/// [`loadavg`] writing into a caller-provided buffer.
+pub fn loadavg_into(k: &Kernel, _view: &View, out: &mut String) {
     let [l1, l5, l15] = k.sched().loadavg();
     let running = k
         .processes()
         .filter(|p| p.state() == simkernel::ProcState::Runnable)
         .count();
-    format!(
-        "{l1:.2} {l5:.2} {l15:.2} {running}/{} {}\n",
+    let _ = writeln!(
+        out,
+        "{l1:.2} {l5:.2} {l15:.2} {running}/{} {}",
         k.process_count().max(1),
         k.last_pid(),
-    )
+    );
 }
 
 #[cfg(test)]

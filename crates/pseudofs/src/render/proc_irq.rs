@@ -9,9 +9,16 @@ use crate::view::View;
 
 /// `/proc/interrupts`. LEAK (Table I): per-IRQ per-CPU counts for the
 /// whole host; the handler has no notion of namespaces.
-pub fn interrupts(k: &Kernel, _view: &View) -> String {
+pub fn interrupts(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    interrupts_into(k, view, &mut out);
+    out
+}
+
+/// [`interrupts`] writing into a caller-provided buffer.
+pub fn interrupts_into(k: &Kernel, _view: &View, out: &mut String) {
     let ncpus = k.config().cpus as usize;
-    let mut out = String::from("     ");
+    out.push_str("     ");
     for c in 0..ncpus {
         let _ = write!(out, "{:>11}", format!("CPU{c}"));
     }
@@ -23,14 +30,20 @@ pub fn interrupts(k: &Kernel, _view: &View) -> String {
         }
         let _ = writeln!(out, "   {}", line.description);
     }
-    out
 }
 
 /// `/proc/softirqs`. LEAK (Table I): per-kind per-CPU softirq counts;
 /// flagged for both co-residence and DoS potential in the paper.
-pub fn softirqs(k: &Kernel, _view: &View) -> String {
+pub fn softirqs(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    softirqs_into(k, view, &mut out);
+    out
+}
+
+/// [`softirqs`] writing into a caller-provided buffer.
+pub fn softirqs_into(k: &Kernel, _view: &View, out: &mut String) {
     let ncpus = k.config().cpus as usize;
-    let mut out = String::from("                ");
+    out.push_str("                ");
     for c in 0..ncpus {
         let _ = write!(out, "{:>11}", format!("CPU{c}"));
     }
@@ -42,7 +55,6 @@ pub fn softirqs(k: &Kernel, _view: &View) -> String {
         }
         out.push('\n');
     }
-    out
 }
 
 #[cfg(test)]

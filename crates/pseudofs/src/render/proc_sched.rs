@@ -8,8 +8,15 @@ use crate::view::View;
 
 /// `/proc/schedstat`. LEAK (Table I/II): per-CPU run/wait time for the
 /// whole host (variation + indirect manipulation via pinned load).
-pub fn schedstat(k: &Kernel, _view: &View) -> String {
-    let mut out = String::from("version 15\ntimestamp 4295000000\n");
+pub fn schedstat(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    schedstat_into(k, view, &mut out);
+    out
+}
+
+/// [`schedstat`] writing into a caller-provided buffer.
+pub fn schedstat_into(k: &Kernel, _view: &View, out: &mut String) {
+    out.push_str("version 15\ntimestamp 4295000000\n");
     for (i, c) in k.sched().cpu_stats().iter().enumerate() {
         let _ = writeln!(
             out,
@@ -21,16 +28,23 @@ pub fn schedstat(k: &Kernel, _view: &View) -> String {
             "domain0 f 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0"
         );
     }
-    out
 }
 
 /// `/proc/sched_debug`. LEAK (Table II, top group): dumps *every* task on
 /// the host — names, host pids, vruntime — regardless of the reader's PID
 /// namespace. Directly manipulable: a tenant launches a process with a
 /// crafted name; co-resident containers find it here (§III-C group 2).
-pub fn sched_debug(k: &Kernel, _view: &View) -> String {
-    let mut out = format!(
-        "Sched Debug Version: v0.11, {} {}\n",
+pub fn sched_debug(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    sched_debug_into(k, view, &mut out);
+    out
+}
+
+/// [`sched_debug`] writing into a caller-provided buffer.
+pub fn sched_debug_into(k: &Kernel, _view: &View, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "Sched Debug Version: v0.11, {} {}",
         k.config().hostname,
         k.config().kernel_release,
     );
@@ -57,14 +71,20 @@ pub fn sched_debug(k: &Kernel, _view: &View) -> String {
             p.vruntime_ns() / 1_000,
         );
     }
-    out
 }
 
 /// `/proc/timer_list`. LEAK (Table II, top group): every armed hrtimer on
 /// the host with owner comm and host pid. The §IV-C orchestration uses
 /// this channel for co-residence verification.
-pub fn timer_list(k: &Kernel, _view: &View) -> String {
-    let mut out = String::from("Timer List Version: v0.8\nHRTIMER_MAX_CLOCK_BASES: 4\n");
+pub fn timer_list(k: &Kernel, view: &View) -> String {
+    let mut out = String::new();
+    timer_list_into(k, view, &mut out);
+    out
+}
+
+/// [`timer_list`] writing into a caller-provided buffer.
+pub fn timer_list_into(k: &Kernel, _view: &View, out: &mut String) {
+    out.push_str("Timer List Version: v0.8\nHRTIMER_MAX_CLOCK_BASES: 4\n");
     let _ = writeln!(out, "now at {} nsecs", k.clock().since_boot_ns());
     for (i, t) in k.timers().timers().iter().enumerate() {
         let _ = writeln!(
@@ -87,7 +107,6 @@ pub fn timer_list(k: &Kernel, _view: &View) -> String {
             t.expires_ns.saturating_sub(k.clock().since_boot_ns()),
         );
     }
-    out
 }
 
 /// `/proc/locks`. LEAK (Table II, top group): all kernel file locks with
