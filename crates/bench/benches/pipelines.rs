@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
+use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, HostId, InstanceSpec};
 use containerleaks::container_runtime::ContainerSpec;
 use containerleaks::leakscan::metrics::joint_entropy;
 use containerleaks::leakscan::{CrossValidator, Lab};
@@ -63,6 +63,53 @@ fn bench_fig2_tick(c: &mut Criterion) {
     });
 }
 
+fn bench_fleet_advance_serial(c: &mut Criterion) {
+    // 8 independent hosts, 60 sim-seconds, forced onto one thread: the
+    // pre-parallel baseline for `Cloud::advance_secs`.
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), 2);
+    c.bench_function("fleet_advance_serial", |b| {
+        b.iter(|| {
+            cloud.advance_secs_threads(60, 1);
+            black_box(cloud.rack_power_w(0))
+        })
+    });
+}
+
+fn bench_fleet_advance_parallel(c: &mut Criterion) {
+    // Same fleet and workload, stepped across all available cores. The
+    // two variants are bitwise deterministic (each kernel owns its RNG),
+    // so the ratio against `fleet_advance_serial` is pure speedup.
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), 2);
+    c.bench_function("fleet_advance_parallel", |b| {
+        b.iter(|| {
+            cloud.advance_secs(60);
+            black_box(cloud.rack_power_w(0))
+        })
+    });
+}
+
+fn bench_fig2_week_segment(c: &mut Criterion) {
+    // One hour of the Fig. 2 week pipeline: diurnal demand re-applied and
+    // the 8-host fleet stepped at the 30 s cadence, aggregate sampled.
+    use containerleaks::powersim::DiurnalTrace;
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), 2);
+    let mut trace = DiurnalTrace::paper_week(2);
+    cloud.set_tick_secs(30);
+    let mut t = 0u64;
+    c.bench_function("fig2_week_segment", |b| {
+        b.iter(|| {
+            let mut agg = 0.0;
+            for _ in 0..120 {
+                trace.apply(&mut cloud, t);
+                cloud.advance_secs(30);
+                agg = (0..8).map(|h| cloud.host_power_w(HostId(h))).sum();
+                t += 30;
+            }
+            black_box(agg)
+        })
+    });
+}
+
 fn bench_fig3_attack_step(c: &mut Criterion) {
     let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(4), 3);
     let obs = cloud
@@ -96,7 +143,7 @@ fn bench_fig4_staircase(c: &mut Criterion) {
                         .expect("exec");
                 }
                 cloud.advance_secs(5);
-                black_box(cloud.host_power_w(containerleaks::cloudsim::HostId(0)))
+                black_box(cloud.host_power_w(HostId(0)))
             },
             BatchSize::SmallInput,
         )
@@ -209,6 +256,9 @@ criterion_group!(
         bench_table2_metrics,
         bench_table3_unixbench,
         bench_fig2_tick,
+        bench_fleet_advance_serial,
+        bench_fleet_advance_parallel,
+        bench_fig2_week_segment,
         bench_fig3_attack_step,
         bench_fig4_staircase,
         bench_fig6_training,

@@ -531,10 +531,19 @@ impl Cloud {
     }
 
     /// Advances the whole fleet by `secs`, metering utilization billing.
+    /// Hosts are stepped concurrently (one scoped thread per chunk of
+    /// hosts); each kernel owns its RNG, so the result is bitwise
+    /// identical to the serial order.
     pub fn advance_secs(&mut self, secs: u64) {
-        for host in &mut self.hosts {
+        self.advance_secs_threads(secs, simkernel::parallel::default_threads());
+    }
+
+    /// [`Cloud::advance_secs`] with an explicit worker count; `threads = 1`
+    /// runs the historical serial loop.
+    pub fn advance_secs_threads(&mut self, secs: u64, threads: usize) {
+        simkernel::parallel::par_for_each_mut_threads(&mut self.hosts, threads, |host| {
             host.kernel.advance_secs(secs);
-        }
+        });
         // Meter: charge each open instance its cpu-time delta.
         let mut charges = Vec::new();
         for inst in self.instances.values() {

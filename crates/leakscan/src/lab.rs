@@ -132,11 +132,11 @@ impl Lab {
         self.hosts.is_empty()
     }
 
-    /// Advances every machine in lockstep.
+    /// Advances every machine in lockstep. Machines are stepped
+    /// concurrently; each kernel owns its RNG, so the result is bitwise
+    /// identical to the serial order.
     pub fn advance_secs(&mut self, secs: u64) {
-        for h in &mut self.hosts {
-            h.kernel.advance_secs(secs);
-        }
+        simkernel::parallel::par_for_each_mut(&mut self.hosts, |h| h.kernel.advance_secs(secs));
     }
 }
 

@@ -55,6 +55,7 @@ pub mod kernel;
 pub mod mem;
 pub mod net;
 pub mod ns;
+pub mod parallel;
 pub mod perf;
 pub mod process;
 pub mod sched;

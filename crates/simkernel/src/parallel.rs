@@ -1,0 +1,97 @@
+//! Scoped-thread fan-out over independent simulation state.
+//!
+//! Every [`Kernel`](crate::Kernel) owns its seeded RNG and all of its
+//! mutable state, so stepping *disjoint* kernels on different threads is
+//! bitwise deterministic: there is no shared mutable state, and each
+//! kernel draws exactly the random sequence it would have drawn serially,
+//! regardless of how the OS schedules the worker threads. Fleet types
+//! (clouds, labs, defended fleets) use [`par_for_each_mut`] to step their
+//! hosts concurrently without giving up reproducibility.
+
+use std::num::NonZeroUsize;
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items`, fanning contiguous chunks
+/// across at most `threads` scoped threads. `threads <= 1` (or a
+/// single-element slice) degenerates to the plain serial loop on the
+/// caller's thread, byte-for-byte reproducing the historical order.
+///
+/// The caller promises the elements are independent: `f` must not rely
+/// on cross-element ordering for its results. Mutations within one
+/// element happen in program order as usual.
+pub fn par_for_each_mut_threads<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for part in items.chunks_mut(chunk) {
+            s.spawn(move || {
+                for item in part {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// [`par_for_each_mut_threads`] with [`default_threads`] workers.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    par_for_each_mut_threads(items, default_threads(), f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut a: Vec<u64> = (0..97).collect();
+        let mut b = a.clone();
+        let step = |x: &mut u64| {
+            for _ in 0..1000 {
+                *x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+        };
+        par_for_each_mut_threads(&mut a, 1, step);
+        par_for_each_mut_threads(&mut b, 8, step);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        par_for_each_mut(&mut empty, |_| unreachable!());
+        let mut one = vec![1u32];
+        par_for_each_mut(&mut one, |x| *x += 1);
+        assert_eq!(one, vec![2]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let mut items = vec![0u32; 3];
+        par_for_each_mut_threads(&mut items, 64, |x| *x += 1);
+        assert_eq!(items, vec![1, 1, 1]);
+    }
+}

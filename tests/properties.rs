@@ -239,4 +239,38 @@ proptest! {
         // In-namespace pids are dense from 1.
         prop_assert_eq!(*ns_pids.iter().max().unwrap(), n as u32);
     }
+
+    /// Parallel fleet stepping is bitwise equal to serial: whatever the
+    /// seed, host count and thread count, `Cloud::advance_secs_threads`
+    /// produces the same per-host `PowerSnapshot` sequence and the same
+    /// pseudofs reads. Determinism is per-host RNG ownership, not
+    /// single-threadedness.
+    #[test]
+    fn parallel_fleet_stepping_matches_serial(
+        hosts in 1usize..5,
+        threads in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
+        let run = |threads: usize| {
+            let mut cloud =
+                Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(hosts), seed);
+            let obs = cloud.launch("t", InstanceSpec::new("obs")).unwrap();
+            let mut snaps = Vec::new();
+            let mut reads = Vec::new();
+            for _ in 0..3 {
+                cloud.advance_secs_threads(5, threads);
+                for h in cloud.hosts() {
+                    snaps.push(h.kernel().last_power().clone());
+                }
+                reads.push(cloud.read_file(obs, "/proc/stat").unwrap());
+                reads.push(cloud.read_file(obs, "/proc/interrupts").unwrap());
+            }
+            (snaps, reads)
+        };
+        let serial = run(1);
+        let parallel = run(threads);
+        prop_assert_eq!(&serial.0, &parallel.0, "power snapshots diverged");
+        prop_assert_eq!(&serial.1, &parallel.1, "pseudofs reads diverged");
+    }
 }
