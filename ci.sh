@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, lints, formatting, and the determinism
+# regression for the parallel experiment runner (--jobs 1 vs --jobs 4
+# must produce byte-identical EXPERIMENTS.md / .json artifacts).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --offline --release --workspace
+
+echo "== tests =="
+cargo test --offline -q --workspace
+
+echo "== clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== determinism: --jobs 1 vs --jobs 4 =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --jobs 1 --out "$tmp/j1.md" >/dev/null
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --jobs 4 --out "$tmp/j4.md" >/dev/null
+cmp "$tmp/j1.md" "$tmp/j4.md"
+cmp "$tmp/j1.json" "$tmp/j4.json"
+echo "byte-identical across job counts"
+
+echo "== all checks passed =="

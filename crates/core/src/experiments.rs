@@ -1784,32 +1784,109 @@ pub fn defense_fleet(seed: u64) -> ExperimentResult {
     }
 }
 
+/// One registry entry: experiment id plus its driver, `(seed, fig2_days)
+/// -> result`. Drivers that ignore one of the inputs discard it; the
+/// entries running on the tuned seed 77 (see EXPERIMENTS.md) do so
+/// regardless of the requested seed, exactly as the historical serial
+/// runner did.
+pub type ExperimentFn = fn(u64, u64) -> ExperimentResult;
+
+/// Every experiment in paper order. Each driver is independent — it
+/// builds its own substrate from the seed — so the registry can be run
+/// serially or fanned across a worker pool with identical results.
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
+    ("table1", |s, _| table1(s)),
+    ("table2", |s, _| table2(s)),
+    ("fig2", fig2),
+    ("fig3", |_, _| fig3(77)), // tuned Fig. 3 seed; see EXPERIMENTS.md
+    ("fig4", |s, _| fig4(s)),
+    ("orchestration", |s, _| orchestration(s)),
+    ("fig5", |s, _| fig5(s)),
+    ("fig6", |s, _| fig6(s)),
+    ("fig7", |s, _| fig7(s)),
+    ("fig8", |s, _| fig8(s)),
+    ("fig9", |s, _| fig9(s)),
+    ("table3", |_, _| table3()),
+    ("covert", |s, _| covert(s)),
+    ("capping", |_, _| capping(77)),
+    ("hardening", |s, _| hardening(s)),
+    ("rack_attack", |_, _| rack_attack(77)),
+    ("detectors", |s, _| detectors(s)),
+    ("stealth", |_, _| stealth(77)),
+    ("defense", |s, _| defense(s)),
+    ("defense_fleet", |s, _| defense_fleet(s)),
+    ("ablations", |s, _| ablations(s)),
+];
+
 /// The full set, in paper order. `fig2_days` bounds the most expensive
 /// experiment (7 for the paper's full week).
 pub fn all(seed: u64, fig2_days: u64) -> Vec<ExperimentResult> {
-    vec![
-        table1(seed),
-        table2(seed),
-        fig2(seed, fig2_days),
-        fig3(77), // tuned Fig. 3 seed; see EXPERIMENTS.md
-        fig4(seed),
-        orchestration(seed),
-        fig5(seed),
-        fig6(seed),
-        fig7(seed),
-        fig8(seed),
-        fig9(seed),
-        table3(),
-        covert(seed),
-        capping(77),
-        hardening(seed),
-        rack_attack(77),
-        detectors(seed),
-        stealth(77),
-        defense(seed),
-        defense_fleet(seed),
-        ablations(seed),
-    ]
+    run_all(seed, fig2_days, 1)
+}
+
+/// Runs the registry across a pool of `jobs` workers, returning results
+/// in paper order. Each driver is a pure function of the seed, so the
+/// result vector is byte-identical for any `jobs`; `jobs = 1` runs on
+/// the caller's thread in the historical serial order.
+pub fn run_all(seed: u64, fig2_days: u64, jobs: usize) -> Vec<ExperimentResult> {
+    run_all_with(seed, fig2_days, jobs, |_, _| {})
+}
+
+/// [`run_all`] with a progress callback, invoked as each experiment
+/// completes with its registry index (completion order under `jobs > 1`;
+/// registry order under `jobs = 1`).
+pub fn run_all_with(
+    seed: u64,
+    fig2_days: u64,
+    jobs: usize,
+    progress: impl Fn(usize, &ExperimentResult) + Sync,
+) -> Vec<ExperimentResult> {
+    run_entries_with(EXPERIMENTS, seed, fig2_days, jobs, progress)
+}
+
+/// Runs an arbitrary slice of registry entries through the worker pool —
+/// the engine behind [`run_all_with`], public so tests and tools can run
+/// a cheap subset (e.g. the determinism regression gate) without paying
+/// for the full registry.
+pub fn run_entries_with(
+    entries: &[(&str, ExperimentFn)],
+    seed: u64,
+    fig2_days: u64,
+    jobs: usize,
+    progress: impl Fn(usize, &ExperimentResult) + Sync,
+) -> Vec<ExperimentResult> {
+    let n = entries.len();
+    let mut slots: Vec<Option<ExperimentResult>> = (0..n).map(|_| None).collect();
+    if jobs.max(1).min(n.max(1)) == 1 {
+        for (i, (_, f)) in entries.iter().enumerate() {
+            let r = f(seed, fig2_days);
+            progress(i, &r);
+            slots[i] = Some(r);
+        }
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let out = Mutex::new(&mut slots);
+        let progress = &progress;
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = entries[i].1(seed, fig2_days);
+                    progress(i, &r);
+                    out.lock().expect("result slots")[i] = Some(r);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every experiment ran"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,12 +1,18 @@
 //! Runs every experiment and (re)writes EXPERIMENTS.md.
 //!
 //! Flags: `--seed <u64>` (default 1729), `--days <n>` for the Fig. 2 trace
-//! length (default 7), `--out <path>` (default `EXPERIMENTS.md`).
+//! length (default 7), `--out <path>` (default `EXPERIMENTS.md`),
+//! `--jobs <n>` worker threads for the experiment pool (default = available
+//! cores; `--jobs 1` reproduces the serial order). Every experiment driver
+//! is a pure function of the seed, so the written artifacts are
+//! byte-identical for any `--jobs` value.
 
 use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    let jobs = containerleaks_experiments::jobs_arg();
     let args: Vec<String> = std::env::args().collect();
     let days = args
         .windows(2)
@@ -19,19 +25,21 @@ fn main() {
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
 
-    let mut results = Vec::new();
-    let all = containerleaks::experiments::all(seed, days);
-    let total = all.len();
-    for (i, r) in all.into_iter().enumerate() {
+    let total = containerleaks::experiments::EXPERIMENTS.len();
+    let done = AtomicUsize::new(0);
+    let results = containerleaks::experiments::run_all_with(seed, days, jobs, |_, r| {
+        // Progress in completion order; the result vector (and therefore
+        // everything printed or written below) stays in paper order.
         eprintln!(
             "[{}/{total}] {} — {}",
-            i + 1,
+            done.fetch_add(1, Ordering::Relaxed) + 1,
             r.id,
             if r.all_hold() { "ok" } else { "CLAIMS FAILED" }
         );
-        containerleaks_experiments::emit(&r);
+    });
+    for r in &results {
+        containerleaks_experiments::emit(r);
         println!();
-        results.push(r);
     }
     let md = containerleaks::render_experiments_md(&results, seed);
     let mut f = std::fs::File::create(&out_path).expect("create report file");

@@ -17,6 +17,21 @@ pub fn seed_arg(default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parses `--jobs` from argv; defaults to the number of available
+/// cores. `--jobs 1` forces the historical serial order.
+pub fn jobs_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--jobs")
+        .and_then(|w| w[1].parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
 /// Whether `--json` was passed.
 pub fn json_flag() -> bool {
     std::env::args().any(|a| a == "--json")

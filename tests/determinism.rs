@@ -76,3 +76,25 @@ fn traces_are_reproducible_but_seed_sensitive() {
     assert_eq!(sample(5), sample(5));
     assert_ne!(sample(5), sample(6));
 }
+
+#[test]
+fn experiment_runner_is_jobs_invariant() {
+    // The determinism gate for the parallel experiment runner: a cheap
+    // subset of the registry, run serially and through a 4-worker pool,
+    // must render byte-identical reports. (ci.sh runs the same gate over
+    // the full registry via the `all` binary.)
+    use containerleaks::experiments::{run_entries_with, EXPERIMENTS};
+    let subset: Vec<_> = EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|(id, _)| matches!(*id, "table1" | "table3" | "hardening"))
+        .collect();
+    assert_eq!(subset.len(), 3, "registry ids changed under the test");
+    let render = |jobs: usize| {
+        let results = run_entries_with(&subset, 1729, 1, jobs, |_, _| {});
+        containerleaks::render_experiments_md(&results, 1729)
+    };
+    let serial = render(1);
+    assert_eq!(serial, render(4), "parallel runner diverged from serial");
+    assert_eq!(serial, render(2), "2-worker pool diverged from serial");
+}
