@@ -17,6 +17,14 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== fmt =="
 cargo fmt --check
 
+echo "== docs (rustdoc, warnings denied; vendored stand-ins exempt) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
+    --exclude criterion --exclude proptest --exclude rand \
+    --exclude serde --exclude serde_derive --exclude serde_json
+
+echo "== static leakage audit (snapshot + dynamic agreement) =="
+cargo run --offline --release -q -p containerleaks-experiments --bin leakcheck -- --check
+
 echo "== determinism: --jobs 1 vs --jobs 4 =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

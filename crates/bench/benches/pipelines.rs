@@ -1,3 +1,6 @@
+// The criterion_group macro expands to undocumented public items the
+// workspace-level missing_docs lint would otherwise flag.
+#![allow(missing_docs)]
 //! One Criterion benchmark per table/figure pipeline.
 //!
 //! Each group benches the hot inner loop of the corresponding experiment:

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Criterion benchmarks for the reproduction pipelines.
 //!
 //! One benchmark per table/figure pipeline lives in `benches/pipelines.rs`

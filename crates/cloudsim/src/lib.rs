@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Multi-tenancy container-cloud simulation.
 //!
 //! Models the environment the paper's cloud measurements ran against: a

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! A Docker/LXC-style container runtime over the simulated kernel.
 //!
 //! A container here is exactly what it is on Linux 4.7: a fresh set of the

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # ContainerLeaks — a full reproduction of the DSN'17 paper
 //!
 //! *"ContainerLeaks: Emerging Security Threats of Information Leakages in
@@ -38,6 +36,7 @@
 
 pub use cloudsim;
 pub use container_runtime;
+pub use leakcheck;
 pub use leakscan;
 pub use powerns;
 pub use powersim;

@@ -1,0 +1,217 @@
+//! Per-function extraction: find every `fn` in a token stream and record
+//! its name, which parameters bind the kernel and the view, and its body.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One function definition pulled out of a module's token stream.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The parameter bound to `&Kernel`, if any (e.g. `k`, `_k`).
+    pub kernel_param: Option<String>,
+    /// The parameter bound to `&View`, if any (e.g. `view`, `_view`).
+    pub view_param: Option<String>,
+    /// Body tokens, between (and excluding) the outermost braces.
+    pub body: Vec<Token>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Extracts every function from `tokens`, skipping nested `mod` blocks
+/// (which in the audited sources are only `#[cfg(test)] mod tests`).
+pub fn functions(tokens: &[Token]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("mod")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            i = skip_braced(tokens, i + 2);
+            continue;
+        }
+        if tokens[i].is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('<'))
+        {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            let paren = if tokens[i + 2].is_punct('<') {
+                skip_generics(tokens, i + 2)
+            } else {
+                i + 2
+            };
+            if !tokens.get(paren).is_some_and(|t| t.is_punct('(')) {
+                i += 2;
+                continue;
+            }
+            let params_start = paren + 1;
+            let params_end = matching(tokens, paren, '(', ')');
+            let (kernel_param, view_param) = bind_params(&tokens[params_start..params_end]);
+            // Scan past the return type to the body's opening brace.
+            let mut j = params_end + 1;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= tokens.len() || tokens[j].is_punct(';') {
+                i = j + 1; // trait method signature; none expected, but be safe
+                continue;
+            }
+            let body_end = matching(tokens, j, '{', '}');
+            out.push(FnDef {
+                name,
+                kernel_param,
+                view_param,
+                body: tokens[j + 1..body_end].to_vec(),
+                line,
+            });
+            i = body_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// hold the opening character). Returns the last index when unbalanced.
+fn matching(tokens: &[Token], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index one past the end of the brace block opening at `open`.
+fn skip_braced(tokens: &[Token], open: usize) -> usize {
+    matching(tokens, open, '{', '}') + 1
+}
+
+/// Index of the first token after the generic parameter list opening at
+/// `open` (which holds `<`). `->` arrows inside bounds don't close it.
+fn skip_generics(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(j > 0 && tokens[j - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Splits a parameter list on top-level commas and finds which parameter
+/// names bind the `Kernel` and the `View` (by type-token inspection).
+fn bind_params(params: &[Token]) -> (Option<String>, Option<String>) {
+    let mut kernel = None;
+    let mut view = None;
+    let mut depth = 0i32;
+    let mut start = 0;
+    let mut groups: Vec<&[Token]> = Vec::new();
+    for (j, t) in params.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            groups.push(&params[start..j]);
+            start = j + 1;
+        }
+    }
+    if start < params.len() {
+        groups.push(&params[start..]);
+    }
+    for g in groups {
+        let name = g
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone());
+        let Some(name) = name else { continue };
+        if g.iter().any(|t| t.is_ident("Kernel")) {
+            kernel = Some(name);
+        } else if g.iter().any(|t| t.is_ident("View")) {
+            view = Some(name);
+        }
+    }
+    (kernel, view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_params() {
+        let src = "
+            pub fn cpuinfo(k: &Kernel, view: &View) -> String { k.config() }
+            fn helper(_k: &Kernel, _view: &View, out: &mut String) {}
+        ";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "cpuinfo");
+        assert_eq!(fns[0].kernel_param.as_deref(), Some("k"));
+        assert_eq!(fns[0].view_param.as_deref(), Some("view"));
+        assert!(fns[0].body.iter().any(|t| t.is_ident("config")));
+        assert_eq!(fns[1].kernel_param.as_deref(), Some("_k"));
+        assert_eq!(fns[1].view_param.as_deref(), Some("_view"));
+    }
+
+    #[test]
+    fn skips_test_modules() {
+        let src = "
+            pub fn real(k: &Kernel) -> u64 { 0 }
+            mod tests { fn fake(k: &Kernel) {} }
+        ";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_defs() {
+        let src = "pub fn f(k: &Kernel) { let sum = |g: fn(&X) -> u64| -> u64 { g(x) }; }";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "f");
+    }
+
+    #[test]
+    fn generic_functions_are_extracted() {
+        let src = "pub fn par<T, F>(items: &mut [T], f: F) where F: Fn(&mut T) -> u64 { body() }";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "par");
+        assert!(fns[0].body.iter().any(|t| t.is_ident("body")));
+    }
+
+    #[test]
+    fn nested_braces_in_bodies() {
+        let src = "fn a(view: &View) { match view.context { A => {} B => {} } } fn b() {}";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[1].name, "b");
+    }
+}

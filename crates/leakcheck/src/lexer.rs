@@ -1,0 +1,293 @@
+//! A minimal Rust lexer: just enough structure for field-access analysis.
+//!
+//! The auditor runs offline (no `syn`), so it tokenizes source the hard
+//! way: identifiers, single-character punctuation, and literals, with
+//! comments and string contents stripped so `"k.mem()"` inside a format
+//! string can never masquerade as a kernel read.
+
+/// What a token is, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `match`, `view`, …).
+    Ident,
+    /// One punctuation character (`.`, `{`, `:`, …).
+    Punct,
+    /// Number, string, char, or byte literal (contents collapsed).
+    Literal,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// The token's text; string literals keep their quoted form.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes Rust source. Comments and whitespace are dropped; string
+/// and char literal *contents* are not tokenized (each literal becomes a
+/// single [`TokenKind::Literal`] token).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::with_capacity(src.len() / 4);
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = lex_string(&b, i, &mut line, &mut out),
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                // Skip the prefix (`r`, `b`, `br`, `rb`) and any `#`s.
+                let mut j = i;
+                while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    let start_line = line;
+                    j += 1;
+                    loop {
+                        match b.get(j) {
+                            None => break,
+                            Some('\n') => {
+                                line += 1;
+                                j += 1;
+                            }
+                            Some('"') => {
+                                let mut h = 0;
+                                while b.get(j + 1 + h) == Some(&'#') && h < hashes {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    j += 1 + hashes;
+                                    break;
+                                }
+                                j += 1;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "\"…\"".to_string(),
+                        line: start_line,
+                    });
+                    i = j;
+                } else {
+                    // Plain identifier starting with r/b after all.
+                    i = lex_ident(&b, i, line, &mut out);
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime =
+                    matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    i = j; // lifetimes carry no analysis signal; drop them
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "'…'".to_string(),
+                        line,
+                    });
+                    i = j + 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() {
+                    let d = b[j];
+                    // A `.` continues the number only as a decimal point
+                    // (digit follows, not a second `.` of a range).
+                    let decimal_point = d == '.'
+                        && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b[j - 1] != '.';
+                    if d.is_alphanumeric() || d == '_' || decimal_point {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => i = lex_ident(&b, i, line, &mut out),
+            _ => {
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+fn lex_string(b: &[char], mut i: usize, line: &mut u32, out: &mut Vec<Token>) -> usize {
+    let start_line = *line;
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Literal,
+        text: "\"…\"".to_string(),
+        line: start_line,
+    });
+    i
+}
+
+fn lex_ident(b: &[char], i: usize, line: u32, out: &mut Vec<Token>) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    out.push(Token {
+        kind: TokenKind::Ident,
+        text: b[i..j].iter().collect(),
+        line,
+    });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_calls() {
+        assert_eq!(
+            texts("k.mem().total_bytes()"),
+            ["k", ".", "mem", "(", ")", ".", "total_bytes", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let toks = texts(r#"write!(out, "k.mem() {x}", k.irq())"#);
+        assert!(toks.contains(&"irq".to_string()));
+        assert!(!toks.contains(&"mem".to_string()), "{toks:?}");
+    }
+
+    #[test]
+    fn comments_are_dropped_and_lines_tracked() {
+        let toks = lex("// k.hw()\n/* k.net() */ fs\n");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "fs");
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = texts("m.as_str() == '/' && x.split('\\0')");
+        assert!(toks.contains(&"'…'".to_string()));
+        let toks = texts("fn f<'a>(x: &'a str) {}");
+        assert!(!toks.iter().any(|t| t == "a" || t.starts_with('\'')));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("4.7"), ["4.7"]);
+        assert_eq!(texts("0xcbf2_9ce4"), ["0xcbf2_9ce4"]);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let toks = texts(r##"let p = r#"k.fs()"#; q"##);
+        assert_eq!(toks, ["let", "p", "=", "\"…\"", ";", "q"]);
+    }
+}

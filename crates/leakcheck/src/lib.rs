@@ -1,0 +1,304 @@
+//! Static leakage auditor for the modeled pseudo-filesystem.
+//!
+//! The dynamic scanner ([`leakscan`]'s cross-validator) detects
+//! namespace-blind channels by *reading* every file from a host view and
+//! a container view and diffing. This crate reaches the same verdicts
+//! without executing a kernel: it tokenizes the handler sources under
+//! `crates/pseudofs/src/render/`, extracts per-function kernel/view
+//! accesses, and classifies each registered channel on the
+//! [`Verdict`] lattice. A second pass lints the
+//! simulation crates for determinism hazards (hash-order iteration
+//! feeding output, shared state inside `par_for_each_mut` partitions).
+//!
+//! The two analyses are cross-validated both ways:
+//!
+//! * an integration test asserts static verdicts agree with the dynamic
+//!   scanner on every channel (modulo a documented allowlist), and
+//! * [`audit`] cross-checks the [`pseudofs::ROUTES`] registry against the
+//!   parsed `fs.rs` dispatch arms, so the table this crate audits can
+//!   never silently drift from the code that actually routes reads.
+//!
+//! [`leakscan`]: https://docs.rs/leakscan
+
+pub mod classify;
+pub mod determinism;
+pub mod extract;
+pub mod lexer;
+pub mod report;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+pub use classify::{analyze_module, Facts, FnAnalysis, Verdict};
+pub use determinism::{lint_file, Hazard};
+pub use report::{diff_lines, ChannelReport, HazardReport, Report};
+
+use extract::functions;
+use lexer::{lex, TokenKind};
+
+/// The render modules dispatched by `fs.rs`, mirroring
+/// `pseudofs/src/render/mod.rs`.
+pub const RENDER_MODULES: &[&str] = &[
+    "proc_basic",
+    "proc_irq",
+    "proc_kernel",
+    "proc_misc",
+    "proc_pid",
+    "proc_sched",
+    "proc_vm",
+    "sys_cgroup",
+    "sys_node",
+    "sys_power",
+];
+
+/// Crates whose sources the determinism lint covers: everything that can
+/// influence rendered bytes or the parallel stepping path.
+pub const LINTED_CRATES: &[&str] = &[
+    "cloudsim",
+    "container",
+    "core",
+    "leakscan",
+    "pseudofs",
+    "simkernel",
+];
+
+/// The workspace root, derived from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/leakcheck sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs the full audit against the workspace sources on disk.
+///
+/// Classifies every [`pseudofs::ROUTES`] channel, cross-checks the
+/// registry against the parsed `fs.rs` dispatch arms, and lints the
+/// simulation crates for determinism hazards. Errors describe registry
+/// drift or unreadable sources; they are audit *failures*, not findings.
+pub fn audit() -> Result<Report, String> {
+    audit_at(&workspace_root())
+}
+
+/// [`audit`] against an explicit workspace root (testable entry point).
+pub fn audit_at(root: &Path) -> Result<Report, String> {
+    let render_dir = root.join("crates/pseudofs/src/render");
+    let mut modules: BTreeMap<String, BTreeMap<String, FnAnalysis>> = BTreeMap::new();
+    for m in RENDER_MODULES {
+        let src = read(&render_dir.join(format!("{m}.rs")))?;
+        modules.insert((*m).to_string(), analyze_module(&src));
+    }
+
+    let mut channels = Vec::new();
+    for r in pseudofs::ROUTES {
+        channels.push(channel_report(&modules, r.pattern, r.handler)?);
+    }
+
+    let fs_src = read(&root.join("crates/pseudofs/src/fs.rs"))?;
+    cross_check(&fs_src, &modules)?;
+
+    let mut hazards = Vec::new();
+    for c in LINTED_CRATES {
+        let dir = root.join("crates").join(c).join("src");
+        for file in rust_files(&dir)? {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = read(&file)?;
+            hazards.extend(
+                determinism::lint_file(&rel, &src)
+                    .into_iter()
+                    .map(Into::into),
+            );
+        }
+    }
+
+    Ok(Report { channels, hazards })
+}
+
+/// Resolves `module::function` to its analysis and builds the row.
+fn channel_report(
+    modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
+    pattern: &str,
+    handler: &str,
+) -> Result<ChannelReport, String> {
+    let (m, f) = handler
+        .split_once("::")
+        .ok_or_else(|| format!("handler `{handler}` is not module::function"))?;
+    let analysis = modules
+        .get(m)
+        .and_then(|fns| fns.get(f))
+        .ok_or_else(|| format!("handler `{handler}` not found in render sources"))?;
+    Ok(ChannelReport::new(pattern, handler, analysis))
+}
+
+/// Verifies the registry against the code: the `module::function` calls
+/// in the parsed `fs.rs` `dispatch` body must be exactly the registry's
+/// handler set, the `read_into` fast arms exactly the `fast_into` set,
+/// and each fast path's verdict must match its handler's.
+fn cross_check(
+    fs_src: &str,
+    modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
+) -> Result<(), String> {
+    let dispatch_refs = render_calls(fs_src, "dispatch")?;
+    let into_refs = render_calls(fs_src, "read_into")?;
+
+    let registry: BTreeSet<String> = pseudofs::ROUTES
+        .iter()
+        .map(|r| r.handler.to_string())
+        .collect();
+    let fast: BTreeSet<String> = pseudofs::ROUTES
+        .iter()
+        .filter_map(|r| r.fast_into.map(str::to_string))
+        .collect();
+
+    if dispatch_refs != registry {
+        let only_code: Vec<_> = dispatch_refs.difference(&registry).cloned().collect();
+        let only_table: Vec<_> = registry.difference(&dispatch_refs).cloned().collect();
+        return Err(format!(
+            "registry drift: dispatch-only {only_code:?}, registry-only {only_table:?}"
+        ));
+    }
+    if into_refs != fast {
+        let only_code: Vec<_> = into_refs.difference(&fast).cloned().collect();
+        let only_table: Vec<_> = fast.difference(&into_refs).cloned().collect();
+        return Err(format!(
+            "fast-path drift: read_into-only {only_code:?}, registry-only {only_table:?}"
+        ));
+    }
+
+    for r in pseudofs::ROUTES {
+        let Some(into) = r.fast_into else { continue };
+        let hv = lookup(modules, r.handler)?.verdict;
+        let iv = lookup(modules, into)?.verdict;
+        if hv != iv {
+            return Err(format!(
+                "fast path `{into}` classifies as {iv} but handler `{}` as {hv}",
+                r.handler
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn lookup<'a>(
+    modules: &'a BTreeMap<String, BTreeMap<String, FnAnalysis>>,
+    handler: &str,
+) -> Result<&'a FnAnalysis, String> {
+    let (m, f) = handler
+        .split_once("::")
+        .ok_or_else(|| format!("`{handler}` is not module::function"))?;
+    modules
+        .get(m)
+        .and_then(|fns| fns.get(f))
+        .ok_or_else(|| format!("`{handler}` not found in render sources"))
+}
+
+/// `module::function` references (for render modules) inside the body of
+/// the named function in `fs.rs`.
+fn render_calls(fs_src: &str, fn_name: &str) -> Result<BTreeSet<String>, String> {
+    let tokens = lex(fs_src);
+    let def = functions(&tokens)
+        .into_iter()
+        .find(|f| f.name == fn_name)
+        .ok_or_else(|| format!("fs.rs has no fn `{fn_name}`"))?;
+    let b = &def.body;
+    let mut out = BTreeSet::new();
+    for i in 0..b.len().saturating_sub(3) {
+        if b[i].kind == TokenKind::Ident
+            && RENDER_MODULES.contains(&b[i].text.as_str())
+            && b[i + 1].is_punct(':')
+            && b[i + 2].is_punct(':')
+            && b[i + 3].kind == TokenKind::Ident
+        {
+            out.insert(format!("{}::{}", b[i].text, b[i + 3].text));
+        }
+    }
+    Ok(out)
+}
+
+/// `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            out.extend(rust_files(&p)?);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(out)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_runs_against_the_workspace() {
+        let report = audit().expect("audit succeeds");
+        assert_eq!(report.channels.len(), pseudofs::ROUTES.len());
+        // Case Study I: net_prio.ifpriomap is the paper's mixed channel.
+        let ifprio = report
+            .channels
+            .iter()
+            .find(|c| c.pattern.ends_with("net_prio.ifpriomap"))
+            .expect("ifpriomap audited");
+        assert_eq!(ifprio.verdict, "namespace-blind-mixed");
+        // The pid channels route through the reader's namespace.
+        let self_status = report
+            .channels
+            .iter()
+            .find(|c| c.pattern == "/proc/self/status")
+            .unwrap();
+        assert_eq!(self_status.verdict, "view-routed");
+        // Masking is policy, not isolation.
+        let cpuinfo = report
+            .channels
+            .iter()
+            .find(|c| c.pattern == "/proc/cpuinfo")
+            .unwrap();
+        assert_eq!(cpuinfo.verdict, "masked-only");
+    }
+
+    #[test]
+    fn every_hazard_is_reviewed() {
+        let report = audit().expect("audit succeeds");
+        let unreviewed: Vec<_> = report.hazards.iter().filter(|h| !h.accepted).collect();
+        assert!(
+            unreviewed.is_empty(),
+            "unreviewed determinism hazards: {unreviewed:?}"
+        );
+    }
+
+    #[test]
+    fn render_calls_parses_module_paths() {
+        let src = "
+            impl Fs {
+                fn dispatch(&self, path: &str) -> Option<String> {
+                    match path {
+                        \"/proc/cpuinfo\" => Some(proc_basic::cpuinfo(k, view)),
+                        _ => match segs.as_slice() {
+                            [\"proc\", pid, \"status\"] => Some(proc_pid::pid_status(k, view, pid)),
+                            _ => None,
+                        },
+                    }
+                }
+            }
+        ";
+        let calls = render_calls(src, "dispatch").unwrap();
+        assert!(calls.contains("proc_basic::cpuinfo"));
+        assert!(calls.contains("proc_pid::pid_status"));
+        assert_eq!(calls.len(), 2);
+    }
+}

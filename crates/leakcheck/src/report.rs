@@ -1,0 +1,237 @@
+//! Report structures: the machine-readable (JSON) and human (table)
+//! renderings of an audit, plus the snapshot diff used by `--check`.
+
+use serde::Serialize;
+
+use crate::classify::FnAnalysis;
+use crate::determinism::Hazard;
+
+/// One channel's audit row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelReport {
+    /// The route's path glob (e.g. `/proc/*/status`).
+    pub pattern: String,
+    /// Handler as `module::function`.
+    pub handler: String,
+    /// Verdict string (`view-routed`, `masked-only`, `namespace-blind`,
+    /// `namespace-blind-mixed`, `static`).
+    pub verdict: String,
+    /// Namespace markers supporting the verdict.
+    pub ns_markers: Vec<String>,
+    /// Host-global reads reaching the output.
+    pub globals: Vec<String>,
+    /// Neutral-when-routed kernel reads.
+    pub neutral: Vec<String>,
+    /// Masking-policy consultations.
+    pub mask_markers: Vec<String>,
+}
+
+impl ChannelReport {
+    /// Builds a row from a route and its handler's analysis.
+    pub fn new(pattern: &str, handler: &str, analysis: &FnAnalysis) -> Self {
+        let f = &analysis.facts;
+        ChannelReport {
+            pattern: pattern.to_string(),
+            handler: handler.to_string(),
+            verdict: analysis.verdict.to_string(),
+            ns_markers: f.ns_markers.iter().cloned().collect(),
+            globals: f.globals.iter().cloned().collect(),
+            neutral: f.neutral.iter().cloned().collect(),
+            mask_markers: f.mask_markers.iter().cloned().collect(),
+        }
+    }
+}
+
+/// One determinism finding, as reported.
+#[derive(Debug, Clone, Serialize)]
+pub struct HazardReport {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Enclosing function.
+    pub function: String,
+    /// Finding class.
+    pub kind: String,
+    /// Human-readable description.
+    pub detail: String,
+    /// True when the finding is on the reviewed accept list.
+    pub accepted: bool,
+    /// Acceptance rationale (empty when not accepted).
+    pub reason: String,
+}
+
+impl From<Hazard> for HazardReport {
+    fn from(h: Hazard) -> Self {
+        HazardReport {
+            file: h.file,
+            function: h.function,
+            kind: h.kind,
+            detail: h.detail,
+            accepted: h.accepted,
+            reason: h.reason,
+        }
+    }
+}
+
+/// The full audit: one row per registered channel plus determinism
+/// findings across the workspace's simulation crates.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Channel classifications, in registry order.
+    pub channels: Vec<ChannelReport>,
+    /// Determinism findings, in file-walk order (sorted by file, line).
+    pub hazards: Vec<HazardReport>,
+}
+
+impl Report {
+    /// Pretty-printed JSON, the `leakcheck.json` snapshot format.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable summary table.
+    pub fn human_table(&self) -> String {
+        let mut out = String::new();
+        let wide = self
+            .channels
+            .iter()
+            .map(|c| c.pattern.len())
+            .max()
+            .unwrap_or(8);
+        out.push_str(&format!(
+            "{:w$}  {:22}  verdict\n",
+            "channel",
+            "handler",
+            w = wide
+        ));
+        for c in &self.channels {
+            let why = if !c.ns_markers.is_empty() && c.verdict != "view-routed" {
+                format!("  [globals: {}]", c.globals.join(", "))
+            } else if c.verdict == "namespace-blind" {
+                format!(
+                    "  [{}]",
+                    c.globals
+                        .iter()
+                        .chain(c.neutral.iter())
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{:w$}  {:22}  {}{}\n",
+                c.pattern,
+                c.handler,
+                c.verdict,
+                why,
+                w = wide
+            ));
+        }
+        let mut tally: std::collections::BTreeMap<&str, usize> = Default::default();
+        for c in &self.channels {
+            *tally.entry(c.verdict.as_str()).or_insert(0) += 1;
+        }
+        out.push('\n');
+        for (v, n) in &tally {
+            out.push_str(&format!("  {n:3}  {v}\n"));
+        }
+        out.push('\n');
+        if self.hazards.is_empty() {
+            out.push_str("determinism: no hazards\n");
+        } else {
+            for h in &self.hazards {
+                let tag = if h.accepted { "accepted" } else { "HAZARD" };
+                out.push_str(&format!(
+                    "determinism [{tag}] {}::{} ({}): {}\n",
+                    h.file, h.function, h.kind, h.detail
+                ));
+                if h.accepted {
+                    out.push_str(&format!("  reason: {}\n", h.reason));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Line-level diff of the committed snapshot against a fresh report.
+/// Returns an empty vector when they match byte-for-byte.
+pub fn diff_lines(expected: &str, actual: &str) -> Vec<String> {
+    if expected == actual {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    let n = e.len().max(a.len());
+    for i in 0..n {
+        let le = e.get(i).copied().unwrap_or("<missing>");
+        let la = a.get(i).copied().unwrap_or("<missing>");
+        if le != la {
+            out.push(format!(
+                "line {}: snapshot `{}` vs fresh `{}`",
+                i + 1,
+                le,
+                la
+            ));
+            if out.len() >= 20 {
+                out.push("… (more differences elided)".to_string());
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Facts;
+    use crate::classify::FnAnalysis;
+
+    fn analysis() -> FnAnalysis {
+        let mut facts = Facts::default();
+        facts.globals.insert("k.net()".to_string());
+        facts.ns_markers.insert("view.context".to_string());
+        let verdict = facts.verdict();
+        FnAnalysis { facts, verdict }
+    }
+
+    #[test]
+    fn json_round_trips_the_verdict_string() {
+        let r = Report {
+            channels: vec![ChannelReport::new(
+                "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+                "sys_cgroup::ifpriomap",
+                &analysis(),
+            )],
+            hazards: Vec::new(),
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"namespace-blind-mixed\""), "{j}");
+        assert!(j.contains("\"k.net()\""));
+        assert!(j.ends_with('\n'));
+    }
+
+    #[test]
+    fn diff_reports_changed_lines_only() {
+        assert!(diff_lines("a\nb\n", "a\nb\n").is_empty());
+        let d = diff_lines("a\nb\n", "a\nc\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("line 2"));
+    }
+
+    #[test]
+    fn human_table_tallies_verdicts() {
+        let r = Report {
+            channels: vec![ChannelReport::new("/proc/x", "m::f", &analysis())],
+            hazards: Vec::new(),
+        };
+        let t = r.human_table();
+        assert!(t.contains("namespace-blind-mixed"));
+        assert!(t.contains("  1  namespace-blind-mixed"));
+    }
+}

@@ -127,7 +127,7 @@ impl CrossValidator {
     }
 }
 
-fn is_pid_path(path: &str) -> bool {
+pub(crate) fn is_pid_path(path: &str) -> bool {
     let mut segs = path.trim_start_matches('/').split('/');
     matches!(
         (segs.next(), segs.next()),

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! The ContainerLeaks detection framework (the paper's §III).
 //!
 //! Four pieces, mirroring Fig. 1 and the Table I/II analyses:
@@ -20,6 +18,7 @@
 //! * [`inspect`] — the cloud inspector that regenerates the Table I
 //!   exposure matrix across provider profiles CC1–CC5.
 
+pub mod agreement;
 pub mod channels;
 pub mod coresidence;
 pub mod covert;

@@ -17,7 +17,7 @@
 //! Channels with 𝕍 are additionally ranked by the joint Shannon entropy of
 //! Formula (1), computed over a 60-snapshot 1 Hz trace.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 use workloads::{Phase, Repeat, WorkloadClass, WorkloadSpec};
@@ -70,7 +70,10 @@ pub fn joint_entropy(snapshots: &[Vec<f64>]) -> f64 {
     let samples = snapshots.len() as f64;
     let mut total = 0.0;
     for i in 0..n_fields {
-        let mut counts: HashMap<u64, usize> = HashMap::new();
+        // BTreeMap keeps summation order stable across processes: the
+        // per-bucket terms are floats, and float addition in HashMap's
+        // randomized iteration order produced run-to-run ULP drift.
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for snap in snapshots {
             // Bucket by bit pattern of the value (exact-value histogram).
             *counts.entry(snap[i].to_bits()).or_insert(0) += 1;

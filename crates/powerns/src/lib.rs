@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! The power-based namespace defense (§V of the paper).
 //!
 //! The second-stage defense: instead of masking the RAPL channel, serve

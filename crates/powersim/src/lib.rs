@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Datacenter power infrastructure and the synergistic power attack (§IV).
 //!
 //! Models the power side of the paper's threat: racks of servers behind

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Simulated `procfs`/`sysfs`: the pseudo-file layer containers read.
 //!
 //! Linux exposes kernel state to user space through memory-based pseudo
@@ -39,9 +37,11 @@
 
 pub mod error;
 pub mod fs;
+pub mod registry;
 pub mod render;
 pub mod view;
 
 pub use error::FsError;
 pub use fs::PseudoFs;
+pub use registry::{route_for, Route, ROUTES};
 pub use view::{Context, MaskAction, MaskPolicy, MaskRule, View};

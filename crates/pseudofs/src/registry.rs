@@ -1,0 +1,454 @@
+//! The channel registry: a machine-readable export of every dispatch arm.
+//!
+//! [`PseudoFs::read`](crate::PseudoFs::read) routes paths to handler
+//! functions through a `match`; that control flow is opaque to tooling.
+//! This module mirrors it as data: one [`Route`] per dispatch arm, naming
+//! the glob it serves, a concrete probe path, and the handler function
+//! (plus the buffer-writing fast path, when one exists) as a
+//! `module::function` string relative to [`crate::render`].
+//!
+//! Consumers:
+//!
+//! * the `leakcheck` static auditor resolves each route to its handler's
+//!   source and classifies the channel's namespace behavior, then
+//!   cross-checks this table against the parsed `fs.rs` dispatch arms so
+//!   the two can never drift silently;
+//! * tests walk [`ROUTES`] to assert every probe renders and every listed
+//!   path is routable.
+
+use crate::view::glob_match;
+
+/// One path-dispatch arm of [`PseudoFs`](crate::PseudoFs), as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Glob over absolute paths served by this arm, in
+    /// [`glob_match`] syntax.
+    pub pattern: &'static str,
+    /// A concrete path matching `pattern` that renders on the default
+    /// testbed machine (pid routes assume a container whose init is
+    /// visible as pid 1).
+    pub probe: &'static str,
+    /// Handler function as `module::function`, relative to
+    /// [`crate::render`].
+    pub handler: &'static str,
+    /// The hand-written buffer-writing fast-path renderer used by
+    /// [`PseudoFs::read_into`](crate::PseudoFs::read_into), if one exists.
+    pub fast_into: Option<&'static str>,
+}
+
+const fn route(pattern: &'static str, probe: &'static str, handler: &'static str) -> Route {
+    Route {
+        pattern,
+        probe,
+        handler,
+        fast_into: None,
+    }
+}
+
+const fn fast(
+    pattern: &'static str,
+    probe: &'static str,
+    handler: &'static str,
+    into: &'static str,
+) -> Route {
+    Route {
+        pattern,
+        probe,
+        handler,
+        fast_into: Some(into),
+    }
+}
+
+/// Every dispatch arm of the modeled tree, exact patterns before globs
+/// (lookup is first-match-wins, mirroring the `match` order in `fs.rs`).
+pub const ROUTES: &[Route] = &[
+    // ---- exact /proc arms ----
+    route("/proc/cpuinfo", "/proc/cpuinfo", "proc_basic::cpuinfo"),
+    fast(
+        "/proc/meminfo",
+        "/proc/meminfo",
+        "proc_basic::meminfo",
+        "proc_basic::meminfo_into",
+    ),
+    fast(
+        "/proc/stat",
+        "/proc/stat",
+        "proc_basic::stat",
+        "proc_basic::stat_into",
+    ),
+    fast(
+        "/proc/uptime",
+        "/proc/uptime",
+        "proc_basic::uptime",
+        "proc_basic::uptime_into",
+    ),
+    route("/proc/version", "/proc/version", "proc_basic::version"),
+    fast(
+        "/proc/loadavg",
+        "/proc/loadavg",
+        "proc_basic::loadavg",
+        "proc_basic::loadavg_into",
+    ),
+    fast(
+        "/proc/interrupts",
+        "/proc/interrupts",
+        "proc_irq::interrupts",
+        "proc_irq::interrupts_into",
+    ),
+    fast(
+        "/proc/softirqs",
+        "/proc/softirqs",
+        "proc_irq::softirqs",
+        "proc_irq::softirqs_into",
+    ),
+    fast(
+        "/proc/schedstat",
+        "/proc/schedstat",
+        "proc_sched::schedstat",
+        "proc_sched::schedstat_into",
+    ),
+    fast(
+        "/proc/sched_debug",
+        "/proc/sched_debug",
+        "proc_sched::sched_debug",
+        "proc_sched::sched_debug_into",
+    ),
+    fast(
+        "/proc/timer_list",
+        "/proc/timer_list",
+        "proc_sched::timer_list",
+        "proc_sched::timer_list_into",
+    ),
+    route("/proc/locks", "/proc/locks", "proc_sched::locks"),
+    route("/proc/modules", "/proc/modules", "proc_misc::modules"),
+    route("/proc/zoneinfo", "/proc/zoneinfo", "proc_misc::zoneinfo"),
+    route("/proc/diskstats", "/proc/diskstats", "proc_misc::diskstats"),
+    route(
+        "/proc/sys/fs/dentry-state",
+        "/proc/sys/fs/dentry-state",
+        "proc_kernel::dentry_state",
+    ),
+    route(
+        "/proc/sys/fs/inode-nr",
+        "/proc/sys/fs/inode-nr",
+        "proc_kernel::inode_nr",
+    ),
+    route(
+        "/proc/sys/fs/file-nr",
+        "/proc/sys/fs/file-nr",
+        "proc_kernel::file_nr",
+    ),
+    route(
+        "/proc/sys/kernel/random/boot_id",
+        "/proc/sys/kernel/random/boot_id",
+        "proc_kernel::boot_id",
+    ),
+    route(
+        "/proc/sys/kernel/random/entropy_avail",
+        "/proc/sys/kernel/random/entropy_avail",
+        "proc_kernel::entropy_avail",
+    ),
+    route(
+        "/proc/sys/kernel/random/uuid",
+        "/proc/sys/kernel/random/uuid",
+        "proc_kernel::uuid",
+    ),
+    route(
+        "/proc/sys/kernel/hostname",
+        "/proc/sys/kernel/hostname",
+        "proc_kernel::hostname",
+    ),
+    route(
+        "/proc/sys/kernel/osrelease",
+        "/proc/sys/kernel/osrelease",
+        "proc_kernel::osrelease",
+    ),
+    route(
+        "/proc/self/status",
+        "/proc/self/status",
+        "proc_pid::self_status",
+    ),
+    route(
+        "/proc/self/cgroup",
+        "/proc/self/cgroup",
+        "proc_pid::self_cgroup",
+    ),
+    route("/proc/net/dev", "/proc/net/dev", "proc_pid::net_dev"),
+    route("/proc/mounts", "/proc/mounts", "proc_pid::mounts"),
+    route("/proc/net/snmp", "/proc/net/snmp", "proc_pid::net_snmp"),
+    route("/proc/net/tcp", "/proc/net/tcp", "proc_pid::net_tcp"),
+    route(
+        "/proc/sys/kernel/pid_max",
+        "/proc/sys/kernel/pid_max",
+        "proc_kernel::pid_max",
+    ),
+    route(
+        "/proc/sys/kernel/threads-max",
+        "/proc/sys/kernel/threads-max",
+        "proc_kernel::threads_max",
+    ),
+    route(
+        "/proc/sys/vm/overcommit_memory",
+        "/proc/sys/vm/overcommit_memory",
+        "proc_kernel::overcommit_memory",
+    ),
+    route(
+        "/proc/sys/vm/swappiness",
+        "/proc/sys/vm/swappiness",
+        "proc_kernel::swappiness",
+    ),
+    route("/proc/vmstat", "/proc/vmstat", "proc_vm::vmstat"),
+    route("/proc/slabinfo", "/proc/slabinfo", "proc_vm::slabinfo"),
+    route("/proc/buddyinfo", "/proc/buddyinfo", "proc_vm::buddyinfo"),
+    route("/proc/swaps", "/proc/swaps", "proc_vm::swaps"),
+    route(
+        "/proc/partitions",
+        "/proc/partitions",
+        "proc_vm::partitions",
+    ),
+    route(
+        "/proc/filesystems",
+        "/proc/filesystems",
+        "proc_vm::filesystems",
+    ),
+    route("/proc/cgroups", "/proc/cgroups", "proc_vm::cgroups"),
+    // ---- exact /sys arms ----
+    route(
+        "/sys/devices/system/cpu/online",
+        "/sys/devices/system/cpu/online",
+        "sys_power::cpu_online",
+    ),
+    route(
+        "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+        "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+        "sys_cgroup::ifpriomap",
+    ),
+    route(
+        "/sys/fs/cgroup/net_prio/net_prio.prioidx",
+        "/sys/fs/cgroup/net_prio/net_prio.prioidx",
+        "sys_cgroup::prioidx",
+    ),
+    route(
+        "/sys/fs/cgroup/cpuacct/cpuacct.usage",
+        "/sys/fs/cgroup/cpuacct/cpuacct.usage",
+        "sys_cgroup::cpuacct_usage",
+    ),
+    route(
+        "/sys/fs/cgroup/cpuacct/cpuacct.usage_percpu",
+        "/sys/fs/cgroup/cpuacct/cpuacct.usage_percpu",
+        "sys_cgroup::cpuacct_usage_percpu",
+    ),
+    route(
+        "/sys/fs/cgroup/memory/memory.usage_in_bytes",
+        "/sys/fs/cgroup/memory/memory.usage_in_bytes",
+        "sys_cgroup::memory_usage",
+    ),
+    route(
+        "/sys/fs/cgroup/memory/memory.max_usage_in_bytes",
+        "/sys/fs/cgroup/memory/memory.max_usage_in_bytes",
+        "sys_cgroup::memory_max_usage",
+    ),
+    // ---- parameterized arms (segment globs) ----
+    route(
+        "/proc/sys/kernel/sched_domain/cpu*/domain0/max_newidle_lb_cost",
+        "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost",
+        "proc_kernel::max_newidle_lb_cost",
+    ),
+    route(
+        "/proc/fs/ext4/*/mb_groups",
+        "/proc/fs/ext4/sda1/mb_groups",
+        "proc_misc::mb_groups",
+    ),
+    route("/proc/*/status", "/proc/1/status", "proc_pid::pid_status"),
+    route("/proc/*/stat", "/proc/1/stat", "proc_pid::pid_stat"),
+    route(
+        "/proc/*/cmdline",
+        "/proc/1/cmdline",
+        "proc_pid::pid_cmdline",
+    ),
+    route("/proc/*/io", "/proc/1/io", "proc_pid::pid_io"),
+    route("/proc/*/sched", "/proc/1/sched", "proc_pid::pid_sched"),
+    route(
+        "/sys/block/*/stat",
+        "/sys/block/sda/stat",
+        "sys_power::block_stat",
+    ),
+    route(
+        "/sys/class/thermal/thermal_zone*/temp",
+        "/sys/class/thermal/thermal_zone0/temp",
+        "sys_power::thermal_zone_temp",
+    ),
+    route(
+        "/sys/devices/system/cpu/cpu*/cpufreq/scaling_cur_freq",
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq",
+        "sys_power::cpufreq_cur",
+    ),
+    route(
+        "/sys/devices/system/cpu/cpu*/cpufreq/cpuinfo_max_freq",
+        "/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq",
+        "sys_power::cpufreq_max",
+    ),
+    route(
+        "/sys/devices/system/cpu/cpu*/cpuidle/state*/name",
+        "/sys/devices/system/cpu/cpu0/cpuidle/state0/name",
+        "sys_power::cpuidle_name",
+    ),
+    route(
+        "/sys/devices/system/cpu/cpu*/cpuidle/state*/usage",
+        "/sys/devices/system/cpu/cpu0/cpuidle/state0/usage",
+        "sys_power::cpuidle_usage",
+    ),
+    route(
+        "/sys/devices/system/cpu/cpu*/cpuidle/state*/time",
+        "/sys/devices/system/cpu/cpu0/cpuidle/state0/time",
+        "sys_power::cpuidle_time",
+    ),
+    route(
+        "/sys/class/powercap/intel-rapl:*/name",
+        "/sys/class/powercap/intel-rapl:0/name",
+        "sys_power::rapl_name",
+    ),
+    route(
+        "/sys/class/powercap/intel-rapl:*/energy_uj",
+        "/sys/class/powercap/intel-rapl:0/energy_uj",
+        "sys_power::rapl_package_energy",
+    ),
+    route(
+        "/sys/class/powercap/intel-rapl:*/max_energy_range_uj",
+        "/sys/class/powercap/intel-rapl:0/max_energy_range_uj",
+        "sys_power::rapl_max_range",
+    ),
+    route(
+        "/sys/class/powercap/intel-rapl:*/intel-rapl:*/name",
+        "/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/name",
+        "sys_power::rapl_subdomain_name",
+    ),
+    route(
+        "/sys/class/powercap/intel-rapl:*/intel-rapl:*/energy_uj",
+        "/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/energy_uj",
+        "sys_power::rapl_subdomain_energy",
+    ),
+    route(
+        "/sys/devices/platform/coretemp.*/hwmon/hwmon*/temp*_input",
+        "/sys/devices/platform/coretemp.0/hwmon/hwmon0/temp1_input",
+        "sys_power::coretemp",
+    ),
+    route(
+        "/sys/devices/system/node/node*/numastat",
+        "/sys/devices/system/node/node0/numastat",
+        "sys_node::numastat",
+    ),
+    route(
+        "/sys/devices/system/node/node*/vmstat",
+        "/sys/devices/system/node/node0/vmstat",
+        "sys_node::vmstat",
+    ),
+    route(
+        "/sys/devices/system/node/node*/meminfo",
+        "/sys/devices/system/node/node0/meminfo",
+        "sys_node::node_meminfo",
+    ),
+];
+
+/// The route serving `path`, if any (first match wins, mirroring
+/// dispatch order: exact arms shadow the pid globs for `/proc/self/*`).
+pub fn route_for(path: &str) -> Option<&'static Route> {
+    ROUTES.iter().find(|r| glob_match(r.pattern, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+    use crate::PseudoFs;
+    use simkernel::kernel::ProcessSpec;
+    use simkernel::{Kernel, MachineConfig};
+    use workloads::models;
+
+    fn kernel() -> (Kernel, View) {
+        let mut k = Kernel::new(MachineConfig::testbed_i7_6700(), 11);
+        let env = k.create_container_env("c1").unwrap();
+        k.spawn(ProcessSpec::new("app", models::prime()).in_container(&env))
+            .unwrap();
+        k.advance_secs(2);
+        let view = View::container(env.ns, env.cgroups);
+        (k, view)
+    }
+
+    #[test]
+    fn every_probe_matches_its_own_pattern_and_renders() {
+        let (k, container) = kernel();
+        let fs = PseudoFs::new();
+        let host = View::host();
+        for r in ROUTES {
+            assert!(
+                glob_match(r.pattern, r.probe),
+                "probe {} does not match pattern {}",
+                r.probe,
+                r.pattern
+            );
+            assert_eq!(
+                route_for(r.probe).map(|m| m.handler),
+                Some(r.handler),
+                "probe {} resolves to a different route",
+                r.probe
+            );
+            // Numeric pid probes use ns pids, which only resolve inside the
+            // container's pid namespace (host pids start at 300).
+            let view = if r.pattern.starts_with("/proc/*/") {
+                &container
+            } else {
+                &host
+            };
+            fs.read(&k, view, r.probe)
+                .unwrap_or_else(|e| panic!("probe {} unreadable: {e}", r.probe));
+        }
+    }
+
+    #[test]
+    fn every_listed_path_is_routed() {
+        let (k, container) = kernel();
+        let fs = PseudoFs::new();
+        for view in [View::host(), container] {
+            for path in fs.list(&k, &view) {
+                assert!(route_for(&path).is_some(), "unrouted path {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn handlers_are_unique_and_patterns_do_not_duplicate() {
+        let mut handlers: Vec<&str> = ROUTES.iter().map(|r| r.handler).collect();
+        handlers.sort_unstable();
+        let n = handlers.len();
+        handlers.dedup();
+        assert_eq!(n, handlers.len(), "duplicate handler entries");
+        let mut patterns: Vec<&str> = ROUTES.iter().map(|r| r.pattern).collect();
+        patterns.sort_unstable();
+        let n = patterns.len();
+        patterns.dedup();
+        assert_eq!(n, patterns.len(), "duplicate patterns");
+    }
+
+    #[test]
+    fn fast_paths_cover_exactly_the_hand_written_into_renderers() {
+        let fast: Vec<&str> = ROUTES.iter().filter_map(|r| r.fast_into).collect();
+        assert_eq!(fast.len(), 9, "nine hand-written _into fast paths");
+        for f in &fast {
+            assert!(f.ends_with("_into"), "{f}");
+        }
+    }
+
+    #[test]
+    fn self_paths_resolve_to_self_handlers_not_pid_globs() {
+        assert_eq!(
+            route_for("/proc/self/status").unwrap().handler,
+            "proc_pid::self_status"
+        );
+        assert_eq!(
+            route_for("/proc/7/status").unwrap().handler,
+            "proc_pid::pid_status"
+        );
+        assert!(route_for("/proc/does_not_exist").is_none());
+    }
+}

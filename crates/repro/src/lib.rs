@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Shared helpers for the experiment binaries.
 //!
 //! Every binary accepts `--seed <u64>` (default

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! A simulated Linux kernel substrate for the ContainerLeaks reproduction.
 //!
 //! The ContainerLeaks paper (DSN 2017) studies how *incomplete namespacing*

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Synthetic workload and benchmark models.
 //!
 //! The ContainerLeaks paper evaluates with real programs — Prime95, stress,

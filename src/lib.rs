@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Root facade of the ContainerLeaks reproduction workspace.
 //!
 //! Re-exports the [`containerleaks`] crate so the repository root hosts
