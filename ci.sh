@@ -25,6 +25,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
 echo "== static leakage audit (snapshot + dynamic agreement) =="
 cargo run --offline --release -q -p containerleaks-experiments --bin leakcheck -- --check
 
+echo "== fault matrix: graceful degradation under injected faults =="
+cargo test --offline -q --release --test fault_matrix
+
 echo "== determinism: --jobs 1 vs --jobs 4 =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -35,5 +38,14 @@ cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
 cmp "$tmp/j1.md" "$tmp/j4.md"
 cmp "$tmp/j1.json" "$tmp/j4.json"
 echo "byte-identical across job counts"
+
+echo "== determinism under faults: fault_matrix --jobs 1 vs --jobs 4 =="
+cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
+    --jobs 1 --out "$tmp/f1.md" >/dev/null
+cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
+    --jobs 4 --out "$tmp/f4.md" >/dev/null
+cmp "$tmp/f1.md" "$tmp/f4.md"
+cmp "$tmp/f1.json" "$tmp/f4.json"
+echo "byte-identical across job counts with faults active"
 
 echo "== all checks passed =="

@@ -83,6 +83,16 @@ impl fmt::Display for CloudError {
     }
 }
 
+impl CloudError {
+    /// Whether this failure is a transient pseudo-file fault a bounded
+    /// retry can outlast. Capacity exhaustion and missing instances are
+    /// not transient in this sense — retrying without intervention
+    /// cannot fix them.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CloudError::Runtime(e) if e.is_transient())
+    }
+}
+
 impl Error for CloudError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
@@ -553,6 +563,24 @@ impl Cloud {
         for (id, tenant, used_ns, dt) in charges {
             self.billing
                 .meter(&tenant, id, used_ns, dt, &self.cfg.billing);
+        }
+    }
+
+    /// Installs a fault plan on every host kernel, anchored at the
+    /// current instant (see [`Kernel::install_faults`]). The plan is
+    /// seeded and the fleet steps deterministically, so a faulted fleet
+    /// remains byte-identical across worker counts.
+    pub fn install_faults(&mut self, plan: &simkernel::FaultPlan) {
+        for host in &mut self.hosts {
+            host.kernel.install_faults(plan.clone());
+        }
+    }
+
+    /// Installs a fault plan on a single host's kernel; no-op for an
+    /// unknown id.
+    pub fn install_faults_on(&mut self, id: HostId, plan: &simkernel::FaultPlan) {
+        if let Some(host) = self.hosts.get_mut(id.0 as usize) {
+            host.kernel.install_faults(plan.clone());
         }
     }
 

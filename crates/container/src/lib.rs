@@ -80,6 +80,15 @@ impl fmt::Display for RuntimeError {
     }
 }
 
+impl RuntimeError {
+    /// Whether this failure is a transient pseudo-file fault a bounded
+    /// retry can outlast (an injected `EIO` / short read), as opposed to
+    /// a missing container, a stopped container, or a policy denial.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RuntimeError::Fs(e) if e.is_transient())
+    }
+}
+
 impl Error for RuntimeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {

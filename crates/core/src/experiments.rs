@@ -43,21 +43,48 @@ pub struct ExperimentResult {
     pub rendered: String,
     /// Structured paper-vs-measured rows.
     pub comparisons: Vec<Comparison>,
+    /// A structured failure: the driver hit an error (or panicked inside
+    /// the worker pool) and produced no measurements. `None` on success.
+    pub error: Option<String>,
 }
 
 impl ExperimentResult {
-    /// Whether every qualitative claim held.
+    /// Whether every qualitative claim held. A failed experiment holds
+    /// nothing, even though its comparison list is empty.
     pub fn all_hold(&self) -> bool {
-        self.comparisons.iter().all(|c| c.holds)
+        self.error.is_none() && self.comparisons.iter().all(|c| c.holds)
+    }
+
+    /// A structured failure entry: the driver could not produce results.
+    pub fn failed(id: &str, title: &str, error: String) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            rendered: format!("experiment failed: {error}\n"),
+            comparisons: Vec::new(),
+            error: Some(error),
+        }
     }
 }
 
-fn cmp(metric: &str, paper: &str, measured: String, holds: bool) -> Comparison {
+pub(crate) fn cmp(metric: &str, paper: &str, measured: String, holds: bool) -> Comparison {
     Comparison {
         metric: metric.to_string(),
         paper: paper.to_string(),
         measured,
         holds,
+    }
+}
+
+/// Attaches driver context to fallible cloud/campaign operations so their
+/// errors can travel in [`ExperimentResult::error`] instead of panicking.
+pub(crate) trait Ctx<T> {
+    fn ctx(self, what: &str) -> Result<T, String>;
+}
+
+impl<T, E: std::fmt::Display> Ctx<T> for Result<T, E> {
+    fn ctx(self, what: &str) -> Result<T, String> {
+        self.map_err(|e| format!("{what}: {e}"))
     }
 }
 
@@ -140,6 +167,7 @@ pub fn table1(seed: u64) -> ExperimentResult {
         title: "Table I — leakage channels in commercial container clouds".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -221,6 +249,7 @@ pub fn table2(seed: u64) -> ExperimentResult {
         title: "Table II — co-residence capability ranking (U/V/M + entropy)".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -230,6 +259,16 @@ pub fn table2(seed: u64) -> ExperimentResult {
 
 /// Table III: UnixBench overhead of the power-based namespace.
 pub fn table3() -> ExperimentResult {
+    table3_inner().unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "table3",
+            "Table III — UnixBench overhead of the power-based namespace",
+            e,
+        )
+    })
+}
+
+fn table3_inner() -> Result<ExperimentResult, String> {
     let rows = run_table3(&MachineConfig::testbed_i7_6700());
     let mut out = String::new();
     let _ = writeln!(
@@ -253,8 +292,10 @@ pub fn table3() -> ExperimentResult {
     let pipe = rows
         .iter()
         .find(|r| r.name.contains("Pipe-based"))
-        .expect("pipe row");
-    let idx = rows.last().expect("index row");
+        .ok_or_else(|| "pipe-based row missing from Table III".to_string())?;
+    let idx = rows
+        .last()
+        .ok_or_else(|| "Table III produced no rows".to_string())?;
     let comparisons = vec![
         cmp(
             "pipe-based ctx switching overhead (1 copy)",
@@ -281,12 +322,13 @@ pub fn table3() -> ExperimentResult {
             idx.overhead_8_pct < idx.overhead_1_pct,
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "table3".into(),
         title: "Table III — UnixBench overhead of the power-based namespace".into(),
         rendered: out,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -380,6 +422,7 @@ pub fn fig2(seed: u64, days: u64) -> ExperimentResult {
         title: "Fig. 2 — one-week power of 8 servers via the RAPL leak".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -389,6 +432,12 @@ pub fn fig2(seed: u64, days: u64) -> ExperimentResult {
 
 /// Fig. 3: synergistic vs periodic attack over a 3000 s window.
 pub fn fig3(seed: u64) -> ExperimentResult {
+    fig3_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed("fig3", "Fig. 3 — synergistic vs periodic power attack", e)
+    })
+}
+
+fn fig3_inner(seed: u64) -> Result<ExperimentResult, String> {
     let window_start = 86_400 + 33_000u64;
     let window_len = 3_000u64;
     let fleet = |seed: u64| {
@@ -401,38 +450,41 @@ pub fn fig3(seed: u64) -> ExperimentResult {
     let threshold = {
         let mut cloud = fleet(seed);
         let mut campaign = AttackCampaign::deploy(&mut cloud, AttackStrategy::Continuous, 0, "cal")
-            .expect("calibration deploy");
+            .ctx("calibration deploy")?;
         let mut trace = DiurnalTrace::paper_week(seed);
         let out = campaign
             .run(&mut cloud, &mut trace, window_start, window_len, None)
-            .expect("calibration run");
+            .ctx("calibration run")?;
         let mut ests: Vec<f64> = out
             .series
             .iter()
             .filter_map(|s| s.attacker_estimate_w)
             .collect();
-        ests.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if ests.is_empty() {
+            return Err("calibration produced no power estimates".to_string());
+        }
+        ests.sort_by(|a, b| a.total_cmp(b));
         ests[ests.len() * 97 / 100]
     };
 
-    let run = |strategy: AttackStrategy| {
+    let run = |strategy: AttackStrategy| -> Result<_, String> {
         let mut cloud = fleet(seed);
         let mut campaign =
-            AttackCampaign::deploy(&mut cloud, strategy, 3, "attacker").expect("deploy");
+            AttackCampaign::deploy(&mut cloud, strategy, 3, "attacker").ctx("deploy")?;
         let mut trace = DiurnalTrace::paper_week(seed);
         campaign
             .run(&mut cloud, &mut trace, window_start, window_len, None)
-            .expect("campaign")
+            .ctx("campaign")
     };
     let periodic = run(AttackStrategy::Periodic {
         period_s: 300,
         burst_s: 60,
-    });
+    })?;
     let synergistic = run(AttackStrategy::Synergistic {
         threshold_w: threshold,
         burst_s: 90,
         cooldown_s: 600,
-    });
+    })?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -481,12 +533,13 @@ pub fn fig3(seed: u64) -> ExperimentResult {
             synergistic.attack_cost_usd < periodic.attack_cost_usd,
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig3".into(),
         title: "Fig. 3 — synergistic vs periodic power attack".into(),
         rendered: out,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// Renders a power series as a sparkline with attack-burst markers.
@@ -517,10 +570,20 @@ fn power_sparkline(series: &[powersim::attack::PowerSample], bucket_s: usize) ->
 /// Fig. 4: aggregating co-resident containers raises one server's power
 /// in ≈ 40 W steps.
 pub fn fig4(seed: u64) -> ExperimentResult {
+    fig4_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "fig4",
+            "Fig. 4 — power of a server under attack (container staircase)",
+            e,
+        )
+    })
+}
+
+fn fig4_inner(seed: u64) -> Result<ExperimentResult, String> {
     let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), seed);
     cloud.advance_secs(2);
     let mut orch = Orchestrator::new();
-    let (baseline, steps) = orch.fig4_staircase(&mut cloud, 3).expect("staircase");
+    let (baseline, steps) = orch.fig4_staircase(&mut cloud, 3).ctx("staircase")?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -538,7 +601,9 @@ pub fn fig4(seed: u64) -> ExperimentResult {
         );
         prev = *w;
     }
-    let final_w = *steps.last().expect("steps");
+    let final_w = *steps
+        .last()
+        .ok_or_else(|| "staircase produced no steps".to_string())?;
     let deltas: Vec<f64> = std::iter::once(baseline)
         .chain(steps.iter().copied())
         .collect::<Vec<_>>()
@@ -563,12 +628,13 @@ pub fn fig4(seed: u64) -> ExperimentResult {
             final_w > baseline + 85.0 && (190.0..280.0).contains(&final_w),
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig4".into(),
         title: "Fig. 4 — power of a server under attack (container staircase)".into(),
         rendered: out,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -578,14 +644,24 @@ pub fn fig4(seed: u64) -> ExperimentResult {
 /// Fig. 5: the power-based namespace workflow, demonstrated end to end
 /// (data collection → power modeling → on-the-fly calibration).
 pub fn fig5(seed: u64) -> ExperimentResult {
+    fig5_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "fig5",
+            "Fig. 5 — power-based namespace workflow (live trace)",
+            e,
+        )
+    })
+}
+
+fn fig5_inner(seed: u64) -> Result<ExperimentResult, String> {
     let model = trained_model(seed);
     let mut h = DefendedHost::new(MachineConfig::testbed_i7_6700(), seed, model.clone());
     let c = h
         .create_container(ContainerSpec::new("demo"))
-        .expect("container");
+        .ctx("demo container")?;
     for i in 0..2 {
         h.exec(c, &format!("w{i}"), models::stress_small())
-            .expect("workload");
+            .ctx("workload")?;
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -597,17 +673,23 @@ pub fn fig5(seed: u64) -> ExperimentResult {
     let perf_cg = h
         .runtime
         .container(c)
-        .expect("container")
+        .ok_or_else(|| "demo container vanished".to_string())?
         .env()
         .cgroups
         .perf_event;
     for t in 1..=5u64 {
         h.advance_secs(1);
-        let cur = h.kernel.cgroups().perf_counters(perf_cg).expect("counters");
+        let cur = h
+            .kernel
+            .cgroups()
+            .perf_counters(perf_cg)
+            .ok_or_else(|| "perf cgroup vanished".to_string())?;
         let d = cur.delta_since(&last_counters);
         last_counters = cur;
         let modeled = model.package_uj(&d);
-        let calibrated = h.container_energy_uj(c).expect("energy");
+        let calibrated = h
+            .container_energy_uj(c)
+            .ok_or_else(|| "container energy unavailable".to_string())?;
         let _ = writeln!(
             out,
             "{t:>3} | {:>14} {:>12} {:>12} | {:>12.0} | {:>14}",
@@ -630,12 +712,13 @@ pub fn fig5(seed: u64) -> ExperimentResult {
                 .is_ok(),
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig5".into(),
         title: "Fig. 5 — power-based namespace workflow (live trace)".into(),
         rendered: out,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -692,6 +775,7 @@ pub fn fig6(seed: u64) -> ExperimentResult {
         title: "Fig. 6 — core energy vs retired instructions".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -731,6 +815,7 @@ pub fn fig7(seed: u64) -> ExperimentResult {
         title: "Fig. 7 — DRAM energy vs cache misses".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -764,6 +849,7 @@ pub fn fig8(seed: u64) -> ExperimentResult {
         title: "Fig. 8 — power-model accuracy on held-out benchmarks".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -807,6 +893,7 @@ pub fn fig9(seed: u64) -> ExperimentResult {
         title: "Fig. 9 — transparency of the power-based namespace".into(),
         rendered: out,
         comparisons,
+        error: None,
     }
 }
 
@@ -816,6 +903,16 @@ pub fn fig9(seed: u64) -> ExperimentResult {
 
 /// §IV-C orchestration: aggregation trials until 3 co-resident containers.
 pub fn orchestration(seed: u64) -> ExperimentResult {
+    orchestration_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "orchestration",
+            "§IV-C — attack orchestration via timer_list and uptime",
+            e,
+        )
+    })
+}
+
+fn orchestration_inner(seed: u64) -> Result<ExperimentResult, String> {
     let mut cloud = Cloud::new(
         CloudConfig::new(CloudProfile::CC1)
             .hosts(4)
@@ -826,18 +923,19 @@ pub fn orchestration(seed: u64) -> ExperimentResult {
     let mut orch = Orchestrator::new();
     let out = orch
         .aggregate(&mut cloud, "attacker", 3, 64)
-        .expect("aggregation");
-    let ids: Vec<_> = (0..8)
-        .map(|i| {
+        .ctx("aggregation")?;
+    let mut ids = Vec::with_capacity(8);
+    for i in 0..8 {
+        ids.push(
             cloud
                 .launch("survey", InstanceSpec::new(format!("s{i}")))
-                .expect("survey instance")
-        })
-        .collect();
+                .ctx("survey instance")?,
+        );
+    }
     cloud.advance_secs(1);
     let groups = orch
         .uptime_groups(&cloud, &ids, 3.0 * 3_600.0)
-        .expect("uptime groups");
+        .ctx("uptime groups")?;
 
     let mut rendered = String::new();
     let _ = writeln!(
@@ -871,12 +969,13 @@ pub fn orchestration(seed: u64) -> ExperimentResult {
             !groups.is_empty(),
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "orchestration".into(),
         title: "§IV-C — attack orchestration via timer_list and uptime".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -886,6 +985,16 @@ pub fn orchestration(seed: u64) -> ExperimentResult {
 /// §III-C's covert-channel remark, realized: bit transfer over three
 /// leaked media between co-resident containers.
 pub fn covert(seed: u64) -> ExperimentResult {
+    covert_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "covert",
+            "Extension — covert channels over the leaked interfaces (§III-C)",
+            e,
+        )
+    })
+}
+
+fn covert_inner(seed: u64) -> Result<ExperimentResult, String> {
     use leakscan::{CovertLink, CovertMedium};
     let msg: Vec<bool> = (0..16u32)
         .map(|i| (seed >> (i % 13)) & 1 == (i as u64 % 2))
@@ -901,21 +1010,21 @@ pub fn covert(seed: u64) -> ExperimentResult {
         let mut runtime = container_runtime::Runtime::new();
         let tx = runtime
             .create(&mut kernel, ContainerSpec::new("tx"))
-            .expect("tx");
+            .ctx("tx container")?;
         let rx = runtime
             .create(&mut kernel, ContainerSpec::new("rx"))
-            .expect("rx");
+            .ctx("rx container")?;
         runtime
             .exec(&mut kernel, tx, "anchor", models::sleeper())
-            .expect("anchor");
+            .ctx("tx anchor")?;
         runtime
             .exec(&mut kernel, rx, "anchor", models::sleeper())
-            .expect("anchor");
+            .ctx("rx anchor")?;
         kernel.advance_secs(2);
         let mut link = CovertLink::new(medium);
         let out = link
             .transmit(&mut kernel, &mut runtime, tx, rx, &msg)
-            .expect("transmit");
+            .ctx("transmit")?;
         let _ = writeln!(
             rendered,
             "{name:<24} {} bits, {} errors, {:.2} bit/s",
@@ -934,12 +1043,13 @@ pub fn covert(seed: u64) -> ExperimentResult {
             out.error_rate() < 0.1,
         ));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "covert".into(),
         title: "Extension — covert channels over the leaked interfaces (§III-C)".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// §II-C's capping argument: rack-level capping delay vs the aligned spike.
@@ -986,6 +1096,7 @@ pub fn capping(seed: u64) -> ExperimentResult {
         title: "Extension — power capping vs the synergistic spike (§II-C)".into(),
         rendered,
         comparisons,
+        error: None,
     }
 }
 
@@ -1029,6 +1140,7 @@ pub fn hardening(seed: u64) -> ExperimentResult {
         title: "Extension — auto-generated first-stage masking policy (§V-A)".into(),
         rendered,
         comparisons,
+        error: None,
     }
 }
 
@@ -1037,6 +1149,16 @@ pub fn hardening(seed: u64) -> ExperimentResult {
 /// distinct hosts of that rack, and fire on a benign crest — that rack's
 /// breaker trips while the neighbouring rack rides through.
 pub fn rack_attack(seed: u64) -> ExperimentResult {
+    rack_attack_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "rack_attack",
+            "Extension — the full chain: rack-targeted synergistic outage",
+            e,
+        )
+    })
+}
+
+fn rack_attack_inner(seed: u64) -> Result<ExperimentResult, String> {
     use powersim::{BreakerState, CircuitBreaker, RaplMonitor};
 
     let mut cloud = Cloud::new(
@@ -1053,13 +1175,22 @@ pub fn rack_attack(seed: u64) -> ExperimentResult {
     let mut orch = Orchestrator::new();
     let reference = cloud
         .launch("attacker", InstanceSpec::new("ref"))
-        .expect("reference");
+        .ctx("reference instance")?;
     let agg = orch
         .aggregate_rack(&mut cloud, "attacker", reference, 3, 64)
-        .expect("rack aggregation");
+        .ctx("rack aggregation")?;
+    let first_kept = *agg
+        .kept
+        .first()
+        .ok_or_else(|| "rack aggregation kept no instances".to_string())?;
     let target_rack = cloud
-        .host(cloud.instance(agg.kept[0]).expect("instance").host())
-        .expect("host")
+        .host(
+            cloud
+                .instance(first_kept)
+                .ok_or_else(|| "kept instance vanished".to_string())?
+                .host(),
+        )
+        .ok_or_else(|| "kept instance's host vanished".to_string())?
         .rack();
 
     // 2. Arm the payloads (4 dormant viruses each) and a RAPL monitor.
@@ -1070,7 +1201,7 @@ pub fn rack_attack(seed: u64) -> ExperimentResult {
                 *inst,
                 cloud
                     .exec(*inst, &format!("pv-{i}"), models::sleeper())
-                    .expect("payload"),
+                    .ctx("payload")?,
             ));
         }
     }
@@ -1154,18 +1285,29 @@ pub fn rack_attack(seed: u64) -> ExperimentResult {
             other_breaker.state() == BreakerState::Closed,
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "rack_attack".into(),
         title: "Extension — the full chain: rack-targeted synergistic outage".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// §III-C1 quantified: all detectors' accuracy on a busy fleet — the
 /// leakage channels stay perfect where the traditional cache-probe
 /// baseline degrades.
 pub fn detectors(seed: u64) -> ExperimentResult {
+    detectors_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "detectors",
+            "Extension — co-residence detector accuracy vs the cache-probe baseline",
+            e,
+        )
+    })
+}
+
+fn detectors_inner(seed: u64) -> Result<ExperimentResult, String> {
     use leakscan::{CoResDetector, DetectorKind};
 
     let mut cloud = Cloud::new(
@@ -1181,8 +1323,8 @@ pub fn detectors(seed: u64) -> ExperimentResult {
     for i in 0..6 {
         let id = cloud
             .launch("t", InstanceSpec::new(format!("i{i}")))
-            .expect("instance");
-        cloud.exec(id, "anchor", models::sleeper()).expect("anchor");
+            .ctx("instance")?;
+        cloud.exec(id, "anchor", models::sleeper()).ctx("anchor")?;
         ids.push(id);
     }
     cloud.advance_secs(3);
@@ -1196,7 +1338,9 @@ pub fn detectors(seed: u64) -> ExperimentResult {
     let mut comparisons = Vec::new();
     for kind in DetectorKind::ALL {
         let mut d = CoResDetector::new(kind).probe_noise(0.9);
-        let (correct, total) = d.evaluate_accuracy(&mut cloud, &ids).expect("evaluate");
+        let (correct, total) = d
+            .evaluate_accuracy(&mut cloud, &ids)
+            .ctx("accuracy evaluation")?;
         let acc = correct as f64 / total as f64 * 100.0;
         let _ = writeln!(
             rendered,
@@ -1219,30 +1363,41 @@ pub fn detectors(seed: u64) -> ExperimentResult {
             },
         ));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "detectors".into(),
         title: "Extension — co-residence detector accuracy vs the cache-probe baseline".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// §IV-B's stealth argument quantified: the provider's utilization
 /// anomaly detector flags the continuous attacker, not the synergistic
 /// one.
 pub fn stealth(seed: u64) -> ExperimentResult {
+    stealth_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "stealth",
+            "Extension — provider-side detectability of the strategies (§IV-B)",
+            e,
+        )
+    })
+}
+
+fn stealth_inner(seed: u64) -> Result<ExperimentResult, String> {
     use powersim::{classify, StealthPolicy, StealthVerdict, UtilizationTrace};
 
-    let run = |strategy: AttackStrategy| -> UtilizationTrace {
+    let run = |strategy: AttackStrategy| -> Result<UtilizationTrace, String> {
         let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), seed);
         cloud.advance_secs(2);
-        let mut campaign = AttackCampaign::deploy(&mut cloud, strategy, 3, "att").expect("deploy");
+        let mut campaign = AttackCampaign::deploy(&mut cloud, strategy, 3, "att").ctx("deploy")?;
         let mut trace = DiurnalTrace::paper_week(seed);
         let out = campaign
             .run(&mut cloud, &mut trace, 86_400 + 33_000, 3_000, None)
-            .expect("campaign");
+            .ctx("campaign")?;
         let attacking: Vec<bool> = out.series.iter().map(|s| s.attacking).collect();
-        UtilizationTrace::from_attack_series(&attacking, 60)
+        Ok(UtilizationTrace::from_attack_series(&attacking, 60))
     };
     let policy = StealthPolicy::default();
     let mut rendered = String::new();
@@ -1267,7 +1422,7 @@ pub fn stealth(seed: u64) -> ExperimentResult {
             false,
         ),
     ] {
-        let trace = run(strategy);
+        let trace = run(strategy)?;
         let verdict = classify(&trace, &policy);
         let _ = writeln!(
             rendered,
@@ -1285,16 +1440,27 @@ pub fn stealth(seed: u64) -> ExperimentResult {
             (verdict == StealthVerdict::Flagged) == should_flag,
         ));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "stealth".into(),
         title: "Extension — provider-side detectability of the strategies (§IV-B)".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// Ablations of the design choices DESIGN.md calls out.
 pub fn ablations(seed: u64) -> ExperimentResult {
+    ablations_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "ablations",
+            "Extension — ablations of the design choices",
+            e,
+        )
+    })
+}
+
+fn ablations_inner(seed: u64) -> Result<ExperimentResult, String> {
     use powerns::nsfs::fig8_error_uncalibrated;
 
     let mut rendered = String::new();
@@ -1356,18 +1522,21 @@ pub fn ablations(seed: u64) -> ExperimentResult {
     let window = (86_400 + 33_000u64, 1_500u64);
     let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), 77);
     cloud.advance_secs(2);
-    let mut cal_campaign =
-        AttackCampaign::deploy(&mut cloud, AttackStrategy::Continuous, 0, "cal").expect("deploy");
+    let mut cal_campaign = AttackCampaign::deploy(&mut cloud, AttackStrategy::Continuous, 0, "cal")
+        .ctx("calibration deploy")?;
     let mut trace = DiurnalTrace::paper_week(77);
     let cal = cal_campaign
         .run(&mut cloud, &mut trace, window.0, window.1, None)
-        .expect("cal");
+        .ctx("calibration run")?;
     let mut ests: Vec<f64> = cal
         .series
         .iter()
         .filter_map(|s| s.attacker_estimate_w)
         .collect();
-    ests.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if ests.is_empty() {
+        return Err("trigger-sweep calibration produced no estimates".to_string());
+    }
+    ests.sort_by(|a, b| a.total_cmp(b));
     let mut trial_counts = Vec::new();
     for (pct_name, idx) in [
         ("p50", ests.len() / 2),
@@ -1386,11 +1555,11 @@ pub fn ablations(seed: u64) -> ExperimentResult {
             3,
             "attacker",
         )
-        .expect("deploy");
+        .ctx("sweep deploy")?;
         let mut trace = DiurnalTrace::paper_week(77);
         let out = campaign
             .run(&mut cloud, &mut trace, window.0, window.1, None)
-            .expect("run");
+            .ctx("sweep run")?;
         let _ = writeln!(
             rendered,
             "trigger ablation      {pct_name}: {} trials, peak {:.0} W, cost ${:.4}",
@@ -1405,12 +1574,13 @@ pub fn ablations(seed: u64) -> ExperimentResult {
         trial_counts[0] >= trial_counts[2],
     ));
 
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "ablations".into(),
         title: "Extension — ablations of the design choices".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// The defense's bottom line, quantified: the correlation between an
@@ -1418,6 +1588,16 @@ pub fn ablations(seed: u64) -> ExperimentResult {
 /// ≈ 1 on a stock kernel (a perfect attack oracle) and ≈ 0 under the
 /// power-based namespace.
 pub fn defense(seed: u64) -> ExperimentResult {
+    defense_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "defense",
+            "Extension — the attack oracle, before and after the namespace",
+            e,
+        )
+    })
+}
+
+fn defense_inner(seed: u64) -> Result<ExperimentResult, String> {
     use powerns::nsfs::DefendedHost;
 
     fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
@@ -1448,26 +1628,26 @@ pub fn defense(seed: u64) -> ExperimentResult {
         let mut host = DefendedHost::new(MachineConfig::testbed_i7_6700(), seed, model.clone());
         let victim = host
             .create_container(ContainerSpec::new("victim"))
-            .expect("victim");
+            .ctx("victim container")?;
         let spy = host
             .create_container(ContainerSpec::new("spy"))
-            .expect("spy");
+            .ctx("spy container")?;
         host.exec(spy, "monitor", models::sleeper())
-            .expect("spy proc");
+            .ctx("spy process")?;
         let mut burst_pids: Vec<simkernel::HostPid> = Vec::new();
         let mut spy_last: u64 = host
             .read_file(spy, "/sys/class/powercap/intel-rapl:0/energy_uj")
-            .expect("read")
+            .ctx("defended rapl read")?
             .trim()
             .parse()
-            .expect("number");
+            .ctx("defended rapl parse")?;
         let mut truth_last = host.host_energy_uj();
         for t in 0..120u64 {
             if t.is_multiple_of(40) {
                 for i in 0..4 {
                     burst_pids.push(
                         host.exec(victim, &format!("b{t}-{i}"), models::prime())
-                            .expect("burst"),
+                            .ctx("burst process")?,
                     );
                 }
             } else if t % 40 == 20 {
@@ -1478,10 +1658,10 @@ pub fn defense(seed: u64) -> ExperimentResult {
             host.advance_secs(1);
             let spy_now: u64 = host
                 .read_file(spy, "/sys/class/powercap/intel-rapl:0/energy_uj")
-                .expect("read")
+                .ctx("defended rapl read")?
                 .trim()
                 .parse()
-                .expect("number");
+                .ctx("defended rapl parse")?;
             let truth_now = host.host_energy_uj();
             spy_series.push((spy_now - spy_last) as f64);
             truth_series.push(truth_now - truth_last);
@@ -1507,28 +1687,35 @@ pub fn defense(seed: u64) -> ExperimentResult {
         let mut rt = container_runtime::Runtime::new();
         let victim = rt
             .create(&mut kernel, ContainerSpec::new("victim"))
-            .expect("victim");
+            .ctx("victim container")?;
         let spy = rt
             .create(&mut kernel, ContainerSpec::new("spy"))
-            .expect("spy");
+            .ctx("spy container")?;
         rt.exec(&mut kernel, spy, "monitor", models::sleeper())
-            .expect("spy proc");
+            .ctx("spy process")?;
         let mut burst_pids: Vec<simkernel::HostPid> = Vec::new();
-        let read_spy = |rt: &container_runtime::Runtime, k: &simkernel::Kernel| -> u64 {
-            rt.read_file(k, spy, "/sys/class/powercap/intel-rapl:0/energy_uj")
-                .expect("read")
-                .trim()
-                .parse()
-                .expect("number")
+        let read_spy =
+            |rt: &container_runtime::Runtime, k: &simkernel::Kernel| -> Result<u64, String> {
+                rt.read_file(k, spy, "/sys/class/powercap/intel-rapl:0/energy_uj")
+                    .ctx("stock rapl read")?
+                    .trim()
+                    .parse()
+                    .ctx("stock rapl parse")
+            };
+        let raw_pkg = |k: &simkernel::Kernel| -> Result<f64, String> {
+            Ok(k.rapl()
+                .raw(0)
+                .ok_or_else(|| "package 0 missing".to_string())?
+                .package_uj)
         };
-        let mut spy_last = read_spy(&rt, &kernel);
-        let mut truth_last = kernel.rapl().raw(0).expect("pkg").package_uj;
+        let mut spy_last = read_spy(&rt, &kernel)?;
+        let mut truth_last = raw_pkg(&kernel)?;
         for t in 0..120u64 {
             if t.is_multiple_of(40) {
                 for i in 0..4 {
                     burst_pids.push(
                         rt.exec(&mut kernel, victim, &format!("b{t}-{i}"), models::prime())
-                            .expect("burst"),
+                            .ctx("burst process")?,
                     );
                 }
             } else if t % 40 == 20 {
@@ -1537,8 +1724,8 @@ pub fn defense(seed: u64) -> ExperimentResult {
                 }
             }
             kernel.advance_secs(1);
-            let spy_now = read_spy(&rt, &kernel);
-            let truth_now = kernel.rapl().raw(0).expect("pkg").package_uj;
+            let spy_now = read_spy(&rt, &kernel)?;
+            let truth_now = raw_pkg(&kernel)?;
             spy_series.push((spy_now - spy_last) as f64);
             truth_series.push(truth_now - truth_last);
             spy_last = spy_now;
@@ -1582,18 +1769,29 @@ pub fn defense(seed: u64) -> ExperimentResult {
             defended_amplitude < 0.10,
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "defense".into(),
         title: "Extension — the attack oracle, before and after the namespace".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// The attack replayed against a fully defended fleet: every host runs
 /// the power-based namespace, and the synergistic campaign's trigger goes
 /// blind — its burst timing no longer aligns with the benign crests.
 pub fn defense_fleet(seed: u64) -> ExperimentResult {
+    defense_fleet_inner(seed).unwrap_or_else(|e| {
+        ExperimentResult::failed(
+            "defense_fleet",
+            "Extension — the synergistic campaign against a defended fleet",
+            e,
+        )
+    })
+}
+
+fn defense_fleet_inner(seed: u64) -> Result<ExperimentResult, String> {
     use crate::defended::DefendedFleet;
 
     // Operator-side calibration on a production-representative mix: the
@@ -1614,39 +1812,44 @@ pub fn defense_fleet(seed: u64) -> ExperimentResult {
     let mut observers = Vec::new();
     for h in 0..8 {
         let _ = h;
-        observers.push(fleet.launch("obs").expect("observer"));
+        observers.push(fleet.launch("obs").ctx("observer")?);
     }
     let mut payloads = Vec::new();
     for p in 0..3 {
-        let inst = fleet.launch(&format!("payload-{p}")).expect("payload");
-        let pids: Vec<simkernel::HostPid> = (0..4)
-            .map(|i| {
+        let inst = fleet.launch(&format!("payload-{p}")).ctx("payload")?;
+        let mut pids: Vec<simkernel::HostPid> = Vec::with_capacity(4);
+        for i in 0..4 {
+            pids.push(
                 fleet
                     .exec(inst, &format!("pv-{i}"), models::sleeper())
-                    .expect("virus")
-            })
-            .collect();
+                    .ctx("virus")?,
+            );
+        }
         payloads.push((inst, pids));
     }
     fleet.advance_secs(2);
 
-    let read_energy = |fleet: &DefendedFleet, inst: crate::defended::FleetInstance| -> u64 {
-        let mut total = 0u64;
-        for pkg in 0..2 {
-            let path = format!("/sys/class/powercap/intel-rapl:{pkg}/energy_uj");
-            total += fleet
-                .read_file(inst, &path)
-                .expect("defended read")
-                .trim()
-                .parse::<u64>()
-                .unwrap_or(0);
-        }
-        total
-    };
+    let read_energy =
+        |fleet: &DefendedFleet, inst: crate::defended::FleetInstance| -> Result<u64, String> {
+            let mut total = 0u64;
+            for pkg in 0..2 {
+                let path = format!("/sys/class/powercap/intel-rapl:{pkg}/energy_uj");
+                total += fleet
+                    .read_file(inst, &path)
+                    .ctx("defended read")?
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or(0);
+            }
+            Ok(total)
+        };
 
     // Calibration pass (600 s): the attacker builds its trigger from the
     // defended estimates; we also record the true aggregate.
-    let mut last: Vec<u64> = observers.iter().map(|o| read_energy(&fleet, *o)).collect();
+    let mut last: Vec<u64> = observers
+        .iter()
+        .map(|o| read_energy(&fleet, *o))
+        .collect::<Result<_, _>>()?;
     let mut estimates = Vec::new();
     let mut truths = Vec::new();
     for t in 0..600u64 {
@@ -1656,7 +1859,7 @@ pub fn defense_fleet(seed: u64) -> ExperimentResult {
         fleet.advance_secs(1);
         let mut est = 0.0;
         for (i, o) in observers.iter().enumerate() {
-            let now = read_energy(&fleet, *o);
+            let now = read_energy(&fleet, *o)?;
             est += (now - last[i]) as f64 / 1e6;
             last[i] = now;
         }
@@ -1669,7 +1872,7 @@ pub fn defense_fleet(seed: u64) -> ExperimentResult {
     let est_swing = swing(&estimates);
     let true_swing = swing(&truths);
     let mut sorted = estimates.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let threshold = sorted[sorted.len() * 97 / 100];
 
     // Campaign pass (1500 s): fire on the blinded trigger; record the true
@@ -1689,7 +1892,7 @@ pub fn defense_fleet(seed: u64) -> ExperimentResult {
         fleet.advance_secs(1);
         let mut est = 0.0;
         for (i, o) in observers.iter().enumerate() {
-            let now = read_energy(&fleet, *o);
+            let now = read_energy(&fleet, *o)?;
             est += (now - last[i]) as f64 / 1e6;
             last[i] = now;
         }
@@ -1776,12 +1979,13 @@ pub fn defense_fleet(seed: u64) -> ExperimentResult {
             trials >= 4,
         ),
     ];
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "defense_fleet".into(),
         title: "Extension — the synergistic campaign against a defended fleet".into(),
         rendered,
         comparisons,
-    }
+        error: None,
+    })
 }
 
 /// One registry entry: experiment id plus its driver, `(seed, fig2_days)
@@ -1858,8 +2062,8 @@ pub fn run_entries_with(
     let n = entries.len();
     let mut slots: Vec<Option<ExperimentResult>> = (0..n).map(|_| None).collect();
     if jobs.max(1).min(n.max(1)) == 1 {
-        for (i, (_, f)) in entries.iter().enumerate() {
-            let r = f(seed, fig2_days);
+        for (i, (name, f)) in entries.iter().enumerate() {
+            let r = run_guarded(name, *f, seed, fig2_days);
             progress(i, &r);
             slots[i] = Some(r);
         }
@@ -1876,17 +2080,46 @@ pub fn run_entries_with(
                     if i >= n {
                         break;
                     }
-                    let r = entries[i].1(seed, fig2_days);
+                    let r = run_guarded(entries[i].0, entries[i].1, seed, fig2_days);
                     progress(i, &r);
-                    out.lock().expect("result slots")[i] = Some(r);
+                    if let Ok(mut slots) = out.lock() {
+                        slots[i] = Some(r);
+                    }
                 });
             }
         });
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every experiment ran"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                ExperimentResult::failed(
+                    entries[i].0,
+                    entries[i].0,
+                    "experiment never completed".to_string(),
+                )
+            })
+        })
         .collect()
+}
+
+/// Runs one driver behind a panic guard: a panicking experiment becomes a
+/// structured failure entry instead of tearing down the whole run.
+fn run_guarded(name: &str, f: ExperimentFn, seed: u64, fig2_days: u64) -> ExperimentResult {
+    match std::panic::catch_unwind(|| f(seed, fig2_days)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            };
+            ExperimentResult::failed(name, name, format!("driver panicked: {msg}"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1934,6 +2167,42 @@ mod tests {
     fn defense_claims_hold() {
         let r = defense(1729);
         assert!(r.all_hold(), "{:#?}", r.comparisons);
+    }
+
+    #[test]
+    fn a_panicking_driver_becomes_a_structured_failure() {
+        fn boom(_: u64, _: u64) -> ExperimentResult {
+            panic!("injected driver panic");
+        }
+        fn fine(s: u64, _: u64) -> ExperimentResult {
+            ExperimentResult {
+                id: format!("fine-{s}"),
+                title: "fine".into(),
+                rendered: String::new(),
+                comparisons: vec![],
+                error: None,
+            }
+        }
+        let entries: &[(&str, ExperimentFn)] = &[("boom", boom), ("fine", fine)];
+        for jobs in [1, 2] {
+            let results = run_entries_with(entries, 7, 1, jobs, |_, _| {});
+            assert_eq!(results.len(), 2);
+            assert!(!results[0].all_hold());
+            let err = results[0].error.as_deref().unwrap_or("");
+            assert!(
+                err.contains("injected driver panic"),
+                "panic message lost: {err:?}"
+            );
+            assert!(results[1].all_hold(), "healthy driver was disturbed");
+        }
+    }
+
+    #[test]
+    fn failed_results_do_not_hold() {
+        let r = ExperimentResult::failed("x", "X", "boom".into());
+        assert!(!r.all_hold());
+        assert!(r.comparisons.is_empty());
+        assert!(r.rendered.contains("boom"));
     }
 
     #[test]

@@ -46,10 +46,12 @@ pub use workloads;
 
 pub mod defended;
 pub mod experiments;
+pub mod faultmatrix;
 pub mod report;
 
 pub use defended::{DefendedFleet, FleetInstance};
 pub use experiments::ExperimentResult;
+pub use faultmatrix::{run_fault_matrix, run_fault_matrix_with, FAULT_MATRIX};
 pub use report::render_experiments_md;
 
 /// The default deterministic seed used by every experiment binary.

@@ -29,6 +29,9 @@ pub fn render_experiments_md(results: &[ExperimentResult], seed: u64) -> String 
 
     for r in results {
         let _ = writeln!(out, "## {} (`{}`)\n", r.title, r.id);
+        if let Some(e) = &r.error {
+            let _ = writeln!(out, "**FAILED:** {e}\n");
+        }
         let _ = writeln!(out, "| metric | paper | measured | holds |");
         let _ = writeln!(out, "|---|---|---|---|");
         for c in &r.comparisons {
@@ -63,6 +66,7 @@ mod tests {
                 measured: "x".into(),
                 holds: true,
             }],
+            error: None,
         }];
         let md = render_experiments_md(&results, 1);
         assert!(md.contains("## T (`t`)"));

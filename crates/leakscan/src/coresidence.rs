@@ -63,6 +63,33 @@ impl DetectorKind {
     }
 }
 
+/// A co-residence verdict that can abstain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoResVerdict {
+    /// The instances share a host.
+    CoResident,
+    /// The instances are on different hosts.
+    NotCoResident,
+    /// The channel could not support a verdict (masked, persistently
+    /// faulted, or a counter reset invalidated the comparison). An honest
+    /// abstention — never a guess.
+    Inconclusive,
+}
+
+/// Outcome of [`CoResDetector::coresident_checked`]: the verdict plus the
+/// evidence trail of every fault the scan had to tolerate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CoResOutcome {
+    /// The (possibly abstaining) verdict.
+    pub verdict: CoResVerdict,
+    /// True when any retry, reset, or fault influenced the scan.
+    pub degraded: bool,
+    /// What happened, in occurrence order.
+    pub reasons: Vec<String>,
+    /// Scan attempts consumed (1 = clean first try).
+    pub attempts: u32,
+}
+
 /// A co-residence detector bound to a strategy.
 #[derive(Debug)]
 pub struct CoResDetector {
@@ -163,6 +190,105 @@ impl CoResDetector {
                 let matches = trace_a.iter().zip(&trace_b).filter(|(x, y)| x == y).count();
                 Ok(matches as f64 / trace_a.len() as f64 > 0.95)
             }
+        }
+    }
+
+    /// [`CoResDetector::coresident`] with graceful degradation: transient
+    /// channel faults are retried with backoff (advancing cloud time so
+    /// the retry lands past the fault window), counter resets from a
+    /// mid-scan host reboot are detected and either retried past or
+    /// reported as [`CoResVerdict::Inconclusive`], and a persistently
+    /// unavailable channel abstains instead of erroring. The outcome
+    /// carries the full evidence trail; a clean run returns an
+    /// undegraded verdict identical to [`CoResDetector::coresident`].
+    pub fn coresident_checked(
+        &mut self,
+        cloud: &mut Cloud,
+        a: InstanceId,
+        b: InstanceId,
+    ) -> CoResOutcome {
+        let mut reasons = Vec::new();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.coresident(cloud, a, b) {
+                Ok(v) => {
+                    if let Some(reset) = self.reset_during_scan(cloud, a, b) {
+                        if attempts < 3 {
+                            reasons.push(format!("{reset}; rescanned"));
+                            cloud.advance_secs(2);
+                            continue;
+                        }
+                        reasons.push(format!("{reset}; retry budget exhausted"));
+                        return CoResOutcome {
+                            verdict: CoResVerdict::Inconclusive,
+                            degraded: true,
+                            reasons,
+                            attempts,
+                        };
+                    }
+                    let verdict = if v {
+                        CoResVerdict::CoResident
+                    } else {
+                        CoResVerdict::NotCoResident
+                    };
+                    return CoResOutcome {
+                        verdict,
+                        degraded: !reasons.is_empty(),
+                        reasons,
+                        attempts,
+                    };
+                }
+                Err(e) if e.is_transient() && attempts < 3 => {
+                    reasons.push(format!("transient channel fault: {e}"));
+                    cloud.advance_secs(u64::from(attempts));
+                }
+                Err(e) => {
+                    reasons.push(format!("channel unavailable: {e}"));
+                    return CoResOutcome {
+                        verdict: CoResVerdict::Inconclusive,
+                        degraded: true,
+                        reasons,
+                        attempts,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Detects a counter reset invalidating the scan just taken: for the
+    /// reset-sensitive detectors (boot id, uptime), re-samples the channel
+    /// across one second and reports a host reboot as `Some(description)`.
+    /// Detectors whose signals survive a crash-reboot return `None`.
+    fn reset_during_scan(&self, cloud: &mut Cloud, a: InstanceId, b: InstanceId) -> Option<String> {
+        match self.kind {
+            DetectorKind::BootId => {
+                let before = (
+                    cloud.read_file(a, self.kind.channel()).ok()?,
+                    cloud.read_file(b, self.kind.channel()).ok()?,
+                );
+                cloud.advance_secs(1);
+                let after = (
+                    cloud.read_file(a, self.kind.channel()).ok()?,
+                    cloud.read_file(b, self.kind.channel()).ok()?,
+                );
+                (before != after).then(|| "boot id rotated mid-scan (host reboot)".to_string())
+            }
+            DetectorKind::UptimeDelta => {
+                let up = |s: &str| parse::numeric_fields(s).first().copied();
+                let ua = up(&cloud.read_file(a, self.kind.channel()).ok()?)?;
+                let ub = up(&cloud.read_file(b, self.kind.channel()).ok()?)?;
+                cloud.advance_secs(1);
+                let ua2 = up(&cloud.read_file(a, self.kind.channel()).ok()?)?;
+                let ub2 = up(&cloud.read_file(b, self.kind.channel()).ok()?)?;
+                (ua2 < ua || ub2 < ub)
+                    .then(|| "uptime counter reset mid-scan (host reboot)".to_string())
+            }
+            // Timer signatures, MemFree traces, and LLC probes read state
+            // that survives the modeled crash-reboot.
+            DetectorKind::TimerSignature
+            | DetectorKind::MemFreeTrace
+            | DetectorKind::CacheProbe => None,
         }
     }
 
@@ -343,6 +469,41 @@ mod tests {
             probe_correct * 2 > total,
             "but remain better than chance: {probe_correct}/{total}"
         );
+    }
+
+    #[test]
+    fn checked_verdicts_match_raw_on_a_clean_cloud() {
+        let (mut cloud, ids) = fleet();
+        for kind in [DetectorKind::BootId, DetectorKind::UptimeDelta] {
+            let mut d = CoResDetector::new(kind);
+            let same = d.coresident_checked(&mut cloud, ids[0], ids[1]);
+            assert_eq!(same.verdict, CoResVerdict::CoResident, "{kind:?}");
+            assert!(!same.degraded, "{kind:?}: {:?}", same.reasons);
+            assert_eq!(same.attempts, 1);
+            let diff = d.coresident_checked(&mut cloud, ids[0], ids[2]);
+            assert_eq!(diff.verdict, CoResVerdict::NotCoResident, "{kind:?}");
+            assert!(!diff.degraded);
+        }
+    }
+
+    #[test]
+    fn checked_abstains_on_a_masked_cloud() {
+        let mut cloud = Cloud::new(
+            CloudConfig::new(CloudProfile::CC4)
+                .hosts(1)
+                .placement(PlacementPolicy::BinPack),
+            7,
+        );
+        let a = cloud.launch("t", InstanceSpec::new("a")).unwrap();
+        let b = cloud.launch("t", InstanceSpec::new("b")).unwrap();
+        cloud
+            .exec(a, "idle", workloads::models::idle_loop())
+            .unwrap();
+        let mut d = CoResDetector::new(DetectorKind::TimerSignature);
+        let out = d.coresident_checked(&mut cloud, a, b);
+        assert_eq!(out.verdict, CoResVerdict::Inconclusive);
+        assert!(out.degraded);
+        assert_eq!(out.attempts, 1, "a masked channel is not transient");
     }
 
     #[test]

@@ -138,6 +138,46 @@ impl Lab {
     pub fn advance_secs(&mut self, secs: u64) {
         simkernel::parallel::par_for_each_mut(&mut self.hosts, |h| h.kernel.advance_secs(secs));
     }
+
+    /// Installs a fault plan on every machine, anchored at the current
+    /// instant (see [`Kernel::install_faults`]).
+    pub fn install_faults(&mut self, plan: &simkernel::FaultPlan) {
+        for h in &mut self.hosts {
+            h.kernel.install_faults(plan.clone());
+        }
+    }
+
+    /// Reads `path` from machine `i`'s probe container with bounded
+    /// retry-with-backoff: on a transient fault the whole lab advances
+    /// (1 s, then 2 s) so the retry lands past the fault window, keeping
+    /// the machines in lockstep and the outcome deterministic. Permanent
+    /// errors are returned immediately.
+    pub fn read_container_retry(&mut self, i: usize, path: &str, buf: &mut String) -> ReadAttempt {
+        let mut attempt = 0u32;
+        loop {
+            match self.hosts[i].read_container_into(path, buf) {
+                Ok(()) if attempt == 0 => return ReadAttempt::Clean,
+                Ok(()) => return ReadAttempt::Recovered(attempt),
+                Err(e) if e.is_transient() && attempt < 2 => {
+                    self.advance_secs(u64::from(attempt) + 1);
+                    attempt += 1;
+                }
+                Err(e) => return ReadAttempt::Failed(e),
+            }
+        }
+    }
+}
+
+/// Outcome of [`Lab::read_container_retry`].
+#[derive(Debug)]
+pub enum ReadAttempt {
+    /// First read succeeded.
+    Clean,
+    /// Succeeded after this many retries (evidence is still usable but
+    /// the scan should downgrade its confidence).
+    Recovered(u32),
+    /// Failed even after the retry budget (or failed permanently).
+    Failed(RuntimeError),
 }
 
 #[cfg(test)]

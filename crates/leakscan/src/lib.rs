@@ -32,12 +32,12 @@ pub mod metrics;
 pub mod parse;
 
 pub use channels::{Channel, ManipulationKind, UniquenessKind, TABLE1_CHANNELS, TABLE2_CHANNELS};
-pub use coresidence::{CoResDetector, DetectorKind};
+pub use coresidence::{CoResDetector, CoResOutcome, CoResVerdict, DetectorKind};
 pub use covert::{CovertLink, CovertMedium, CovertOutcome};
 pub use crossval::{ChannelClass, CrossValidator, FileFinding};
 pub use dos::{ExhaustionOutcome, MemExhaustion};
 pub use fingerprint::{FingerprintMatch, HostFingerprint};
 pub use harden::{Hardener, HardeningReport};
 pub use inspect::{CloudInspector, Exposure};
-pub use lab::Lab;
-pub use metrics::{joint_entropy, ChannelAssessment, MetricsAssessor, Table2Row};
+pub use lab::{Lab, ReadAttempt};
+pub use metrics::{joint_entropy, ChannelAssessment, Confidence, MetricsAssessor, Table2Row};

@@ -23,7 +23,7 @@ use serde::Serialize;
 use workloads::{Phase, Repeat, WorkloadClass, WorkloadSpec};
 
 use crate::channels::{Channel, ManipulationKind, UniquenessKind};
-use crate::lab::Lab;
+use crate::lab::{Lab, ReadAttempt};
 use crate::parse;
 
 /// Length of the idle observation window (1 Hz snapshots), as in the
@@ -31,6 +31,32 @@ use crate::parse;
 pub const IDLE_WINDOW: usize = 60;
 /// Length of the loaded observation window.
 pub const LOAD_WINDOW: usize = 20;
+
+/// How much to trust a [`ChannelAssessment`]'s verdict.
+///
+/// A fault-free campaign yields [`Confidence::Full`] on every channel.
+/// Under injected faults the scanner keeps going — retrying transient
+/// reads, repairing counter resets, tolerating a vanished channel — but
+/// every such accommodation is recorded here, so a verdict resting on
+/// degraded evidence is explicitly marked rather than silently wrong.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Confidence {
+    /// Every snapshot read cleanly and no repair was needed.
+    Full,
+    /// The verdict stands on degraded evidence; `reasons` says why, in a
+    /// deterministic order.
+    Degraded {
+        /// What the scanner had to tolerate or repair.
+        reasons: Vec<String>,
+    },
+}
+
+impl Confidence {
+    /// Whether the verdict rests on clean evidence.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Confidence::Full)
+    }
+}
 
 /// Result of measuring one channel.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -48,6 +74,8 @@ pub struct ChannelAssessment {
     /// For accumulator channels: growth of the tracked counter per second
     /// (used to rank group 3: faster growth = lower duplication chance).
     pub growth_per_sec: f64,
+    /// How much of the evidence behind the verdict was clean.
+    pub confidence: Confidence,
 }
 
 /// One row of the regenerated Table II.
@@ -116,10 +144,12 @@ fn manipulation_load() -> WorkloadSpec {
 /// needs, without retaining the window's rendered snapshots. Snapshots
 /// are parsed as they are read; only the final one of each host is kept
 /// verbatim (for the static-id and accumulator-value comparisons).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct IdleTrace {
-    /// Any two adjacent host-0 snapshots differed.
-    varies: bool,
+    /// Number of adjacent host-0 snapshot pairs that differed. (A static
+    /// id changing exactly once is a crash-reboot signature, not
+    /// variation; see the analysis.)
+    changes: u32,
     /// Parsed numeric fields of every host-0 snapshot, in order.
     fields: Vec<Vec<f64>>,
     /// Scalar series for accumulator channels (empty otherwise).
@@ -128,6 +158,30 @@ struct IdleTrace {
     last0: String,
     /// Final host-1 snapshot.
     last1: String,
+    /// Successful host-0 reads so far (guards the first comparison).
+    seen0: u32,
+    /// Transient read faults recovered by retry.
+    recovered: u32,
+    /// Snapshots lost to faults that outlasted the retry budget.
+    lost: u32,
+    /// The final host-1 snapshot was readable.
+    last1_ok: bool,
+}
+
+impl Default for IdleTrace {
+    fn default() -> Self {
+        IdleTrace {
+            changes: 0,
+            fields: Vec::new(),
+            acc_series: Vec::new(),
+            last0: String::new(),
+            last1: String::new(),
+            seen0: 0,
+            recovered: 0,
+            lost: 0,
+            last1_ok: true,
+        }
+    }
 }
 
 /// Measures all channels on a lab of at least two hosts.
@@ -171,18 +225,42 @@ impl MetricsAssessor {
         for snap in 0..IDLE_WINDOW {
             lab.advance_secs(1);
             for (ci, ch) in channels.iter().enumerate() {
+                let outcome = lab.read_container_retry(0, ch.probe, &mut buf);
                 let t = &mut idle[ci];
-                let _ = lab.host(0).read_container_into(ch.probe, &mut buf);
-                if snap > 0 && !t.varies && buf != t.last0 {
-                    t.varies = true;
+                match outcome {
+                    ReadAttempt::Clean => {}
+                    ReadAttempt::Recovered(_) => t.recovered += 1,
+                    ReadAttempt::Failed(_) => {
+                        // The snapshot is lost, not fabricated: the window
+                        // simply has one fewer observation for this channel.
+                        t.lost += 1;
+                        if snap + 1 == IDLE_WINDOW {
+                            t.last1_ok = matches!(
+                                lab.read_container_retry(1, ch.probe, &mut buf),
+                                ReadAttempt::Clean | ReadAttempt::Recovered(_)
+                            );
+                            std::mem::swap(&mut idle[ci].last1, &mut buf);
+                        }
+                        continue;
+                    }
                 }
+                if t.seen0 > 0 && buf != t.last0 {
+                    t.changes += 1;
+                }
+                t.seen0 += 1;
                 t.fields.push(parse::numeric_fields(&buf));
                 if let Some(v) = acc_scalar(ch, &buf) {
                     t.acc_series.push(v);
                 }
                 std::mem::swap(&mut t.last0, &mut buf);
                 if snap + 1 == IDLE_WINDOW {
-                    let _ = lab.host(1).read_container_into(ch.probe, &mut t.last1);
+                    let attempt = lab.read_container_retry(1, ch.probe, &mut buf);
+                    let t = &mut idle[ci];
+                    t.last1_ok = matches!(attempt, ReadAttempt::Clean | ReadAttempt::Recovered(_));
+                    if matches!(attempt, ReadAttempt::Recovered(_)) {
+                        t.recovered += 1;
+                    }
+                    std::mem::swap(&mut t.last1, &mut buf);
                 }
             }
         }
@@ -209,16 +287,18 @@ impl MetricsAssessor {
         }
         lab.advance_secs(1);
         let mut implant_hit: Vec<(bool, bool)> = Vec::with_capacity(channels.len());
-        for ch in channels {
-            let mut hit = |host: usize| {
-                lab.host(host)
-                    .read_container_into(ch.probe, &mut buf)
-                    .is_ok()
-                    && (buf.contains(&sig) || buf.contains("1364262912"))
-            };
-            let on_host0 = hit(0);
-            let on_host1 = hit(1);
-            implant_hit.push((on_host0, on_host1));
+        let mut implant_lost: Vec<bool> = vec![false; channels.len()];
+        for (ci, ch) in channels.iter().enumerate() {
+            let mut hit = [false, false];
+            for (host, slot) in hit.iter_mut().enumerate() {
+                match lab.read_container_retry(host, ch.probe, &mut buf) {
+                    ReadAttempt::Clean | ReadAttempt::Recovered(_) => {
+                        *slot = buf.contains(&sig) || buf.contains("1364262912");
+                    }
+                    ReadAttempt::Failed(_) => implant_lost[ci] = true,
+                }
+            }
+            implant_hit.push((hit[0], hit[1]));
         }
 
         // ---- Phase 3: loaded window on host 0 (pinned to CPUs 1..=6,
@@ -241,11 +321,16 @@ impl MetricsAssessor {
             .iter()
             .map(|_| Vec::with_capacity(LOAD_WINDOW))
             .collect();
+        let mut loaded_lost: Vec<u32> = vec![0; channels.len()];
         for _ in 0..LOAD_WINDOW {
             lab.advance_secs(1);
             for (ci, ch) in channels.iter().enumerate() {
-                let _ = lab.host(0).read_container_into(ch.probe, &mut buf);
-                loaded_fields[ci].push(parse::numeric_fields(&buf));
+                match lab.read_container_retry(0, ch.probe, &mut buf) {
+                    ReadAttempt::Clean | ReadAttempt::Recovered(_) => {
+                        loaded_fields[ci].push(parse::numeric_fields(&buf));
+                    }
+                    ReadAttempt::Failed(_) => loaded_lost[ci] += 1,
+                }
             }
         }
         {
@@ -259,7 +344,16 @@ impl MetricsAssessor {
         channels
             .iter()
             .enumerate()
-            .map(|(ci, ch)| self.analyze(ch, &idle[ci], &loaded_fields[ci], implant_hit[ci]))
+            .map(|(ci, ch)| {
+                self.analyze(
+                    ch,
+                    &idle[ci],
+                    &loaded_fields[ci],
+                    implant_hit[ci],
+                    implant_lost[ci],
+                    loaded_lost[ci],
+                )
+            })
             .collect()
     }
 
@@ -269,22 +363,31 @@ impl MetricsAssessor {
         idle: &IdleTrace,
         loaded_fields: &[Vec<f64>],
         implant: (bool, bool),
+        implant_lost: bool,
+        loaded_lost: u32,
     ) -> ChannelAssessment {
-        let varies = idle.varies;
+        // A static id that changed exactly once across the window did not
+        // "vary" — its host crash-rebooted and the id rotated. More than
+        // one change is genuine variation even for a declared static id.
+        let reboot_rotation =
+            matches!(ch.uniqueness, UniquenessKind::StaticId) && idle.changes == 1;
+        let varies = idle.changes > 0 && !reboot_rotation;
         let idle_fields = &idle.fields;
         let entropy_bits =
             joint_entropy(&idle_fields[idle_fields.len().saturating_sub(IDLE_WINDOW)..]);
 
         // Uniqueness per declared kind — measured, not assumed.
+        let mut resets = 0u32;
         let (unique, growth_per_sec) = match ch.uniqueness {
             UniquenessKind::StaticId => {
                 let stable = !varies;
-                let distinct = idle.last0 != idle.last1;
+                let distinct = idle.last1_ok && idle.last0 != idle.last1;
                 (stable && distinct, 0.0)
             }
             UniquenessKind::Implant => (implant.0 && !implant.1, 0.0),
             UniquenessKind::Accumulator(_) => {
-                let series = &idle.acc_series;
+                let (series, repaired_resets) = repair_monotone(&idle.acc_series);
+                resets = repaired_resets;
                 let monotone = series.windows(2).all(|w| w[1] >= w[0]);
                 let grows =
                     series.last().copied().unwrap_or(0.0) > series.first().copied().unwrap_or(0.0);
@@ -294,7 +397,7 @@ impl MetricsAssessor {
                     .fold(0.0f64, f64::max);
                 let v0 = acc_scalar(ch, &idle.last0).unwrap_or(0.0);
                 let v1 = acc_scalar(ch, &idle.last1).unwrap_or(0.0);
-                let distinct = (v0 - v1).abs() > 10.0 * max_step.max(1.0);
+                let distinct = idle.last1_ok && (v0 - v1).abs() > 10.0 * max_step.max(1.0);
                 let rate = if series.len() > 1 {
                     (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64
                 } else {
@@ -314,6 +417,43 @@ impl MetricsAssessor {
             ManipulationKind::None
         };
 
+        // Confidence: every accommodation the scan made, in a fixed order.
+        let mut reasons = Vec::new();
+        if idle.recovered > 0 {
+            reasons.push(format!(
+                "{} transient read fault(s) recovered by retry",
+                idle.recovered
+            ));
+        }
+        if idle.lost > 0 {
+            reasons.push(format!(
+                "{} idle snapshot(s) lost to persistent read faults",
+                idle.lost
+            ));
+        }
+        if !idle.last1_ok {
+            reasons.push("cross-host comparison snapshot unreadable".to_string());
+        }
+        if reboot_rotation {
+            reasons.push("static id rotated once mid-window (crash-reboot)".to_string());
+        }
+        if resets > 0 {
+            reasons.push(format!("{resets} counter reset(s) repaired (crash-reboot)"));
+        }
+        if implant_lost {
+            reasons.push("implant probe unreadable on at least one host".to_string());
+        }
+        if loaded_lost > 0 {
+            reasons.push(format!(
+                "{loaded_lost} loaded snapshot(s) lost to read faults"
+            ));
+        }
+        let confidence = if reasons.is_empty() {
+            Confidence::Full
+        } else {
+            Confidence::Degraded { reasons }
+        };
+
         ChannelAssessment {
             channel: ch.clone(),
             unique,
@@ -321,6 +461,7 @@ impl MetricsAssessor {
             manipulation,
             entropy_bits,
             growth_per_sec,
+            confidence,
         }
     }
 
@@ -347,17 +488,11 @@ impl MetricsAssessor {
             UniquenessKind::None => 3,
         };
         unique.sort_by(|a, b| {
-            group_key(a).cmp(&group_key(b)).then(
-                b.growth_per_sec
-                    .partial_cmp(&a.growth_per_sec)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            group_key(a)
+                .cmp(&group_key(b))
+                .then(b.growth_per_sec.total_cmp(&a.growth_per_sec))
         });
-        varying.sort_by(|a, b| {
-            b.entropy_bits
-                .partial_cmp(&a.entropy_bits)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        varying.sort_by(|a, b| b.entropy_bits.total_cmp(&a.entropy_bits));
         unique
             .into_iter()
             .chain(varying)
@@ -369,6 +504,30 @@ impl MetricsAssessor {
             })
             .collect()
     }
+}
+
+/// Stitches crash-reboot resets out of an accumulator series: a sample
+/// falling below a tenth of its (non-trivial) predecessor is a counter
+/// restart, and everything after it is lifted by the pre-reset value so
+/// the repaired series is continuous. Ordinary jitter — small decreases —
+/// is deliberately *not* repaired: a genuinely non-monotone channel must
+/// keep failing the monotonicity check exactly as it does fault-free.
+fn repair_monotone(series: &[f64]) -> (Vec<f64>, u32) {
+    let mut out = Vec::with_capacity(series.len());
+    let mut offset = 0.0;
+    let mut resets = 0u32;
+    let mut prev_raw: Option<f64> = None;
+    for &v in series {
+        if let Some(p) = prev_raw {
+            if v < p * 0.1 && p > 100.0 {
+                offset += p;
+                resets += 1;
+            }
+        }
+        prev_raw = Some(v);
+        out.push(v + offset);
+    }
+    (out, resets)
 }
 
 /// Whether per-field change rates differ materially between the idle and
@@ -458,7 +617,31 @@ mod tests {
                 "M mismatch on {}",
                 a.channel.glob
             );
+            assert!(
+                a.confidence.is_full(),
+                "fault-free campaign must be full-confidence on {}: {:?}",
+                a.channel.glob,
+                a.confidence
+            );
         }
+    }
+
+    #[test]
+    fn repair_monotone_stitches_resets_but_not_jitter() {
+        // Crash-reboot: a counter at ~1.7M drops to near zero.
+        let series = vec![1000.0, 2000.0, 3000.0, 5.0, 105.0, 205.0];
+        let (repaired, resets) = repair_monotone(&series);
+        assert_eq!(resets, 1);
+        assert!(repaired.windows(2).all(|w| w[1] >= w[0]), "{repaired:?}");
+        assert_eq!(
+            repaired[3], 3005.0,
+            "post-reset samples lift by the pre-reset value"
+        );
+        // Jitter: small decreases are genuine non-monotonicity, untouched.
+        let noisy = vec![100.0, 99.0, 101.0];
+        let (kept, r2) = repair_monotone(&noisy);
+        assert_eq!(r2, 0);
+        assert_eq!(kept, noisy);
     }
 
     #[test]

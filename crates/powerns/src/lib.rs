@@ -27,6 +27,6 @@ pub mod overhead;
 
 pub use accounting::{EnergyBill, EnergyBilling, EnergyTariff, PowerThrottle, ThrottleState};
 pub use collect::PerfSampler;
-pub use model::{ModelSample, PowerModel, Trainer};
+pub use model::{CalibrationRun, ModelSample, PowerModel, Trainer};
 pub use nsfs::{DefendedHost, PowerNamespace};
 pub use overhead::{run_table3, Table3Row};

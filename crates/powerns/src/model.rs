@@ -287,6 +287,20 @@ pub struct Trainer {
     machine: MachineConfig,
     seed: u64,
     secs_per_workload: u64,
+    faults: Option<simkernel::FaultPlan>,
+}
+
+/// Result of one checked calibration run: the accepted samples plus the
+/// count of 1 s windows rejected because a RAPL accumulator reset (host
+/// crash-reboot) fell inside them. A reset window's energy delta is
+/// negative garbage; feeding it to the regression would bias every
+/// coefficient, so the trainer drops the window and re-baselines.
+#[derive(Debug, Clone)]
+pub struct CalibrationRun {
+    /// Accepted training observations.
+    pub samples: Vec<ModelSample>,
+    /// Windows discarded because a counter reset fell inside them.
+    pub rejected_windows: u32,
 }
 
 impl Trainer {
@@ -296,6 +310,7 @@ impl Trainer {
             machine: MachineConfig::testbed_i7_6700(),
             seed,
             secs_per_workload: 60,
+            faults: None,
         }
     }
 
@@ -306,9 +321,26 @@ impl Trainer {
         self
     }
 
+    /// Installs a fault plan on every training kernel (testing aid: lets
+    /// the fault matrix calibrate under injected crash-reboots).
+    #[must_use]
+    pub fn faults(mut self, plan: simkernel::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Collects training samples for one workload run solo in a container
-    /// on a fresh kernel.
+    /// on a fresh kernel. Reset-spanning windows are silently dropped;
+    /// use [`Trainer::collect_samples_checked`] to see how many.
     pub fn collect_samples(&self, workload: &WorkloadSpec) -> Vec<ModelSample> {
+        self.collect_samples_checked(workload).samples
+    }
+
+    /// Collects training samples and reports rejected windows. A window
+    /// whose ground-truth energy delta is negative spans an accumulator
+    /// reset (the modeled crash-reboot zeroes RAPL); the window is
+    /// rejected, the baseline re-anchored, and collection continues.
+    pub fn collect_samples_checked(&self, workload: &WorkloadSpec) -> CalibrationRun {
         let mut k = Kernel::new(self.machine.clone(), self.seed);
         let env = k.create_container_env("train").expect("container env");
         let mut sampler = PerfSampler::attach(&mut k, env.cgroups.perf_event).expect("perf attach");
@@ -317,24 +349,40 @@ impl Trainer {
             k.spawn(ProcessSpec::new(format!("w{i}"), workload.clone()).in_container(&env))
                 .expect("training workload");
         }
+        if let Some(plan) = &self.faults {
+            k.install_faults(plan.clone());
+        }
         let mut rapl_last = raw_rapl(&k);
         let mut samples = Vec::with_capacity(self.secs_per_workload as usize);
+        let mut rejected = 0u32;
         for _ in 0..self.secs_per_workload {
             k.advance_secs(1);
             let d = sampler.delta(&k, env.cgroups.perf_event);
             let rapl = raw_rapl(&k);
-            samples.push(ModelSample {
-                instructions: d.instructions as f64,
-                cache_misses: d.cache_misses as f64,
-                branch_misses: d.branch_misses as f64,
-                cycles: d.cycles as f64,
-                core_uj: rapl.0 - rapl_last.0,
-                dram_uj: rapl.1 - rapl_last.1,
-                package_uj: rapl.2 - rapl_last.2,
-            });
+            let (core, dram, pkg) = (
+                rapl.0 - rapl_last.0,
+                rapl.1 - rapl_last.1,
+                rapl.2 - rapl_last.2,
+            );
+            if core < 0.0 || dram < 0.0 || pkg < 0.0 {
+                rejected += 1;
+            } else {
+                samples.push(ModelSample {
+                    instructions: d.instructions as f64,
+                    cache_misses: d.cache_misses as f64,
+                    branch_misses: d.branch_misses as f64,
+                    cycles: d.cycles as f64,
+                    core_uj: core,
+                    dram_uj: dram,
+                    package_uj: pkg,
+                });
+            }
             rapl_last = rapl;
         }
-        samples
+        CalibrationRun {
+            samples,
+            rejected_windows: rejected,
+        }
     }
 
     /// Runs the full training campaign over the paper's calibration set
@@ -476,6 +524,42 @@ mod tests {
         }
         let err = (pred - truth).abs() / truth;
         assert!(err < 0.12, "in-sample package error {err}");
+    }
+
+    #[test]
+    fn calibration_rejects_reset_spanning_windows() {
+        let base = Trainer::new(1005);
+        let clean = base.collect_samples_checked(&models::prime());
+        assert_eq!(clean.rejected_windows, 0, "fault-free run rejected windows");
+
+        let faulted = Trainer::new(1005).faults(
+            simkernel::FaultPlan::builder(1005)
+                .horizon_secs(60)
+                .reboot_at_secs(30)
+                .build(),
+        );
+        let run = faulted.collect_samples_checked(&models::prime());
+        assert_eq!(
+            run.rejected_windows, 1,
+            "exactly the reboot-spanning window is dropped"
+        );
+        assert_eq!(run.samples.len(), clean.samples.len() - 1);
+        for s in &run.samples {
+            assert!(
+                s.core_uj >= 0.0 && s.dram_uj >= 0.0 && s.package_uj >= 0.0,
+                "negative energy delta leaked into calibration: {s:?}"
+            );
+        }
+        // The surviving samples still support a sane fit.
+        let model = PowerModel::fit(&run.samples);
+        let busy = PerfCounters {
+            instructions: 8_000_000_000,
+            cache_misses: 400_000,
+            branch_misses: 3_000_000,
+            cycles: 3_400_000_000,
+        };
+        let joules = model.core_uj(&busy) / 1e6;
+        assert!(joules > 1.0 && joules < 30.0, "degraded fit: {joules} J");
     }
 
     #[test]

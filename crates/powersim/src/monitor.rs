@@ -16,6 +16,8 @@ use simkernel::hw::RAPL_WRAP_UJ;
 #[derive(Debug, Clone, Default)]
 pub struct RaplMonitor {
     last: HashMap<InstanceId, Vec<(u64, f64)>>,
+    dropped: u64,
+    resets: u64,
 }
 
 impl RaplMonitor {
@@ -27,6 +29,12 @@ impl RaplMonitor {
     /// Samples host power (watts) as seen from `instance`, by differencing
     /// every package's `energy_uj` against the previous sample. Returns
     /// `None` on the first sample (no baseline yet).
+    ///
+    /// Degrades gracefully instead of corrupting the cost accounting:
+    /// a transient read fault (sensor dropout) skips the sample and keeps
+    /// the previous baseline, and a counter that jumps backwards while far
+    /// below the wrap point is treated as a crash-reboot reset — the
+    /// monitor re-baselines rather than reporting an absurd wrap delta.
     ///
     /// # Errors
     ///
@@ -44,6 +52,11 @@ impl RaplMonitor {
             let path = format!("/sys/class/powercap/intel-rapl:{pkg}/energy_uj");
             match cloud.read_file(instance, &path) {
                 Ok(v) => readings.push(v.trim().parse::<u64>().unwrap_or(0)),
+                Err(e) if e.is_transient() => {
+                    // Sensor dropout: drop this sample, keep the baseline.
+                    self.dropped += 1;
+                    return Ok(None);
+                }
                 Err(e) => {
                     if pkg == 0 {
                         return Err(e);
@@ -53,29 +66,48 @@ impl RaplMonitor {
             }
         }
         let entry = self.last.entry(instance).or_default();
+        let mut reset_seen = false;
         let result = if entry.len() == readings.len() {
             let mut total_uj = 0u64;
             let mut dt = 0.0f64;
             for ((last_uj, last_t), cur) in entry.iter().zip(&readings) {
-                // Handle hardware counter wrap.
                 let delta = if cur >= last_uj {
                     cur - last_uj
-                } else {
+                } else if *last_uj >= RAPL_WRAP_UJ / 2 {
+                    // Plausible hardware counter wrap near the top.
                     cur + RAPL_WRAP_UJ - last_uj
+                } else {
+                    // Backwards jump far below the wrap point: the host
+                    // rebooted and the accumulator restarted from zero.
+                    reset_seen = true;
+                    0
                 };
                 total_uj += delta;
                 dt = now_s - last_t;
             }
-            if dt > 0.0 {
-                Some(total_uj as f64 / 1e6 / dt)
-            } else {
+            if reset_seen || dt <= 0.0 {
                 None
+            } else {
+                Some(total_uj as f64 / 1e6 / dt)
             }
         } else {
             None
         };
+        if reset_seen {
+            self.resets += 1;
+        }
         *entry = readings.into_iter().map(|uj| (uj, now_s)).collect();
         Ok(result)
+    }
+
+    /// Samples skipped because the sensor transiently failed to read.
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Counter resets (host crash-reboots) absorbed by re-baselining.
+    pub fn resets_detected(&self) -> u64 {
+        self.resets
     }
 
     /// Clears the baseline for an instance (after it was moved/replaced).
@@ -134,6 +166,74 @@ mod tests {
         // Two minutes of monitoring bills only the base instance floor.
         let bill = cloud.bill("spy");
         assert!(bill.vcpu_seconds < 1.0, "monitoring used cpu: {bill:?}");
+    }
+
+    #[test]
+    fn monitor_rebaselines_across_a_crash_reboot() {
+        let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), 64);
+        let observer = cloud
+            .launch("spy", InstanceSpec::new("obs").vcpus(1))
+            .unwrap();
+        cloud.advance_secs(2);
+        cloud.install_faults(
+            &simkernel::FaultPlan::builder(64)
+                .horizon_secs(60)
+                .reboot_at_secs(20)
+                .build(),
+        );
+        let mut mon = RaplMonitor::new();
+        let wall = cloud.host_power_w(HostId(0));
+        for t in 0..40u64 {
+            cloud.advance_secs(1);
+            let w = mon
+                .sample_watts(&cloud, observer, t as f64)
+                .expect("rapl stays readable across the reboot");
+            if let Some(w) = w {
+                assert!(
+                    w >= 0.0 && w < wall * 2.0,
+                    "reset corrupted the estimate at t={t}: {w} W"
+                );
+            }
+        }
+        assert_eq!(
+            mon.resets_detected(),
+            1,
+            "the mid-monitoring reboot should be absorbed as one re-baseline"
+        );
+    }
+
+    #[test]
+    fn monitor_skips_dropout_samples_without_losing_the_baseline() {
+        let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), 65);
+        let observer = cloud
+            .launch("spy", InstanceSpec::new("obs").vcpus(1))
+            .unwrap();
+        cloud.advance_secs(2);
+        cloud.install_faults(
+            &simkernel::FaultPlan::builder(65)
+                .horizon_secs(90)
+                .sensor_faults(18)
+                .build(),
+        );
+        let mut mon = RaplMonitor::new();
+        let wall = cloud.host_power_w(HostId(0));
+        let mut good = 0u32;
+        for t in 0..90u64 {
+            cloud.advance_secs(1);
+            match mon.sample_watts(&cloud, observer, t as f64) {
+                Ok(Some(w)) => {
+                    good += 1;
+                    assert!(w >= 0.0 && w < wall * 2.0, "bad estimate at t={t}: {w} W");
+                }
+                Ok(None) => {}
+                Err(e) => panic!("dropout must not surface as a hard error: {e}"),
+            }
+        }
+        assert!(
+            mon.dropped_samples() > 0,
+            "the plan's dropout windows never hit the rapl path"
+        );
+        assert!(good > 40, "monitor lost too many samples: {good}");
     }
 
     #[test]

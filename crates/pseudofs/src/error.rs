@@ -13,14 +13,32 @@ pub enum FsError {
     /// A cloud masking policy denied the read (the paper's first-stage
     /// defense: AppArmor rules / unreadable bind mounts).
     PermissionDenied(String),
+    /// A transient I/O error (`EIO`): the read failed this instant but may
+    /// succeed on retry — injected by an active fault window, never
+    /// fabricated data.
+    Io(String),
+    /// The read came back shorter than the file (torn read during an
+    /// update, or an injected short-read fault). The partial bytes are
+    /// withheld rather than passed off as the full file.
+    Truncated(String),
 }
 
 impl FsError {
     /// The path the error refers to.
     pub fn path(&self) -> &str {
         match self {
-            FsError::NotFound(p) | FsError::PermissionDenied(p) => p,
+            FsError::NotFound(p)
+            | FsError::PermissionDenied(p)
+            | FsError::Io(p)
+            | FsError::Truncated(p) => p,
         }
+    }
+
+    /// Whether a bounded retry can reasonably succeed: true for the
+    /// transient classes ([`FsError::Io`], [`FsError::Truncated`]), false
+    /// for absence and policy denials.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FsError::Io(_) | FsError::Truncated(_))
     }
 }
 
@@ -29,6 +47,8 @@ impl fmt::Display for FsError {
         match self {
             FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
             FsError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
+            FsError::Io(p) => write!(f, "input/output error: {p}"),
+            FsError::Truncated(p) => write!(f, "short read: {p}"),
         }
     }
 }
@@ -46,5 +66,14 @@ mod tests {
         assert_eq!(e.path(), "/proc/nope");
         let d = FsError::PermissionDenied("/proc/stat".into());
         assert!(d.to_string().starts_with("permission denied"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(FsError::Io("/proc/stat".into()).is_transient());
+        assert!(FsError::Truncated("/proc/stat".into()).is_transient());
+        assert!(!FsError::NotFound("/proc/stat".into()).is_transient());
+        assert!(!FsError::PermissionDenied("/proc/stat".into()).is_transient());
+        assert_eq!(FsError::Io("/proc/stat".into()).path(), "/proc/stat");
     }
 }

@@ -1,0 +1,91 @@
+//! Read-path fault effects: translating the kernel's active fault windows
+//! into observable pseudo-file behavior.
+//!
+//! Two rules keep injection honest:
+//!
+//! 1. **Errors, not fabrication.** A transient fault makes the read *fail*
+//!    ([`FsError::Io`] / [`FsError::Truncated`]); it never returns made-up
+//!    bytes a detector could mistake for real state.
+//! 2. **Observations, not ground truth.** Sensor distortion (thermal
+//!    saturation, energy quantization, uptime skew) rewrites the rendered
+//!    string only; the kernel's underlying counters are untouched, so
+//!    un-faulted readers and later reads see consistent state.
+
+use simkernel::{FsFaultKind, Kernel, SensorFaultKind};
+
+use crate::error::FsError;
+
+/// coretemp's saturation ceiling (TjMax), milli-degrees Celsius.
+const DTS_SATURATION_MC: u64 = 100_000;
+
+/// Quantization step applied to energy counters under jitter: the RAPL
+/// energy-status LSB coarsened to 2^16 µJ, the firmware-truncation case.
+const ENERGY_QUANTUM_UJ: u64 = 65_536;
+
+/// The injected error for `path` at this instant, if a fault window is
+/// active and selects it.
+pub(crate) fn injected_error(k: &Kernel, path: &str) -> Option<FsError> {
+    Some(match k.read_fault(path)? {
+        FsFaultKind::Eio => FsError::Io(path.to_string()),
+        FsFaultKind::ShortRead => FsError::Truncated(path.to_string()),
+    })
+}
+
+/// Applies value-level sensor distortion and clock skew to a successfully
+/// rendered `buf`. No-op outside fault windows and on unaffected paths.
+pub(crate) fn distort(k: &Kernel, path: &str, buf: &mut String) {
+    match k.sensor_fault(path) {
+        Some(SensorFaultKind::Saturation) => {
+            buf.clear();
+            buf.push_str("100000\n");
+            debug_assert_eq!(buf.trim().parse::<u64>(), Ok(DTS_SATURATION_MC));
+        }
+        Some(SensorFaultKind::QuantizationJitter) => {
+            if let Ok(v) = buf.trim().parse::<u64>() {
+                buf.clear();
+                buf.push_str(&(v - v % ENERGY_QUANTUM_UJ).to_string());
+                buf.push('\n');
+            }
+        }
+        Some(SensorFaultKind::Dropout) | None => {}
+    }
+    if path == "/proc/uptime" {
+        let skew_ns = k.uptime_skew_ns();
+        if skew_ns != 0 {
+            skew_uptime(buf, skew_ns);
+        }
+    }
+}
+
+/// Shifts the uptime field (first column) of a rendered `/proc/uptime` by
+/// `skew_ns`, clamping at zero; the idle column is left alone.
+fn skew_uptime(buf: &mut String, skew_ns: i64) {
+    let mut parts = buf.split_whitespace();
+    let (Some(up), Some(idle)) = (parts.next(), parts.next()) else {
+        return;
+    };
+    let Ok(up) = up.parse::<f64>() else { return };
+    let skewed = (up + skew_ns as f64 / 1e9).max(0.0);
+    *buf = format!("{skewed:.2} {idle}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_shifts_only_the_uptime_field() {
+        let mut s = String::from("100.00 350.25\n");
+        skew_uptime(&mut s, 1_500_000_000);
+        assert_eq!(s, "101.50 350.25\n");
+        skew_uptime(&mut s, -200 * 1_000_000_000);
+        assert_eq!(s, "0.00 350.25\n", "uptime clamps at zero");
+    }
+
+    #[test]
+    fn skew_leaves_malformed_content_alone() {
+        let mut s = String::from("not-a-number\n");
+        skew_uptime(&mut s, 1_000_000_000);
+        assert_eq!(s, "not-a-number\n");
+    }
+}

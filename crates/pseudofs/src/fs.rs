@@ -3,6 +3,7 @@
 use simkernel::Kernel;
 
 use crate::error::FsError;
+use crate::faultfx;
 use crate::render::{
     proc_basic, proc_irq, proc_kernel, proc_misc, proc_pid, proc_sched, proc_vm, sys_cgroup,
     sys_node, sys_power,
@@ -12,6 +13,32 @@ use crate::view::{MaskAction, View};
 /// The pseudo filesystem: a stateless router over the kernel's state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PseudoFs;
+
+/// Outcome of a [`PseudoFs::read_capped`] read against a bounded buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// The whole file fit: `len` bytes were written.
+    Complete {
+        /// Bytes written (the full rendered length).
+        len: usize,
+    },
+    /// The buffer cap was smaller than the file; `written` bytes of a
+    /// `total`-byte file were kept. `written <= cap <= total`, with
+    /// `written` possibly below the cap to respect a UTF-8 boundary.
+    Short {
+        /// Bytes actually kept in the buffer.
+        written: usize,
+        /// Full rendered length of the file.
+        total: usize,
+    },
+}
+
+impl ReadStatus {
+    /// Whether the read was cut short by the cap.
+    pub fn is_short(&self) -> bool {
+        matches!(self, ReadStatus::Short { .. })
+    }
+}
 
 impl PseudoFs {
     /// Creates the (stateless) filesystem.
@@ -27,12 +54,21 @@ impl PseudoFs {
     ///   denies the path (first-stage defense / cloud hardening).
     /// * [`FsError::NotFound`] for paths outside the modeled tree, absent
     ///   hardware (no RAPL/DTS), or pids invisible to the reader.
+    /// * [`FsError::Io`] / [`FsError::Truncated`] when the kernel's
+    ///   installed fault plan has an active window covering this path —
+    ///   transient: the same read can succeed once the window passes.
     pub fn read(&self, k: &Kernel, view: &View, path: &str) -> Result<String, FsError> {
         if view.mask_action(path) == Some(MaskAction::Deny) {
             return Err(FsError::PermissionDenied(path.to_string()));
         }
-        self.dispatch(k, view, path)
-            .ok_or_else(|| FsError::NotFound(path.to_string()))
+        if let Some(e) = faultfx::injected_error(k, path) {
+            return Err(e);
+        }
+        let mut out = self
+            .dispatch(k, view, path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        faultfx::distort(k, path, &mut out);
+        Ok(out)
     }
 
     /// Reads `path` into `buf`, clearing it first and reusing its
@@ -55,6 +91,9 @@ impl PseudoFs {
         if view.mask_action(path) == Some(MaskAction::Deny) {
             return Err(FsError::PermissionDenied(path.to_string()));
         }
+        if let Some(e) = faultfx::injected_error(k, path) {
+            return Err(e);
+        }
         match path {
             "/proc/meminfo" => proc_basic::meminfo_into(k, view, buf),
             "/proc/stat" => proc_basic::stat_into(k, view, buf),
@@ -70,7 +109,40 @@ impl PseudoFs {
                 None => return Err(FsError::NotFound(path.to_string())),
             },
         }
+        faultfx::distort(k, path, buf);
         Ok(())
+    }
+
+    /// [`PseudoFs::read_into`] against a bounded destination: at most
+    /// `cap` bytes are kept in `buf` (cut back to a UTF-8 character
+    /// boundary), and the returned [`ReadStatus`] says whether the caller
+    /// got the whole file. Never panics, for any `cap` including zero.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PseudoFs::read_into`]. On error `buf` is left empty.
+    pub fn read_capped(
+        &self,
+        k: &Kernel,
+        view: &View,
+        path: &str,
+        buf: &mut String,
+        cap: usize,
+    ) -> Result<ReadStatus, FsError> {
+        self.read_into(k, view, path, buf)?;
+        let total = buf.len();
+        if total <= cap {
+            return Ok(ReadStatus::Complete { len: total });
+        }
+        let mut cut = cap;
+        while cut > 0 && !buf.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        buf.truncate(cut);
+        Ok(ReadStatus::Short {
+            written: cut,
+            total,
+        })
     }
 
     /// Enumerates every readable file path in this view, sorted — the

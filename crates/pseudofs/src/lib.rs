@@ -36,12 +36,13 @@
 //! ```
 
 pub mod error;
+mod faultfx;
 pub mod fs;
 pub mod registry;
 pub mod render;
 pub mod view;
 
 pub use error::FsError;
-pub use fs::PseudoFs;
+pub use fs::{PseudoFs, ReadStatus};
 pub use registry::{route_for, Route, ROUTES};
 pub use view::{Context, MaskAction, MaskPolicy, MaskRule, View};

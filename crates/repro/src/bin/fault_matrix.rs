@@ -1,0 +1,49 @@
+//! Runs the fault-injection matrix and writes its report artifacts.
+//!
+//! Flags: `--seed <u64>` (default 1729), `--out <path>` (default
+//! `FAULTS.md`; the JSON companion lands next to it), `--jobs <n>` worker
+//! threads (default = available cores). Every scenario is a pure function
+//! of the seed — fault schedules included — so the artifacts are
+//! byte-identical for any `--jobs` value; CI compares `--jobs 1` against
+//! `--jobs 4` to prove it.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    let jobs = containerleaks_experiments::jobs_arg();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "FAULTS.md".to_string());
+
+    let total = containerleaks::FAULT_MATRIX.len();
+    let done = AtomicUsize::new(0);
+    let results = containerleaks::run_fault_matrix_with(seed, jobs, |_, r| {
+        eprintln!(
+            "[{}/{total}] {} — {}",
+            done.fetch_add(1, Ordering::Relaxed) + 1,
+            r.id,
+            if r.all_hold() { "ok" } else { "CLAIMS FAILED" }
+        );
+    });
+    for r in &results {
+        containerleaks_experiments::emit(r);
+        println!();
+    }
+    let md = containerleaks::render_experiments_md(&results, seed);
+    let mut f = std::fs::File::create(&out_path).expect("create report file");
+    f.write_all(md.as_bytes()).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    let json_path = format!("{}.json", out_path.trim_end_matches(".md"));
+    let json = serde_json::to_string_pretty(&results).expect("serializable results");
+    std::fs::write(&json_path, json).expect("write json artifact");
+    eprintln!("wrote {json_path}");
+    if results.iter().any(|r| !r.all_hold()) {
+        std::process::exit(1);
+    }
+}

@@ -126,6 +126,11 @@ impl FsState {
         &self.boot_id
     }
 
+    /// Rotates the boot id, as a kernel does on every (crash-)reboot.
+    pub fn rotate_boot_id(&mut self, rng: &mut StdRng) {
+        self.boot_id = random_uuid(rng);
+    }
+
     /// A fresh UUID (`/proc/sys/kernel/random/uuid` changes per read).
     pub fn next_uuid(&mut self, rng: &mut StdRng) -> String {
         self.uuid_counter += 1;

@@ -149,6 +149,13 @@ impl RaplDomains {
             p.package_uj += core_uj + dram_uj + uncore_uj;
         }
     }
+
+    /// Zeroes every package's accumulators, as firmware does on reboot.
+    pub fn reset(&mut self) {
+        for p in &mut self.packages {
+            *p = PackageEnergy::default();
+        }
+    }
 }
 
 /// One cpuidle state's residency counters (`/sys/devices/system/cpu/
@@ -232,6 +239,16 @@ impl Hardware {
     /// The RAPL counters.
     pub fn rapl(&self) -> &RaplDomains {
         &self.rapl
+    }
+
+    /// Zeroes the monotone hardware counters — RAPL energy and cpuidle
+    /// residency — as a crash-reboot does. Thermal state and frequency are
+    /// physical, not counters, and survive.
+    pub fn reset_monotone_counters(&mut self) {
+        self.rapl.reset();
+        for cpu in &mut self.cpus {
+            cpu.idle_states = [IdleStateResidency::default(); 5];
+        }
     }
 
     /// Per-CPU hardware state.

@@ -8,6 +8,7 @@ use rand::SeedableRng;
 use crate::cgroup::{CgroupForest, CgroupId, CgroupKind};
 use crate::config::MachineConfig;
 use crate::error::KernelError;
+use crate::faults::{FaultPlan, FsFaultKind, SensorFaultKind};
 use crate::fsstate::{FsState, LockKind};
 use crate::hw::{Hardware, PowerModelParams, PowerSnapshot, RaplDomains};
 use crate::irq::IrqState;
@@ -121,6 +122,20 @@ pub struct Kernel {
     docker_parents: HashMap<CgroupKind, CgroupId>,
     container_seq: u32,
     scratch: TickScratch,
+    /// Nanoseconds of simulated lifetime; unlike the clock, this is
+    /// monotone across crash-reboots and anchors fault-plan windows.
+    lifetime_ns: u64,
+    faults: Option<InstalledFaults>,
+    reboots: u32,
+}
+
+/// A fault plan plus the lifetime instant it was installed at; plan
+/// windows are relative to that instant, so a plan built for a short
+/// horizon works on a host already fast-forwarded through weeks of uptime.
+#[derive(Debug)]
+struct InstalledFaults {
+    base_ns: u64,
+    plan: FaultPlan,
 }
 
 /// Per-kernel buffers reused across ticks so the steady-state tick path
@@ -174,6 +189,9 @@ impl Kernel {
             docker_parents: HashMap::new(),
             container_seq: 0,
             scratch: TickScratch::default(),
+            lifetime_ns: 0,
+            faults: None,
+            reboots: 0,
             seed,
             cfg,
             rng,
@@ -303,6 +321,68 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault plan. Plan windows are relative to *now*: the
+    /// current lifetime instant becomes the plan's time origin.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(InstalledFaults {
+            base_ns: self.lifetime_ns,
+            plan,
+        });
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Nanoseconds of simulated lifetime (monotone across crash-reboots,
+    /// unlike [`Clock::since_boot_ns`]).
+    pub fn lifetime_ns(&self) -> u64 {
+        self.lifetime_ns
+    }
+
+    /// Crash-reboots this kernel has gone through.
+    pub fn reboot_count(&self) -> u32 {
+        self.reboots
+    }
+
+    /// The read fault currently active for `path`, per the installed
+    /// plan. `None` when no plan is installed or no window covers now.
+    pub fn read_fault(&self, path: &str) -> Option<FsFaultKind> {
+        let f = self.faults.as_ref()?;
+        f.plan
+            .fs_fault(self.lifetime_ns.saturating_sub(f.base_ns), path)
+    }
+
+    /// The value-distorting sensor fault currently active for `path`
+    /// (saturation / quantization jitter); dropout surfaces through
+    /// [`Kernel::read_fault`] instead.
+    pub fn sensor_fault(&self, path: &str) -> Option<SensorFaultKind> {
+        let f = self.faults.as_ref()?;
+        f.plan
+            .sensor_transform(self.lifetime_ns.saturating_sub(f.base_ns), path)
+    }
+
+    /// The clock-skew offset currently applied to uptime reads, in
+    /// nanoseconds (zero without an active skew window).
+    pub fn uptime_skew_ns(&self) -> i64 {
+        match &self.faults {
+            Some(f) => f
+                .plan
+                .clock_skew_ns(self.lifetime_ns.saturating_sub(f.base_ns)),
+            None => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Time
     // ------------------------------------------------------------------
 
@@ -421,6 +501,32 @@ impl Kernel {
             self.cleanup_process(pid);
         }
         self.scratch.report.exited = exited;
+
+        let before = self.lifetime_ns;
+        self.lifetime_ns += dt_ns;
+        let reboot_due = self.faults.as_ref().is_some_and(|f| {
+            f.plan.reboot_in(
+                before.saturating_sub(f.base_ns),
+                self.lifetime_ns.saturating_sub(f.base_ns),
+            )
+        });
+        if reboot_due {
+            self.crash_reboot();
+        }
+    }
+
+    /// A crash-reboot: uptime restarts, the boot id rotates, and the
+    /// monotone hardware counters (RAPL energy, cpuidle residency) zero.
+    /// Processes survive — the model is a fast kernel restart with service
+    /// supervision restoring the workload within the downtime window, so
+    /// detectors observing the host see exactly the counter discontinuities
+    /// a real crash-reboot produces.
+    fn crash_reboot(&mut self) {
+        const DOWNTIME_SECS: u64 = 2;
+        self.clock.reboot(DOWNTIME_SECS);
+        self.fs.rotate_boot_id(&mut self.rng);
+        self.hw.reset_monotone_counters();
+        self.reboots += 1;
     }
 
     // ------------------------------------------------------------------

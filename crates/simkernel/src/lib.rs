@@ -46,6 +46,7 @@
 pub mod cgroup;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod fsstate;
 pub mod hw;
 pub mod irq;
@@ -64,6 +65,7 @@ pub mod timers;
 pub use cgroup::{CgroupForest, CgroupId, CgroupKind};
 pub use config::MachineConfig;
 pub use error::KernelError;
+pub use faults::{FaultPlan, FsFaultKind, SensorFaultKind};
 pub use hw::{PowerModelParams, PowerSnapshot, RaplDomains};
 pub use kernel::Kernel;
 pub use ns::{NamespaceKind, NamespaceSet, NsId};

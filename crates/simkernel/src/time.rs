@@ -46,6 +46,14 @@ impl Clock {
         self.boot_wall_secs + self.since_boot_ns / NANOS_PER_SEC
     }
 
+    /// Crash-reboots the clock: uptime restarts from zero and the boot
+    /// instant (`btime`) advances to the current wall time plus
+    /// `downtime_secs` of outage. Wall time never runs backwards.
+    pub fn reboot(&mut self, downtime_secs: u64) {
+        self.boot_wall_secs = self.wall_secs() + downtime_secs;
+        self.since_boot_ns = 0;
+    }
+
     /// Moves the clock forward by `dt_ns` nanoseconds.
     pub fn advance(&mut self, dt_ns: u64) {
         self.since_boot_ns = self

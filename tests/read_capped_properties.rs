@@ -1,0 +1,100 @@
+//! Property test for the capped read path: an undersized (even
+//! zero-length) destination must never panic, and the reported
+//! [`ReadStatus`] must be consistent with the uncapped read — in both the
+//! host and the container view, for every path the route registry lists.
+
+use proptest::prelude::*;
+
+use containerleaks::leakscan::Lab;
+use containerleaks::pseudofs::{PseudoFs, ReadStatus, View, ROUTES};
+
+/// Runs one capped read and cross-checks it against the full read.
+fn check_capped(lab: &Lab, view: &View, path: &str, cap: usize) -> Result<(), TestCaseError> {
+    let h = lab.host(0);
+    let fs = PseudoFs::new();
+    let mut full = String::new();
+    let mut capped = String::new();
+    let whole = fs.read_into(&h.kernel, view, path, &mut full);
+    let status = fs.read_capped(&h.kernel, view, path, &mut capped, cap);
+    match (whole, status) {
+        (Ok(()), Ok(ReadStatus::Complete { len })) => {
+            prop_assert_eq!(len, full.len(), "{}: Complete.len != full length", path);
+            prop_assert!(
+                len <= cap,
+                "{}: Complete but {} bytes over cap {}",
+                path,
+                len,
+                cap
+            );
+            prop_assert_eq!(
+                &capped,
+                &full,
+                "{}: Complete must keep the whole file",
+                path
+            );
+        }
+        (Ok(()), Ok(ReadStatus::Short { written, total })) => {
+            prop_assert_eq!(total, full.len(), "{}: Short.total != full length", path);
+            prop_assert!(
+                written <= cap,
+                "{}: wrote {} past cap {}",
+                path,
+                written,
+                cap
+            );
+            prop_assert!(total > cap, "{}: short-read a file that fit", path);
+            prop_assert_eq!(written, capped.len(), "{}: Short.written != buffer", path);
+            prop_assert!(
+                full.starts_with(capped.as_str()),
+                "{}: capped read is not a prefix of the full read",
+                path
+            );
+        }
+        (Err(a), Err(b)) => {
+            prop_assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "{}: capped and full reads fail differently",
+                path
+            );
+        }
+        (w, s) => {
+            return Err(TestCaseError::fail(format!(
+                "{path}: full read {w:?} but capped read {s:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random caps (including 0) over random registry routes, both views.
+    #[test]
+    fn capped_reads_are_consistent_for_any_cap(
+        route in 0usize..ROUTES.len(),
+        cap in 0usize..100_000,
+    ) {
+        let lab = Lab::new(1, 4040);
+        let path = ROUTES[route].probe;
+        for view in [View::host(), lab.host(0).container_view()] {
+            check_capped(&lab, &view, path, cap)?;
+        }
+    }
+}
+
+/// The deterministic sweep: every route × both views × the boundary caps.
+/// (The proptest above samples; this leaves no route unvisited.)
+#[test]
+fn every_route_survives_the_boundary_caps() {
+    let lab = Lab::new(1, 4041);
+    for route in ROUTES {
+        for view in [View::host(), lab.host(0).container_view()] {
+            for cap in [0usize, 1, 7, 64, 65_536] {
+                check_capped(&lab, &view, route.probe, cap)
+                    .unwrap_or_else(|e| panic!("{} (cap {cap}): {e}", route.probe));
+            }
+        }
+    }
+}
