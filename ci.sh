@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full local gate: build, tests, lints, formatting, and the determinism
-# regression for the parallel experiment runner (--jobs 1 vs --jobs 4
-# must produce byte-identical EXPERIMENTS.md / .json artifacts).
+# Full local gate: build, tests, lints, formatting, the determinism
+# regressions for the parallel experiment runner (--jobs 1 vs --jobs 4,
+# and event-horizon coalescing on vs off, must produce byte-identical
+# EXPERIMENTS.md / .json artifacts), and the bench medians gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,6 +40,13 @@ cmp "$tmp/j1.md" "$tmp/j4.md"
 cmp "$tmp/j1.json" "$tmp/j4.json"
 echo "byte-identical across job counts"
 
+echo "== determinism: coalescing on (--jobs 1) vs off (--jobs 4) =="
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --jobs 4 --coalesce off --out "$tmp/c0.md" >/dev/null
+cmp "$tmp/j1.md" "$tmp/c0.md"
+cmp "$tmp/j1.json" "$tmp/c0.json"
+echo "byte-identical with coalescing disabled"
+
 echo "== determinism under faults: fault_matrix --jobs 1 vs --jobs 4 =="
 cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
     --jobs 1 --out "$tmp/f1.md" >/dev/null
@@ -47,5 +55,15 @@ cargo run --offline --release -q -p containerleaks-experiments --bin fault_matri
 cmp "$tmp/f1.md" "$tmp/f4.md"
 cmp "$tmp/f1.json" "$tmp/f4.json"
 echo "byte-identical across job counts with faults active"
+
+echo "== determinism under faults: coalescing on vs off =="
+cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
+    --jobs 4 --coalesce off --out "$tmp/fc0.md" >/dev/null
+cmp "$tmp/f1.md" "$tmp/fc0.md"
+cmp "$tmp/f1.json" "$tmp/fc0.json"
+echo "byte-identical with coalescing disabled and faults active"
+
+echo "== bench medians vs committed baseline =="
+./scripts/bench_compare.sh
 
 echo "== all checks passed =="

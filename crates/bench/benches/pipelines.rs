@@ -113,6 +113,52 @@ fn bench_fig2_week_segment(c: &mut Criterion) {
     });
 }
 
+fn bench_fig2_week_segment_coalesced(c: &mut Criterion) {
+    // The same hour of the Fig. 2 pipeline on a fleet *without*
+    // background services: the hosts are quiescent between trace
+    // applications, so the event-horizon coalescer folds each 30 s
+    // advance into a handful of spans. The gap to `fig2_week_segment`
+    // is the price of a populated host; the gap to the seed baseline is
+    // what coalescing buys week-scale telemetry.
+    use containerleaks::powersim::DiurnalTrace;
+    let mut cloud = Cloud::new(
+        CloudConfig::new(CloudProfile::CC1)
+            .hosts(8)
+            .without_background(),
+        2,
+    );
+    let mut trace = DiurnalTrace::paper_week(2);
+    cloud.set_tick_secs(30);
+    let mut t = 0u64;
+    c.bench_function("fig2_week_segment_coalesced", |b| {
+        b.iter(|| {
+            let mut agg = 0.0;
+            for _ in 0..120 {
+                trace.apply(&mut cloud, t);
+                cloud.advance_secs(30);
+                agg = (0..8).map(|h| cloud.host_power_w(HostId(h))).sum();
+                t += 30;
+            }
+            black_box(agg)
+        })
+    });
+}
+
+fn bench_fleet_advance_pool(c: &mut Criterion) {
+    // Same fleet as `fleet_advance_serial`, explicitly fanned across
+    // four lanes of the persistent pool regardless of the machine's
+    // core count. On a multi-core host this is the speedup; on a
+    // single-core host it prices the pool's dispatch overhead, which
+    // the compare gate keeps from regressing.
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(8), 2);
+    c.bench_function("fleet_advance_pool", |b| {
+        b.iter(|| {
+            cloud.advance_secs_threads(60, 4);
+            black_box(cloud.rack_power_w(0))
+        })
+    });
+}
+
 fn bench_fig3_attack_step(c: &mut Criterion) {
     let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(4), 3);
     let obs = cloud
@@ -262,6 +308,8 @@ criterion_group!(
         bench_fleet_advance_serial,
         bench_fleet_advance_parallel,
         bench_fig2_week_segment,
+        bench_fig2_week_segment_coalesced,
+        bench_fleet_advance_pool,
         bench_fig3_attack_step,
         bench_fig4_staircase,
         bench_fig6_training,

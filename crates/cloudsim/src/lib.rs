@@ -539,9 +539,9 @@ impl Cloud {
     }
 
     /// Advances the whole fleet by `secs`, metering utilization billing.
-    /// Hosts are stepped concurrently (one scoped thread per chunk of
-    /// hosts); each kernel owns its RNG, so the result is bitwise
-    /// identical to the serial order.
+    /// Hosts are stepped concurrently (round-robin batches on the
+    /// persistent worker pool); each kernel owns its RNG, so the result
+    /// is bitwise identical to the serial order.
     pub fn advance_secs(&mut self, secs: u64) {
         self.advance_secs_threads(secs, simkernel::parallel::default_threads());
     }
@@ -549,7 +549,7 @@ impl Cloud {
     /// [`Cloud::advance_secs`] with an explicit worker count; `threads = 1`
     /// runs the historical serial loop.
     pub fn advance_secs_threads(&mut self, secs: u64, threads: usize) {
-        simkernel::parallel::par_for_each_mut_threads(&mut self.hosts, threads, |host| {
+        simkernel::parallel::par_for_each_mut_threads(&mut self.hosts, threads, move |host| {
             host.kernel.advance_secs(secs);
         });
         // Meter: charge each open instance its cpu-time delta.
@@ -649,9 +649,13 @@ impl Cloud {
     /// together can occupy up to 12 of the host's cores.
     pub fn set_background_demand(&mut self, host: HostId, demand: f64) {
         if let Some(h) = self.hosts.get_mut(host.0 as usize) {
-            let w = workloads::models::web_service(demand);
-            for pid in h.background.clone() {
-                let _ = h.kernel.set_workload(pid, w.clone());
+            // Same clamp `web_service` applies at construction; the demand
+            // is retargeted in place so trace-driven fleets do not rebuild
+            // (and clone) a workload spec per service per interval.
+            let demand = demand.clamp(0.01, 1.0);
+            for i in 0..h.background.len() {
+                let pid = h.background[i];
+                let _ = h.kernel.set_workload_demand(pid, demand);
             }
         }
     }

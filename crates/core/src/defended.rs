@@ -123,9 +123,12 @@ impl DefendedFleet {
 
     /// Drives the background demand on one host.
     pub fn set_background_demand(&mut self, host: usize, demand: f64) {
-        let w = workloads::models::web_service(demand);
-        for pid in self.background[host].clone() {
-            let _ = self.hosts[host].kernel.set_workload(pid, w.clone());
+        // Same clamp `web_service` applies at construction; retargeted in
+        // place so the trace driver does not rebuild a spec per service.
+        let demand = demand.clamp(0.01, 1.0);
+        for i in 0..self.background[host].len() {
+            let pid = self.background[host][i];
+            let _ = self.hosts[host].kernel.set_workload_demand(pid, demand);
         }
     }
 
@@ -133,7 +136,7 @@ impl DefendedFleet {
     /// are stepped concurrently; each owns its kernel and RNG, so the
     /// result is bitwise identical to the serial order.
     pub fn advance_secs(&mut self, secs: u64) {
-        simkernel::parallel::par_for_each_mut(&mut self.hosts, |h| h.advance_secs(secs));
+        simkernel::parallel::par_for_each_mut(&mut self.hosts, move |h| h.advance_secs(secs));
     }
 
     /// True aggregate wall power, watts (operator-side ground truth).

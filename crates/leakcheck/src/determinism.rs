@@ -74,7 +74,7 @@ const SANCTIONS: &[&str] = &[
 /// appear in the report (and the snapshot), marked accepted.
 pub const ACCEPTED: &[(&str, &str, &str)] = &[(
     "simkernel/src/kernel.rs",
-    "tick_once",
+    "refresh_rss_memo",
     "each iteration writes one distinct cgroup's usage; writes are \
      disjoint per key, so the final state is order-independent",
 )];
@@ -158,12 +158,6 @@ pub const ACCEPTED_PANICS: &[(&str, &str, &str)] = &[
         "account_task",
         "the pid comes off the run queue built this same tick; \
          processes are only reaped between ticks",
-    ),
-    (
-        "simkernel/src/sched.rs",
-        "tick_into",
-        "run-queue pids resolved within the tick that enqueued them; \
-         no reaping can interleave",
     ),
     (
         "simkernel/src/time.rs",
@@ -673,7 +667,7 @@ mod tests {
     fn accepted_findings_keep_their_reason() {
         let src = "
             struct K { by_cgroup: HashMap<u32, u64> }
-            impl K { fn tick_once(&mut self) {
+            impl K { fn refresh_rss_memo(&mut self) {
                 for (cg, b) in self.by_cgroup.iter() { self.set(*cg, *b); }
             } }
         ";

@@ -136,7 +136,9 @@ impl Lab {
     /// concurrently; each kernel owns its RNG, so the result is bitwise
     /// identical to the serial order.
     pub fn advance_secs(&mut self, secs: u64) {
-        simkernel::parallel::par_for_each_mut(&mut self.hosts, |h| h.kernel.advance_secs(secs));
+        simkernel::parallel::par_for_each_mut(&mut self.hosts, move |h| {
+            h.kernel.advance_secs(secs)
+        });
     }
 
     /// Installs a fault plan on every machine, anchored at the current

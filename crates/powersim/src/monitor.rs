@@ -32,9 +32,11 @@ impl RaplMonitor {
     ///
     /// Degrades gracefully instead of corrupting the cost accounting:
     /// a transient read fault (sensor dropout) skips the sample and keeps
-    /// the previous baseline, and a counter that jumps backwards while far
-    /// below the wrap point is treated as a crash-reboot reset — the
-    /// monitor re-baselines rather than reporting an absurd wrap delta.
+    /// the previous baseline. A backwards counter jump is read as a
+    /// hardware wrap only when the previous sample sat near the top of the
+    /// range *and* the implied wrap delta corresponds to a plausible
+    /// package power; otherwise it is a crash-reboot reset and the monitor
+    /// re-baselines rather than reporting an absurd wrap delta.
     ///
     /// # Errors
     ///
@@ -71,19 +73,26 @@ impl RaplMonitor {
             let mut total_uj = 0u64;
             let mut dt = 0.0f64;
             for ((last_uj, last_t), cur) in entry.iter().zip(&readings) {
+                let dt_r = now_s - last_t;
                 let delta = if cur >= last_uj {
                     cur - last_uj
-                } else if *last_uj >= RAPL_WRAP_UJ / 2 {
-                    // Plausible hardware counter wrap near the top.
-                    cur + RAPL_WRAP_UJ - last_uj
                 } else {
-                    // Backwards jump far below the wrap point: the host
-                    // rebooted and the accumulator restarted from zero.
-                    reset_seen = true;
-                    0
+                    // No package draws kilowatts: a backwards jump whose
+                    // wrap interpretation implies one is a reboot reset.
+                    const MAX_PLAUSIBLE_PKG_W: f64 = 2_000.0;
+                    let wrapped = cur + RAPL_WRAP_UJ - last_uj;
+                    if *last_uj >= RAPL_WRAP_UJ / 2
+                        && dt_r > 0.0
+                        && wrapped as f64 / 1e6 / dt_r < MAX_PLAUSIBLE_PKG_W
+                    {
+                        wrapped
+                    } else {
+                        reset_seen = true;
+                        0
+                    }
                 };
                 total_uj += delta;
-                dt = now_s - last_t;
+                dt = dt_r;
             }
             if reset_seen || dt <= 0.0 {
                 None

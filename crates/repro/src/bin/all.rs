@@ -3,9 +3,10 @@
 //! Flags: `--seed <u64>` (default 1729), `--days <n>` for the Fig. 2 trace
 //! length (default 7), `--out <path>` (default `EXPERIMENTS.md`),
 //! `--jobs <n>` worker threads for the experiment pool (default = available
-//! cores; `--jobs 1` reproduces the serial order). Every experiment driver
-//! is a pure function of the seed, so the written artifacts are
-//! byte-identical for any `--jobs` value.
+//! cores; `--jobs 1` reproduces the serial order), `--coalesce <on|off>`
+//! to toggle event-horizon tick coalescing (default on). Every experiment
+//! driver is a pure function of the seed, so the written artifacts are
+//! byte-identical for any `--jobs` value and either `--coalesce` setting.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -13,6 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
     let jobs = containerleaks_experiments::jobs_arg();
+    containerleaks_experiments::apply_coalesce_arg();
     let args: Vec<String> = std::env::args().collect();
     let days = args
         .windows(2)

@@ -1,0 +1,179 @@
+//! Gates a fresh Criterion run against the committed bench baseline.
+//!
+//! Flags: `--baseline <path>` (default `BENCH_pipelines.json`),
+//! `--fresh <path>` (default `target/bench-artifacts/BENCH_pipelines.json`),
+//! `--threshold-pct <p>` (default 25), `--floor-ns <n>` (default 20000).
+//!
+//! A benchmark regresses when its fresh median exceeds the baseline
+//! median by more than the threshold *and* by more than the absolute
+//! floor — sub-floor deltas are scheduler noise, not code. On shared
+//! boxes the whole suite sometimes runs uniformly slower (co-tenant
+//! load), which says nothing about the code, so each ratio is first
+//! discounted by the suite-wide *noise factor* — the median of all
+//! fresh/baseline ratios, clamped to at least 1 so a fast run never
+//! manufactures regressions. A code change shifts specific benches
+//! against that backdrop; box load shifts all of them together. The
+//! escape valve is bounded: past `HARD_CAP`× undiscounted, a bench
+//! fails regardless (a uniform *real* regression cannot hide forever).
+//! Benchmarks present in the baseline but missing from the fresh run
+//! fail the gate (a silently dropped bench would otherwise pass
+//! forever); benchmarks only in the fresh run are reported as new and
+//! pass.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::Deserialize;
+
+/// The slice of each benchmark's statistics the gate compares. The
+/// report also carries `mean_ns`/`min_ns`/`samples`; the derive ignores
+/// fields it is not asked for.
+#[derive(Debug, Clone, Deserialize)]
+struct BenchStats {
+    median_ns: f64,
+}
+
+/// The `BENCH_<file>.json` report shape.
+#[derive(Debug, Deserialize)]
+struct BenchReport {
+    bench_file: String,
+    groups: BTreeMap<String, BTreeMap<String, BenchStats>>,
+}
+
+impl BenchReport {
+    fn load(path: &str) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    }
+
+    /// Flattens `group/bench -> median_ns`; names are unique per file.
+    fn medians(&self) -> BTreeMap<String, f64> {
+        self.groups
+            .values()
+            .flat_map(|benches| benches.iter().map(|(name, s)| (name.clone(), s.median_ns)))
+            .collect()
+    }
+}
+
+fn arg(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let baseline_path = arg("--baseline", "BENCH_pipelines.json");
+    let fresh_path = arg("--fresh", "target/bench-artifacts/BENCH_pipelines.json");
+    let threshold_pct: f64 = arg("--threshold-pct", "25").parse().unwrap_or(25.0);
+    let floor_ns: f64 = arg("--floor-ns", "20000").parse().unwrap_or(20_000.0);
+
+    let (baseline, fresh) = match (
+        BenchReport::load(&baseline_path),
+        BenchReport::load(&fresh_path),
+    ) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("benchcmp: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.bench_file != fresh.bench_file {
+        eprintln!(
+            "benchcmp: baseline is `{}`, fresh is `{}` — different bench files",
+            baseline.bench_file, fresh.bench_file
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let base = baseline.medians();
+    let new = fresh.medians();
+    let limit = 1.0 + threshold_pct / 100.0;
+
+    // Suite-wide noise factor: the median fresh/baseline ratio across
+    // every bench present in both reports, never below 1.
+    let mut ratios: Vec<f64> = base
+        .iter()
+        .filter_map(|(name, &b)| new.get(name).map(|&n| n / b))
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let noise = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios[ratios.len() / 2].max(1.0)
+    };
+    // Past this many times the baseline — undiscounted — a bench fails
+    // even if the whole suite slowed with it.
+    const HARD_CAP: f64 = 4.0;
+    let mut failed = false;
+
+    println!("suite noise factor: {noise:.2}x (discounted before gating)");
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "fresh", "ratio"
+    );
+    for (name, &b) in &base {
+        match new.get(name) {
+            None => {
+                failed = true;
+                println!(
+                    "{name:<34} {:>12} {:>12} {:>8}  MISSING",
+                    fmt_ns(b),
+                    "-",
+                    "-"
+                );
+            }
+            Some(&n) => {
+                let ratio = n / b;
+                let discounted = ratio / noise;
+                let regressed = (discounted > limit && n - b * noise > floor_ns)
+                    || (ratio > HARD_CAP && n - b > floor_ns);
+                if regressed {
+                    failed = true;
+                }
+                println!(
+                    "{name:<34} {:>12} {:>12} {:>7.2}x  {}",
+                    fmt_ns(b),
+                    fmt_ns(n),
+                    ratio,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+        }
+    }
+    for (name, &n) in &new {
+        if !base.contains_key(name) {
+            println!(
+                "{name:<34} {:>12} {:>12} {:>8}  new (no baseline)",
+                "-",
+                fmt_ns(n),
+                "-"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "benchcmp: FAIL — median regression beyond {threshold_pct}% \
+             (+{} floor) or a benchmark went missing",
+            fmt_ns(floor_ns)
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("benchcmp: ok — all medians within {threshold_pct}% of baseline");
+        ExitCode::SUCCESS
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! Flags: `--seed <u64>` (default 1729), `--out <path>` (default
 //! `FAULTS.md`; the JSON companion lands next to it), `--jobs <n>` worker
-//! threads (default = available cores). Every scenario is a pure function
-//! of the seed — fault schedules included — so the artifacts are
-//! byte-identical for any `--jobs` value; CI compares `--jobs 1` against
-//! `--jobs 4` to prove it.
+//! threads (default = available cores), `--coalesce <on|off>` to toggle
+//! event-horizon tick coalescing (default on). Every scenario is a pure
+//! function of the seed — fault schedules included — so the artifacts are
+//! byte-identical for any `--jobs` value and either `--coalesce` setting;
+//! CI compares `--jobs 1` against `--jobs 4` and coalescing on against
+//! off to prove it.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -13,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
     let jobs = containerleaks_experiments::jobs_arg();
+    containerleaks_experiments::apply_coalesce_arg();
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
         .windows(2)

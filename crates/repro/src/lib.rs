@@ -30,6 +30,24 @@ pub fn jobs_arg() -> usize {
         })
 }
 
+/// Applies `--coalesce <on|off>` process-wide (the default, absent the
+/// flag, is the kernel's compiled default: on). CI runs every
+/// experiment binary both ways and byte-compares the artifacts —
+/// event-horizon coalescing must be an invisible optimization.
+pub fn apply_coalesce_arg() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--coalesce") {
+        match w[1].as_str() {
+            "on" => containerleaks::simkernel::set_coalescing_default(true),
+            "off" => containerleaks::simkernel::set_coalescing_default(false),
+            other => {
+                eprintln!("--coalesce takes `on` or `off`, got `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Whether `--json` was passed.
 pub fn json_flag() -> bool {
     std::env::args().any(|a| a == "--json")

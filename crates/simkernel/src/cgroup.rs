@@ -168,10 +168,15 @@ impl CgroupNode {
 }
 
 /// All cgroup hierarchies of one kernel.
+///
+/// Ids are allocated sequentially and never reused, so the nodes live in a
+/// slot vector indexed by id: every lookup on the scheduler's per-task
+/// charge path is an array index instead of a hash probe. Removed nodes
+/// leave a `None` slot behind.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CgroupForest {
     next: u32,
-    nodes: HashMap<CgroupId, CgroupNode>,
+    nodes: Vec<Option<CgroupNode>>,
     roots: HashMap<CgroupKind, CgroupId>,
     ncpus: usize,
 }
@@ -181,7 +186,7 @@ impl CgroupForest {
     pub fn new(ncpus: usize, host_ifaces: &[String]) -> Self {
         let mut f = CgroupForest {
             next: 0,
-            nodes: HashMap::new(),
+            nodes: Vec::new(),
             roots: HashMap::new(),
             ncpus,
         };
@@ -222,17 +227,22 @@ impl CgroupForest {
     ) -> CgroupId {
         let id = CgroupId(self.next);
         self.next += 1;
-        self.nodes.insert(
+        self.nodes.push(Some(CgroupNode {
             id,
-            CgroupNode {
-                id,
-                kind,
-                path,
-                parent,
-                data,
-            },
-        );
+            kind,
+            path,
+            parent,
+            data,
+        }));
         id
+    }
+
+    fn node_ref(&self, id: CgroupId) -> Option<&CgroupNode> {
+        self.nodes.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn node_mut(&mut self, id: CgroupId) -> Option<&mut CgroupNode> {
+        self.nodes.get_mut(id.0 as usize).and_then(Option::as_mut)
     }
 
     /// The root node of a hierarchy.
@@ -242,12 +252,17 @@ impl CgroupForest {
 
     /// Looks up a node.
     pub fn node(&self, id: CgroupId) -> Option<&CgroupNode> {
-        self.nodes.get(&id)
+        self.node_ref(id)
     }
 
     /// All nodes of one hierarchy, sorted by path.
     pub fn nodes_of_kind(&self, kind: CgroupKind) -> Vec<&CgroupNode> {
-        let mut v: Vec<&CgroupNode> = self.nodes.values().filter(|n| n.kind == kind).collect();
+        let mut v: Vec<&CgroupNode> = self
+            .nodes
+            .iter()
+            .flatten()
+            .filter(|n| n.kind == kind)
+            .collect();
         v.sort_by(|a, b| a.path.cmp(&b.path));
         v
     }
@@ -255,7 +270,11 @@ impl CgroupForest {
     /// Number of cgroups in one hierarchy — rendered by `/proc/cgroups`,
     /// which thereby leaks how many containers a host runs.
     pub fn count_of_kind(&self, kind: CgroupKind) -> usize {
-        self.nodes.values().filter(|n| n.kind == kind).count()
+        self.nodes
+            .iter()
+            .flatten()
+            .filter(|n| n.kind == kind)
+            .count()
     }
 
     /// Creates a child cgroup `name` under `parent`.
@@ -271,8 +290,7 @@ impl CgroupForest {
     ) -> Result<CgroupId, KernelError> {
         let (kind, ppath) = {
             let p = self
-                .nodes
-                .get(&parent)
+                .node_ref(parent)
                 .ok_or(KernelError::NoSuchCgroup(parent))?;
             (p.kind, p.path.clone())
         };
@@ -294,18 +312,18 @@ impl CgroupForest {
     /// Returns [`KernelError::InvalidOperation`] when the node is a root or
     /// still has children, and [`KernelError::NoSuchCgroup`] when unknown.
     pub fn remove(&mut self, id: CgroupId) -> Result<(), KernelError> {
-        let node = self.nodes.get(&id).ok_or(KernelError::NoSuchCgroup(id))?;
+        let node = self.node_ref(id).ok_or(KernelError::NoSuchCgroup(id))?;
         if node.parent.is_none() {
             return Err(KernelError::InvalidOperation(
                 "cannot remove a root cgroup".into(),
             ));
         }
-        if self.nodes.values().any(|n| n.parent == Some(id)) {
+        if self.nodes.iter().flatten().any(|n| n.parent == Some(id)) {
             return Err(KernelError::InvalidOperation(format!(
                 "cgroup {id} still has children"
             )));
         }
-        self.nodes.remove(&id);
+        self.nodes[id.0 as usize] = None;
         Ok(())
     }
 
@@ -314,7 +332,7 @@ impl CgroupForest {
         let mut chain = Vec::new();
         let mut cur = Some(id);
         while let Some(c) = cur {
-            match self.nodes.get(&c) {
+            match self.node_ref(c) {
                 Some(n) => {
                     chain.push(c);
                     cur = n.parent;
@@ -328,10 +346,13 @@ impl CgroupForest {
     /// Charges `ns` nanoseconds of CPU time on `cpu` to `id` and ancestors
     /// (cpuacct hierarchy).
     pub fn charge_cpu(&mut self, id: CgroupId, cpu: usize, ns: u64) {
-        for c in self.ancestor_chain(id) {
-            if let Some(CgroupData::Cpuacct { usage_ns_per_cpu }) =
-                self.nodes.get_mut(&c).map(|n| &mut n.data)
-            {
+        // Walks the parent links in place — this runs once per task per
+        // scheduler tick, so it must not allocate a chain vector.
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(n) = self.node_mut(c) else { break };
+            cur = n.parent;
+            if let CgroupData::Cpuacct { usage_ns_per_cpu } = &mut n.data {
                 if cpu < usage_ns_per_cpu.len() {
                     usage_ns_per_cpu[cpu] += ns;
                 }
@@ -342,11 +363,14 @@ impl CgroupForest {
     /// Charges perf counters to `id` and ancestors, but only to nodes with
     /// monitoring enabled (perf_event hierarchy).
     pub fn charge_perf(&mut self, id: CgroupId, delta: &PerfCounters) {
-        for c in self.ancestor_chain(id) {
-            if let Some(CgroupData::PerfEvent {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(n) = self.node_mut(c) else { break };
+            cur = n.parent;
+            if let CgroupData::PerfEvent {
                 counters,
                 monitoring,
-            }) = self.nodes.get_mut(&c).map(|n| &mut n.data)
+            } = &mut n.data
             {
                 if *monitoring {
                     counters.add(delta);
@@ -363,7 +387,7 @@ impl CgroupForest {
     /// [`KernelError::InvalidOperation`] when the node is not in the
     /// perf_event hierarchy.
     pub fn set_perf_monitoring(&mut self, id: CgroupId, on: bool) -> Result<(), KernelError> {
-        match self.nodes.get_mut(&id) {
+        match self.node_mut(id) {
             Some(n) => match &mut n.data {
                 CgroupData::PerfEvent { monitoring, .. } => {
                     *monitoring = on;
@@ -379,7 +403,7 @@ impl CgroupForest {
 
     /// Reads the perf counters of a perf_event cgroup.
     pub fn perf_counters(&self, id: CgroupId) -> Option<PerfCounters> {
-        match self.nodes.get(&id)?.data() {
+        match self.node_ref(id)?.data() {
             CgroupData::PerfEvent { counters, .. } => Some(*counters),
             _ => None,
         }
@@ -388,7 +412,7 @@ impl CgroupForest {
     /// Whether perf monitoring is on for this cgroup.
     pub fn perf_monitoring(&self, id: CgroupId) -> bool {
         matches!(
-            self.nodes.get(&id).map(|n| n.data()),
+            self.node_ref(id).map(|n| n.data()),
             Some(CgroupData::PerfEvent {
                 monitoring: true,
                 ..
@@ -398,7 +422,7 @@ impl CgroupForest {
 
     /// Total cpuacct usage (ns summed over CPUs) of a cpuacct cgroup.
     pub fn cpuacct_usage_ns(&self, id: CgroupId) -> Option<u64> {
-        match self.nodes.get(&id)?.data() {
+        match self.node_ref(id)?.data() {
             CgroupData::Cpuacct { usage_ns_per_cpu } => Some(usage_ns_per_cpu.iter().sum()),
             _ => None,
         }
@@ -406,7 +430,7 @@ impl CgroupForest {
 
     /// Per-CPU cpuacct usage of a cpuacct cgroup.
     pub fn cpuacct_usage_percpu(&self, id: CgroupId) -> Option<&[u64]> {
-        match self.nodes.get(&id)?.data() {
+        match self.node_ref(id)?.data() {
             CgroupData::Cpuacct { usage_ns_per_cpu } => Some(usage_ns_per_cpu),
             _ => None,
         }
@@ -420,7 +444,7 @@ impl CgroupForest {
             usage_bytes,
             max_usage_bytes,
             ..
-        }) = self.nodes.get_mut(&id).map(|n| &mut n.data)
+        }) = self.node_mut(id).map(|n| &mut n.data)
         {
             *usage_bytes = bytes;
             *max_usage_bytes = (*max_usage_bytes).max(bytes);
@@ -429,7 +453,7 @@ impl CgroupForest {
 
     /// Reads a memory cgroup's (usage, high-water) bytes.
     pub fn memory_usage(&self, id: CgroupId) -> Option<(u64, u64)> {
-        match self.nodes.get(&id)?.data() {
+        match self.node_ref(id)?.data() {
             CgroupData::Memory {
                 usage_bytes,
                 max_usage_bytes,
@@ -451,7 +475,7 @@ impl CgroupForest {
         iface: &str,
         prio: u32,
     ) -> Result<(), KernelError> {
-        match self.nodes.get_mut(&id) {
+        match self.node_mut(id) {
             Some(n) => match &mut n.data {
                 CgroupData::NetPrio { ifpriomap } => {
                     ifpriomap.insert(iface.to_string(), prio);
@@ -469,7 +493,7 @@ impl CgroupForest {
     /// (the kernel's `netprio` handler iterates all of `init_net`'s devices,
     /// so every group's map covers every host device — the leak).
     pub fn register_host_iface(&mut self, iface: &str) {
-        for n in self.nodes.values_mut() {
+        for n in self.nodes.iter_mut().flatten() {
             if let CgroupData::NetPrio { ifpriomap } = &mut n.data {
                 ifpriomap.entry(iface.to_string()).or_insert(0);
             }

@@ -196,6 +196,28 @@ impl FaultPlan {
     pub fn reboot_in(&self, rel_a: u64, rel_b: u64) -> bool {
         self.reboots_ns.iter().any(|&r| rel_a < r && r <= rel_b)
     }
+
+    /// The first scheduled crash-reboot strictly after `rel_ns`, if any.
+    pub fn next_reboot_after(&self, rel_ns: u64) -> Option<u64> {
+        self.reboots_ns.iter().copied().find(|&r| r > rel_ns)
+    }
+
+    /// The next instant strictly after `rel_ns` at which *any* fault state
+    /// changes: a window of any class opening or closing, or a reboot.
+    /// Between two consecutive such events every fault query is constant
+    /// in time, which is what lets a quiescent kernel coalesce straight to
+    /// the horizon without changing any fault decision.
+    pub fn next_event_after(&self, rel_ns: u64) -> Option<u64> {
+        let fs = self.fs.iter().flat_map(|w| [w.start_ns, w.end_ns]);
+        let sensors = self.sensors.iter().flat_map(|w| [w.start_ns, w.end_ns]);
+        let skews = self.skews.iter().flat_map(|w| [w.start_ns, w.end_ns]);
+        let reboots = self.reboots_ns.iter().copied();
+        fs.chain(sensors)
+            .chain(skews)
+            .chain(reboots)
+            .filter(|&t| t > rel_ns)
+            .min()
+    }
 }
 
 /// Builder for [`FaultPlan`]; every window's placement is drawn from the
@@ -396,6 +418,28 @@ mod tests {
         assert!(p.reboot_in(r - 1, r));
         assert!(!p.reboot_in(r, r + NANOS_PER_SEC));
         assert!(!p.reboot_in(0, r - 1));
+    }
+
+    #[test]
+    fn next_event_walks_every_window_edge() {
+        let p = FaultPlan::standard(42);
+        // Walking event-to-event must terminate and visit strictly
+        // increasing instants.
+        let mut t = 0u64;
+        let mut edges = 0usize;
+        while let Some(next) = p.next_event_after(t) {
+            assert!(next > t);
+            t = next;
+            edges += 1;
+            assert!(edges < 1_000, "event walk must terminate");
+        }
+        // standard(): 6 fs + 6 sensor + 2 skew windows (2 edges each) and
+        // one reboot — edges can coincide, so at most 29, at least a few.
+        assert!((2..=29).contains(&edges), "unexpected edge count {edges}");
+        // Every fault query is constant between consecutive events.
+        let r = 150 * NANOS_PER_SEC;
+        assert_eq!(p.next_reboot_after(r - 1), Some(r));
+        assert_eq!(p.next_reboot_after(r), None);
     }
 
     #[test]

@@ -284,6 +284,9 @@ impl Hardware {
         let npkg = self.rapl.package_count();
         let mut pkg_core_w = vec![0.0f64; npkg];
         let mut pkg_dram_w = vec![0.0f64; npkg];
+        // Loop-invariant pieces of the per-CPU thermal/governor models.
+        let alpha = 1.0 - (-dt_s / THERMAL_TAU_S).exp();
+        let base_khz = self.freq_hz as f64 / 1_000.0;
 
         for (cpu, l) in load.iter().enumerate().take(self.cpus.len()) {
             let busy_frac = (l.busy_ns as f64 / dt_ns as f64).min(1.0);
@@ -312,14 +315,12 @@ impl Hardware {
 
             // Thermal: first-order filter toward a power-dependent target.
             let target = AMBIENT_MC + core_w * MC_PER_W;
-            let alpha = 1.0 - (-dt_s / THERMAL_TAU_S).exp();
             let hw = &mut self.cpus[cpu];
             // DTS sensors carry ~±0.25 °C of readout noise.
             hw.temp_mc += (target - hw.temp_mc) * alpha + rng.random_range(-250.0..250.0);
 
             // cpufreq governor: floor at ~47% of nominal when parked,
             // turbo to ~112% under full load, with dither.
-            let base_khz = self.freq_hz as f64 / 1_000.0;
             let target_khz = base_khz * (0.47 + 0.65 * busy_frac);
             hw.cur_freq_khz = (target_khz * (1.0 + rng.random_range(-0.01..0.01))) as u64;
 
@@ -363,6 +364,59 @@ impl Hardware {
                 dram_w * dt_s * 1e6,
                 uncore_w * dt_s * 1e6,
             );
+            snapshot.per_package_w.push((pkg_w, core_w, dram_w));
+            dc_w += pkg_w;
+        }
+        snapshot.wall_w = dc_w / p.psu_efficiency;
+        self.last_snapshot = snapshot;
+    }
+
+    /// Jumps the hardware to its quiescent-state value `rel_ns` after
+    /// `anchor`: every core draws idle leakage only, temperatures relax
+    /// exponentially toward the idle target, frequencies park at the
+    /// governor floor, and the deep-idle residency split accumulates. Pure
+    /// in (anchor, rel_ns) — no measurement noise is drawn, so any
+    /// subdivision of a quiescent span lands on byte-identical counters.
+    pub fn idle_eval(&mut self, anchor: &Hardware, rel_ns: u64) {
+        let rel_s = rel_ns as f64 / NANOS_PER_SEC as f64;
+        let p = self.params.clone();
+        let npkg = self.rapl.package_count();
+        let idle_target_mc = AMBIENT_MC + p.core_idle_w * MC_PER_W;
+        let decay = (-rel_s / THERMAL_TAU_S).exp();
+        let idle_khz = (self.freq_hz as f64 / 1_000.0 * 0.47) as u64;
+        let idle_us = rel_ns / 1_000;
+        let cpp = self.cpus_per_package;
+        let mut pkg_cores = vec![0usize; npkg];
+        for (cpu, (cur, base)) in self.cpus.iter_mut().zip(anchor.cpus.iter()).enumerate() {
+            cur.temp_mc = idle_target_mc + (base.temp_mc - idle_target_mc) * decay;
+            cur.cur_freq_khz = idle_khz;
+            cur.idle_states = base.idle_states;
+            // The mostly-idle residency split from `tick` (busy < 0.05).
+            for (state, frac) in [(4usize, 0.85f64), (2, 0.10), (1, 0.05)] {
+                let t = (idle_us as f64 * frac) as u64;
+                let avg_res_us = [50u64, 200, 600, 2_000, 20_000][state];
+                let st = &mut cur.idle_states[state];
+                st.time_us = base.idle_states[state].time_us + t;
+                st.usage = base.idle_states[state].usage + (t / avg_res_us).max(u64::from(t > 0));
+            }
+            pkg_cores[(cpu / cpp).min(npkg.saturating_sub(1))] += 1;
+        }
+
+        let mut snapshot = PowerSnapshot {
+            wall_w: 0.0,
+            per_package_w: Vec::with_capacity(npkg),
+        };
+        let mut dc_w = p.platform_idle_w;
+        for (pkg, cores) in pkg_cores.iter().enumerate() {
+            let core_w = p.core_idle_w * *cores as f64;
+            let dram_w = p.dram_idle_w;
+            let uncore_w = p.pkg_uncore_w;
+            let pkg_w = core_w + dram_w + uncore_w;
+            let base = anchor.rapl.packages[pkg];
+            let dst = &mut self.rapl.packages[pkg];
+            dst.core_uj = base.core_uj + core_w * rel_s * 1e6;
+            dst.dram_uj = base.dram_uj + dram_w * rel_s * 1e6;
+            dst.package_uj = base.package_uj + pkg_w * rel_s * 1e6;
             snapshot.per_package_w.push((pkg_w, core_w, dram_w));
             dc_w += pkg_w;
         }

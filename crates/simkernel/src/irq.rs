@@ -28,6 +28,25 @@ pub const SOFTIRQ_NAMES: [&str; 10] = [
     "HI", "TIMER", "NET_TX", "NET_RX", "BLOCK", "IRQ_POLL", "TASKLET", "SCHED", "HRTIMER", "RCU",
 ];
 
+// Fixed table positions from `IrqState::new` — the hot tick path indexes
+// these directly instead of scanning labels.
+const LINE_TIMER0: usize = 0;
+const LINE_AHCI: usize = 2;
+const LINE_ETH0: usize = 3;
+const LINE_NMI: usize = 4;
+const LINE_LOC: usize = 5;
+const LINE_RES: usize = 6;
+const LINE_CAL: usize = 7;
+const LINE_TLB: usize = 8;
+const SOFT_TIMER: usize = 1;
+const SOFT_NET_TX: usize = 2;
+const SOFT_NET_RX: usize = 3;
+const SOFT_BLOCK: usize = 4;
+const SOFT_TASKLET: usize = 6;
+const SOFT_SCHED: usize = 7;
+const SOFT_HRTIMER: usize = 8;
+const SOFT_RCU: usize = 9;
+
 /// Interrupt/softirq state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IrqState {
@@ -86,66 +105,108 @@ impl IrqState {
         let ncpus = self.ncpus;
         let per_cpu_switches = switches / ncpus.max(1) as u64;
 
-        let mut line_add = |label: &str, cpu: usize, n: u64| {
-            if n == 0 {
-                return;
-            }
-            if let Some(line) = self.lines.iter_mut().find(|l| l.label == label) {
-                if cpu < line.per_cpu.len() {
-                    line.per_cpu[cpu] += n;
-                }
-            }
-            self.total_interrupts += n;
-        };
-
         for cpu in 0..ncpus {
             let l = load.get(cpu).copied().unwrap_or_default();
             let busy_frac = (l.busy_ns as f64 / dt_ns as f64).min(1.0);
             // Local timer: full HZ while busy, ~1/8 when tickless-idle.
             let loc = (f64::from(self.hz) * dt_s * (0.125 + 0.875 * busy_frac)) as u64
                 + rng.random_range(0..3);
-            line_add("LOC", cpu, loc);
-            line_add("RES", cpu, per_cpu_switches / 3 + rng.random_range(0..2));
-            line_add("CAL", cpu, (busy_frac * 40.0 * dt_s) as u64);
-            line_add("TLB", cpu, (l.cache_misses / 2_000_000).min(10_000));
+            self.line_add(LINE_LOC, cpu, loc);
+            self.line_add(LINE_RES, cpu, per_cpu_switches / 3 + rng.random_range(0..2));
+            self.line_add(LINE_CAL, cpu, (busy_frac * 40.0 * dt_s) as u64);
+            self.line_add(LINE_TLB, cpu, (l.cache_misses / 2_000_000).min(10_000));
             if l.io_bytes > 0 {
-                line_add("16", cpu, l.io_bytes / 65_536 + 1);
+                self.line_add(LINE_AHCI, cpu, l.io_bytes / 65_536 + 1);
             }
             if l.syscalls > 1_000 {
-                line_add("24", cpu, l.syscalls / 500);
+                self.line_add(LINE_ETH0, cpu, l.syscalls / 500);
             }
         }
         // Legacy timer and RTC tick slowly on CPU0 only.
-        line_add("0", 0, u64::from(dt_s >= 1.0));
-        line_add("NMI", 0, rng.random_range(0..2));
+        self.line_add(LINE_TIMER0, 0, u64::from(dt_s >= 1.0));
+        self.line_add(LINE_NMI, 0, rng.random_range(0..2));
 
         for cpu in 0..ncpus {
             let l = load.get(cpu).copied().unwrap_or_default();
             let busy_frac = (l.busy_ns as f64 / dt_ns as f64).min(1.0);
             let timer = (f64::from(self.hz) * dt_s * (0.125 + 0.875 * busy_frac)) as u64;
-            self.soft_add("TIMER", cpu, timer);
-            self.soft_add("SCHED", cpu, per_cpu_switches / 2 + (timer / 4));
-            self.soft_add("RCU", cpu, timer / 2 + rng.random_range(0..5));
-            self.soft_add("HRTIMER", cpu, timer / 50);
+            self.soft_add(SOFT_TIMER, cpu, timer);
+            self.soft_add(SOFT_SCHED, cpu, per_cpu_switches / 2 + (timer / 4));
+            self.soft_add(SOFT_RCU, cpu, timer / 2 + rng.random_range(0..5));
+            self.soft_add(SOFT_HRTIMER, cpu, timer / 50);
             if l.io_bytes > 0 {
-                self.soft_add("BLOCK", cpu, l.io_bytes / 65_536 + 1);
+                self.soft_add(SOFT_BLOCK, cpu, l.io_bytes / 65_536 + 1);
             }
             if l.syscalls > 1_000 {
-                self.soft_add("NET_RX", cpu, l.syscalls / 400);
-                self.soft_add("NET_TX", cpu, l.syscalls / 800);
+                self.soft_add(SOFT_NET_RX, cpu, l.syscalls / 400);
+                self.soft_add(SOFT_NET_TX, cpu, l.syscalls / 800);
             }
-            self.soft_add("TASKLET", cpu, rng.random_range(0..3));
+            self.soft_add(SOFT_TASKLET, cpu, rng.random_range(0..3));
         }
     }
 
-    fn soft_add(&mut self, name: &str, cpu: usize, n: u64) {
+    /// Jump-evaluates the table to `rel_ns` past `anchor` with every CPU
+    /// idle.
+    ///
+    /// Mirrors [`IrqState::tick`] at zero load with the random terms
+    /// dropped: only the tickless-idle local-timer rate, the 1 Hz legacy
+    /// timer on CPU 0, and the timer-driven softirq families advance;
+    /// everything else stays frozen at the anchor. A closed form of
+    /// `(anchor, rel_ns)`, so the result never depends on step size.
+    pub fn idle_eval(&mut self, anchor: &IrqState, rel_ns: u64) {
+        let rel_s = rel_ns as f64 / NANOS_PER_SEC as f64;
+        let loc = (f64::from(self.hz) * rel_s * 0.125) as u64;
+        let legacy = rel_ns / NANOS_PER_SEC;
+
+        for (line, base) in self.lines.iter_mut().zip(anchor.lines.iter()) {
+            line.per_cpu.clone_from(&base.per_cpu);
+        }
+        let mut added = 0;
+        if loc > 0 {
+            for c in &mut self.lines[LINE_LOC].per_cpu {
+                *c += loc;
+                added += loc;
+            }
+        }
+        if legacy > 0 {
+            self.lines[LINE_TIMER0].per_cpu[0] += legacy;
+            added += legacy;
+        }
+        self.total_interrupts = anchor.total_interrupts + added;
+
+        for (idx, soft) in self.softirqs.iter_mut().enumerate() {
+            soft.clone_from(&anchor.softirqs[idx]);
+            let add = match idx {
+                SOFT_TIMER => loc,
+                SOFT_SCHED => loc / 4,
+                SOFT_RCU => loc / 2,
+                SOFT_HRTIMER => loc / 50,
+                _ => 0,
+            };
+            if add > 0 {
+                for c in soft.iter_mut() {
+                    *c += add;
+                }
+            }
+        }
+    }
+
+    fn line_add(&mut self, idx: usize, cpu: usize, n: u64) {
         if n == 0 {
             return;
         }
-        if let Some(idx) = SOFTIRQ_NAMES.iter().position(|s| *s == name) {
-            if cpu < self.softirqs[idx].len() {
-                self.softirqs[idx][cpu] += n;
-            }
+        if cpu < self.lines[idx].per_cpu.len() {
+            self.lines[idx].per_cpu[cpu] += n;
+        }
+        self.total_interrupts += n;
+    }
+
+    fn soft_add(&mut self, idx: usize, cpu: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if cpu < self.softirqs[idx].len() {
+            self.softirqs[idx][cpu] += n;
         }
     }
 }

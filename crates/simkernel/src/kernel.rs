@@ -1,6 +1,7 @@
 //! The kernel: composition of every subsystem plus the tick loop.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +27,25 @@ use workloads::{PhaseCursor, WorkloadSpec};
 /// Default simulation tick: 1 s (coarse enough for week-long traces, fine
 /// enough for 1 Hz channel snapshots).
 pub const DEFAULT_TICK_NS: u64 = NANOS_PER_SEC;
+
+/// Process-wide default for event-horizon tick coalescing on newly built
+/// kernels. On by default: a coalesced quiescent span is byte-identical to
+/// the equivalent run of per-tick spans (the property tests assert this),
+/// so there is no accuracy trade-off — only speed.
+static COALESCING_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide coalescing default picked up by [`Kernel::new`].
+/// Experiment binaries expose this as `--coalesce on|off` so CI can
+/// byte-compare both modes; existing kernels are unaffected (use
+/// [`Kernel::set_coalescing`]).
+pub fn set_coalescing_default(on: bool) {
+    COALESCING_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide coalescing default.
+pub fn coalescing_default() -> bool {
+    COALESCING_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// Everything needed to run processes inside one container: its namespace
 /// set, per-hierarchy cgroups, and the host-side veth interface its NET
@@ -127,6 +147,28 @@ pub struct Kernel {
     lifetime_ns: u64,
     faults: Option<InstalledFaults>,
     reboots: u32,
+    coalesce: bool,
+    idle_anchor: Option<IdleAnchor>,
+}
+
+/// A snapshot of the subsystem state at the instant a quiescent span
+/// began. While no process is runnable, every subsystem evolves as a pure
+/// closed-form function of (anchor, elapsed-since-anchor), so both the
+/// coalesced and the per-tick advance evaluate the same functions at the
+/// same final instant — that is what makes the two modes byte-identical.
+/// Any mutation that ends quiescence (spawn, resume, lock, uuid read, …)
+/// drops the anchor.
+#[derive(Debug)]
+struct IdleAnchor {
+    since_boot_ns: u64,
+    sched: Scheduler,
+    hw: Hardware,
+    mem: MemoryState,
+    irq: IrqState,
+    fs: FsState,
+    net: NetState,
+    rss_total: u64,
+    nprocs: usize,
 }
 
 /// A fault plan plus the lifetime instant it was installed at; plan
@@ -192,6 +234,8 @@ impl Kernel {
             lifetime_ns: 0,
             faults: None,
             reboots: 0,
+            coalesce: coalescing_default(),
+            idle_anchor: None,
             seed,
             cfg,
             rng,
@@ -225,6 +269,7 @@ impl Kernel {
     }
     /// Mutable namespace registry (used by the container runtime).
     pub fn namespaces_mut(&mut self) -> &mut NamespaceRegistry {
+        self.idle_anchor = None;
         &mut self.ns
     }
     /// The cgroup forest.
@@ -233,6 +278,7 @@ impl Kernel {
     }
     /// Mutable cgroup forest.
     pub fn cgroups_mut(&mut self) -> &mut CgroupForest {
+        self.idle_anchor = None;
         &mut self.cgroups
     }
     /// The scheduler (accounting views).
@@ -261,6 +307,7 @@ impl Kernel {
     }
     /// Mutable VFS state (uuid reads consume RNG).
     pub fn fs_mut(&mut self) -> (&mut FsState, &mut StdRng) {
+        self.idle_anchor = None;
         (&mut self.fs, &mut self.rng)
     }
     /// Network state.
@@ -327,6 +374,7 @@ impl Kernel {
     /// Installs a fault plan. Plan windows are relative to *now*: the
     /// current lifetime instant becomes the plan's time origin.
     pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.idle_anchor = None;
         self.faults = Some(InstalledFaults {
             base_ns: self.lifetime_ns,
             plan,
@@ -335,6 +383,7 @@ impl Kernel {
 
     /// Removes any installed fault plan.
     pub fn clear_faults(&mut self) {
+        self.idle_anchor = None;
         self.faults = None;
     }
 
@@ -391,13 +440,35 @@ impl Kernel {
         self.tick_ns = tick_ns.clamp(1_000_000, 60 * NANOS_PER_SEC);
     }
 
-    /// Advances virtual time by `dt_ns`, running the scheduler, hardware,
-    /// memory, interrupt, VFS and network models each tick.
+    /// Enables or disables event-horizon coalescing on this kernel.
+    /// Both settings produce byte-identical state; off is an escape hatch
+    /// for bisecting and for the CI cross-mode compare.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+    }
+
+    /// Whether event-horizon coalescing is enabled on this kernel.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Advances virtual time by `dt_ns`. While at least one process is
+    /// runnable the classic fixed-quantum tick loop runs; while the host
+    /// is quiescent (no runnable process) time moves in closed form along
+    /// idle-anchor spans — one span per event horizon when coalescing
+    /// is on, one per tick quantum when off, with identical results.
     pub fn advance(&mut self, mut dt_ns: u64) {
         while dt_ns > 0 {
-            let step = dt_ns.min(self.tick_ns);
-            self.tick_once(step);
-            dt_ns -= step;
+            if self.procs.runnable() == 0 {
+                let step = self.quiescent_step_size(dt_ns, self.coalesce);
+                self.quiescent_step(step);
+                dt_ns -= step;
+            } else {
+                self.idle_anchor = None;
+                let step = dt_ns.min(self.tick_ns);
+                self.tick_once(step);
+                dt_ns -= step;
+            }
         }
     }
 
@@ -406,10 +477,12 @@ impl Kernel {
         self.advance(secs * NANOS_PER_SEC);
     }
 
-    /// Fast-forwards an idle machine through `secs` seconds in O(1):
-    /// one giant tick. Used to give fleet hosts realistic, distinct
-    /// uptimes (days to months) without simulating every second. Only
-    /// meaningful right after boot, before processes are spawned.
+    /// Fast-forwards an idle machine through `secs` seconds in closed
+    /// form: the quiescent-span machinery with coalescing forced on, so
+    /// days of uptime cost a handful of span evaluations. Used to give
+    /// fleet hosts realistic, distinct uptimes (days to months) without
+    /// simulating every second. Only meaningful right after boot, before
+    /// processes are spawned.
     ///
     /// # Panics
     ///
@@ -420,10 +493,122 @@ impl Kernel {
             self.procs.is_empty(),
             "fast_forward_boot only valid on an idle machine"
         );
-        let saved = self.tick_ns;
-        self.tick_ns = secs.max(1) * NANOS_PER_SEC;
-        self.tick_once(secs * NANOS_PER_SEC);
-        self.tick_ns = saved;
+        let mut remaining = secs * NANOS_PER_SEC;
+        while remaining > 0 {
+            let step = self.quiescent_step_size(remaining, true);
+            self.quiescent_step(step);
+            remaining -= step;
+        }
+    }
+
+    /// How far the next quiescent span may run: the remaining budget,
+    /// capped at the event horizon. A scheduled crash-reboot caps the span
+    /// in *both* modes (the reboot must fire at its exact instant); with
+    /// coalescing off the tick quantum caps it too; with coalescing on the
+    /// horizon is the earliest of the next one-shot timer expiry and the
+    /// next fault-plan event. Periodic timers never cap a span — their
+    /// re-arming is phase-preserving at any later instant.
+    fn quiescent_step_size(&self, remaining_ns: u64, coalesce: bool) -> u64 {
+        let mut step = if coalesce {
+            remaining_ns
+        } else {
+            remaining_ns.min(self.tick_ns)
+        };
+        if let Some(f) = &self.faults {
+            let rel = self.lifetime_ns.saturating_sub(f.base_ns);
+            if let Some(r) = f.plan.next_reboot_after(rel) {
+                step = step.min(r - rel);
+            }
+            if coalesce {
+                if let Some(e) = f.plan.next_event_after(rel) {
+                    step = step.min(e - rel);
+                }
+            }
+        }
+        if coalesce {
+            let now = self.clock.since_boot_ns();
+            if let Some(e) = self.timers.next_event_after(now) {
+                step = step.min(e - now);
+            }
+        }
+        step.max(1)
+    }
+
+    /// One quiescent span: every subsystem jumps to its closed-form state
+    /// at `anchor + rel`, where `rel` is the total quiescent time since
+    /// the anchor was captured. No RNG is drawn — idle evolution is
+    /// deterministic by construction, which is what keeps arbitrary span
+    /// subdivisions byte-identical.
+    fn quiescent_step(&mut self, step_ns: u64) {
+        let anchor = match self.idle_anchor.take() {
+            Some(a) => a,
+            None => {
+                self.refresh_rss_memo();
+                IdleAnchor {
+                    since_boot_ns: self.clock.since_boot_ns(),
+                    sched: self.sched.clone(),
+                    hw: self.hw.clone(),
+                    mem: self.mem.clone(),
+                    irq: self.irq.clone(),
+                    fs: self.fs.clone(),
+                    net: self.net.clone(),
+                    rss_total: self.scratch.rss_total,
+                    nprocs: self.procs.len(),
+                }
+            }
+        };
+        self.clock.advance(step_ns);
+        let before = self.lifetime_ns;
+        self.lifetime_ns += step_ns;
+        let rel_ns = self.clock.since_boot_ns() - anchor.since_boot_ns;
+
+        self.sched.idle_eval(&anchor.sched, rel_ns);
+        self.hw.idle_eval(&anchor.hw, rel_ns);
+        self.irq.idle_eval(&anchor.irq, rel_ns);
+        let intr_delta = self.irq.total_interrupts() - anchor.irq.total_interrupts();
+        self.mem.idle_eval(&anchor.mem, rel_ns, anchor.rss_total);
+        self.fs
+            .idle_eval(&anchor.fs, rel_ns, anchor.nprocs, intr_delta);
+        self.net.idle_eval(&anchor.net, rel_ns);
+        self.timers.refresh(self.clock.since_boot_ns());
+
+        let reboot_due = self.faults.as_ref().is_some_and(|f| {
+            f.plan.reboot_in(
+                before.saturating_sub(f.base_ns),
+                self.lifetime_ns.saturating_sub(f.base_ns),
+            )
+        });
+        if reboot_due {
+            self.crash_reboot();
+        } else {
+            self.idle_anchor = Some(anchor);
+        }
+    }
+
+    /// Re-aggregates per-cgroup and total RSS if the process table changed
+    /// since the last aggregation (see the memo note in [`Kernel::tick_once`]).
+    fn refresh_rss_memo(&mut self) {
+        let epoch = self.procs.epoch();
+        if self.scratch.mem_epoch == Some(epoch) {
+            return;
+        }
+        let by_cgroup = &mut self.scratch.by_cgroup;
+        by_cgroup.clear();
+        let mut rss_total = 0u64;
+        for p in self.procs.iter() {
+            if p.state() != ProcState::Exited {
+                let rss = p.rss_bytes();
+                rss_total += rss;
+                *by_cgroup.entry(p.cgroups().memory).or_insert(0) += rss;
+            }
+        }
+        for (cg, bytes) in self.scratch.by_cgroup.iter() {
+            self.cgroups.set_memory_usage(*cg, *bytes);
+        }
+        let mem_root = self.cgroups.root(CgroupKind::Memory);
+        self.cgroups.set_memory_usage(mem_root, rss_total);
+        self.scratch.rss_total = rss_total;
+        self.scratch.mem_epoch = Some(epoch);
     }
 
     fn tick_once(&mut self, dt_ns: u64) {
@@ -453,27 +638,10 @@ impl Kernel {
         // killed, or mutated since the last aggregation and nothing is
         // runnable (so no workload cursor moved), every per-process RSS is
         // unchanged and the cgroup usages already hold the right values.
-        let epoch = self.procs.epoch();
-        let stale = self.scratch.mem_epoch != Some(epoch) || self.procs.runnable() > 0;
-        if stale {
-            let by_cgroup = &mut self.scratch.by_cgroup;
-            by_cgroup.clear();
-            let mut rss_total = 0u64;
-            for p in self.procs.iter() {
-                if p.state() != ProcState::Exited {
-                    let rss = p.rss_bytes();
-                    rss_total += rss;
-                    *by_cgroup.entry(p.cgroups().memory).or_insert(0) += rss;
-                }
-            }
-            for (cg, bytes) in self.scratch.by_cgroup.iter() {
-                self.cgroups.set_memory_usage(*cg, *bytes);
-            }
-            let mem_root = self.cgroups.root(CgroupKind::Memory);
-            self.cgroups.set_memory_usage(mem_root, rss_total);
-            self.scratch.rss_total = rss_total;
-            self.scratch.mem_epoch = Some(epoch);
+        if self.procs.runnable() > 0 {
+            self.scratch.mem_epoch = None;
         }
+        self.refresh_rss_memo();
         self.mem
             .tick(dt_ns, self.scratch.rss_total, io_bytes, &mut self.rng);
 
@@ -563,6 +731,7 @@ impl Kernel {
             net_prio: self.cgroups.root(CgroupKind::NetPrio),
             memory: self.cgroups.root(CgroupKind::Memory),
         });
+        self.idle_anchor = None;
         let host_pid = self.procs.allocate_pid();
         let ns_pid = self.ns.allocate_pid(ns.pid, host_pid)?;
         self.timers
@@ -617,6 +786,7 @@ impl Kernel {
     }
 
     fn cleanup_process(&mut self, pid: HostPid) {
+        self.idle_anchor = None;
         if let Some(p) = self.procs.remove(pid) {
             self.ns.release_pid(p.ns.pid, pid);
         }
@@ -635,6 +805,7 @@ impl Kernel {
                 return Err(KernelError::NoSuchCpu(*c));
             }
         }
+        self.idle_anchor = None;
         match self.procs.get_mut(pid) {
             Some(p) => {
                 p.affinity = Some(cpus);
@@ -650,6 +821,7 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchProcess`].
     pub fn pause(&mut self, pid: HostPid) -> Result<(), KernelError> {
+        self.idle_anchor = None;
         match self.procs.get_mut(pid) {
             Some(p) => {
                 p.state = ProcState::Sleeping;
@@ -665,6 +837,7 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchProcess`].
     pub fn resume(&mut self, pid: HostPid) -> Result<(), KernelError> {
+        self.idle_anchor = None;
         match self.procs.get_mut(pid) {
             Some(p) => {
                 if p.state == ProcState::Sleeping {
@@ -686,10 +859,30 @@ impl Kernel {
         pid: HostPid,
         workload: WorkloadSpec,
     ) -> Result<(), KernelError> {
+        self.idle_anchor = None;
         match self.procs.get_mut(pid) {
             Some(p) => {
                 p.workload = workload;
                 p.cursor = PhaseCursor::new();
+                Ok(())
+            }
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Retargets the CPU demand of a live process's workload in place,
+    /// without replacing the spec or resetting its phase cursor — the
+    /// cheap path fleet drivers use to follow a utilization trace across
+    /// thousands of simulated intervals.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn set_workload_demand(&mut self, pid: HostPid, demand: f64) -> Result<(), KernelError> {
+        self.idle_anchor = None;
+        match self.procs.get_mut(pid) {
+            Some(p) => {
+                p.workload.set_uniform_cpu_demand(demand);
                 Ok(())
             }
             None => Err(KernelError::NoSuchProcess(pid)),
@@ -708,6 +901,7 @@ impl Kernel {
     ///
     /// Propagates cgroup-creation failures.
     pub fn create_container_env(&mut self, name: &str) -> Result<ContainerEnv, KernelError> {
+        self.idle_anchor = None;
         self.container_seq += 1;
         let uid_base = 100_000 + self.container_seq * 65_536;
         let cgroup_path = format!("/docker/{name}");
@@ -753,6 +947,7 @@ impl Kernel {
     ///
     /// Propagates cgroup-removal failures.
     pub fn destroy_container_env(&mut self, env: &ContainerEnv) -> Result<(), KernelError> {
+        self.idle_anchor = None;
         let members: Vec<HostPid> = self
             .procs
             .iter()
@@ -796,6 +991,7 @@ impl Kernel {
         if self.procs.get(pid).is_none() {
             return Err(KernelError::NoSuchProcess(pid));
         }
+        self.idle_anchor = None;
         self.timers
             .arm_user_timer(pid, comm, self.clock.since_boot_ns(), interval_ns.max(1));
         Ok(())
@@ -815,6 +1011,7 @@ impl Kernel {
         if self.procs.get(pid).is_none() {
             return Err(KernelError::NoSuchProcess(pid));
         }
+        self.idle_anchor = None;
         Ok(self.fs.add_lock(pid, kind, range))
     }
 
@@ -825,6 +1022,7 @@ impl Kernel {
     ///
     /// Propagates cgroup errors.
     pub fn attach_perf_monitoring(&mut self, cgroup: CgroupId) -> Result<(), KernelError> {
+        self.idle_anchor = None;
         let ncpus = self.cfg.cpus;
         self.perf.attach_cgroup(
             &mut self.cgroups,
@@ -840,6 +1038,7 @@ impl Kernel {
     ///
     /// Propagates cgroup errors.
     pub fn detach_perf_monitoring(&mut self, cgroup: CgroupId) -> Result<(), KernelError> {
+        self.idle_anchor = None;
         self.perf.detach_cgroup(&mut self.cgroups, cgroup)
     }
 }

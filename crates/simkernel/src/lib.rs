@@ -67,7 +67,7 @@ pub use config::MachineConfig;
 pub use error::KernelError;
 pub use faults::{FaultPlan, FsFaultKind, SensorFaultKind};
 pub use hw::{PowerModelParams, PowerSnapshot, RaplDomains};
-pub use kernel::Kernel;
+pub use kernel::{coalescing_default, set_coalescing_default, Kernel};
 pub use ns::{NamespaceKind, NamespaceSet, NsId};
 pub use process::{HostPid, ProcState, Process};
 pub use syscost::SysCosts;

@@ -253,6 +253,49 @@ impl MemoryState {
         }
     }
 
+    /// Jump-evaluates memory state to `rel_ns` past `anchor` with no IO
+    /// and a fixed aggregate RSS.
+    ///
+    /// Mirrors [`MemoryState::tick`] at `io_bytes == 0` with every random
+    /// term dropped, written as a closed form of `(anchor, rel_ns)` so the
+    /// kernel's quiescent path lands on the same bytes whether it takes one
+    /// coalesced span or many small ones.
+    pub fn idle_eval(&mut self, anchor: &MemoryState, rel_ns: u64, rss_total: u64) {
+        let rel_s = rel_ns as f64 / NANOS_PER_SEC as f64;
+        self.rss_bytes = rss_total.min(self.total_bytes - self.kernel_reserved_bytes);
+
+        let ceiling = self
+            .total_bytes
+            .saturating_sub(self.kernel_reserved_bytes + self.rss_bytes)
+            / 2;
+        let cache = anchor.page_cache_bytes as f64 * (-rel_s / 600.0).exp();
+        self.page_cache_bytes = (cache as u64).clamp(64 << 20, ceiling.max(64 << 20));
+
+        self.dirty_bytes =
+            ((anchor.dirty_bytes as f64 * 0.7f64.powf(rel_s)) as u64).clamp(1 << 20, 512 << 20);
+
+        self.refresh_zone_free();
+
+        let rate = (self.rss_bytes / PAGE_SIZE / 200).max(64) as f64;
+        self.vm.pgalloc = anchor.vm.pgalloc + (rate * rel_s) as u64;
+        self.vm.pgfree = anchor.vm.pgfree + (rate * 0.97 * rel_s) as u64;
+        self.vm.pgfault = anchor.vm.pgfault + (rate * 2.4 * rel_s) as u64;
+        self.vm.pgmajfault = anchor.vm.pgmajfault;
+        self.vm.pgscan = anchor.vm.pgscan + (rate * 0.1 * rel_s) as u64;
+
+        let allocs = ((self.rss_bytes / PAGE_SIZE / 1000).max(200) as f64 * rel_s) as u64;
+        let local = allocs * 9 / 10;
+        let remote = allocs / 10;
+        for (i, (n, base)) in self.numa.iter_mut().zip(anchor.numa.iter()).enumerate() {
+            n.numa_hit = base.numa_hit + local;
+            n.local_node = base.local_node + local;
+            n.numa_miss = base.numa_miss + remote / (i as u64 + 1);
+            n.other_node = base.other_node + remote;
+            n.interleave_hit = base.interleave_hit;
+            n.numa_foreign = base.numa_foreign + remote / 2;
+        }
+    }
+
     fn refresh_zone_free(&mut self) {
         let free = self.free_bytes();
         let managed_total: u64 = self.zones.iter().map(|z| z.managed_pages).sum();

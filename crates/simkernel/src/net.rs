@@ -108,6 +108,32 @@ impl NetState {
             d.tx_packets += tx / 900 + 1;
         }
     }
+
+    /// Jump-evaluates traffic counters to `rel_ns` past `anchor` with no
+    /// workload syscalls.
+    ///
+    /// Mirrors [`NetState::tick`] at `syscall_rate == 0` with the jitter
+    /// dropped; the per-tick `+1` packet keep-alive becomes one packet per
+    /// idle second so the result is a closed form of `(anchor, rel_ns)`
+    /// independent of step size.
+    pub fn idle_eval(&mut self, anchor: &NetState, rel_ns: u64) {
+        let rel_s = rel_ns as f64 / NANOS_PER_SEC as f64;
+        let secs = rel_ns / NANOS_PER_SEC;
+        for (d, base) in self.devices.iter_mut().zip(anchor.devices.iter()) {
+            let (rx_rate, tx_rate) = match d.name.as_str() {
+                "lo" => (2_000.0, 2_000.0),
+                "eth0" => (60_000.0, 45_000.0),
+                "eth1" => (8_000.0, 5_000.0),
+                _ => (3_000.0, 3_000.0),
+            };
+            let rx = (rx_rate * rel_s) as u64;
+            let tx = (tx_rate * rel_s) as u64;
+            d.rx_bytes = base.rx_bytes + rx;
+            d.tx_bytes = base.tx_bytes + tx;
+            d.rx_packets = base.rx_packets + rx / 900 + secs;
+            d.tx_packets = base.tx_packets + tx / 900 + secs;
+        }
+    }
 }
 
 impl Default for NetState {

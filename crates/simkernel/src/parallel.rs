@@ -1,4 +1,4 @@
-//! Scoped-thread fan-out over independent simulation state.
+//! Persistent worker-pool fan-out over independent simulation state.
 //!
 //! Every [`Kernel`](crate::Kernel) owns its seeded RNG and all of its
 //! mutable state, so stepping *disjoint* kernels on different threads is
@@ -7,54 +7,221 @@
 //! regardless of how the OS schedules the worker threads. Fleet types
 //! (clouds, labs, defended fleets) use [`par_for_each_mut`] to step their
 //! hosts concurrently without giving up reproducibility.
+//!
+//! The workers are spawned once, lazily, and between calls they briefly
+//! busy-poll their queue before parking on a blocking channel receive —
+//! fleet advance loops that fan out every simulated tick pay neither
+//! thread spawn/join cost nor a futex sleep/wake round-trip per call. The
+//! calling thread participates too: it runs the first batch itself while
+//! the workers run theirs. Work is distributed round-robin by element
+//! index, so the element→worker assignment is a pure function of
+//! `(len, workers)` and never depends on OS scheduling. `threads <= 1`, a single element, or a nested call from
+//! inside a pool worker all degenerate to the plain serial loop on the
+//! caller's thread, byte-for-byte reproducing the historical order (and,
+//! for the nested case, making self-deadlock impossible).
 
+use std::any::Any;
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Default worker count: the machine's available parallelism.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+/// How many `try_recv` rounds to busy-poll before falling back to a
+/// blocking `recv`. Fleet loops dispatch every few tens of microseconds
+/// and each host's step is only a handful of microseconds, so a futex
+/// sleep/wake round-trip would cost more than the work itself; a short
+/// spin keeps the steady-state path hot while still parking idle workers.
+const SPIN_ROUNDS: u32 = 4096;
+
+/// Busy-polls `rx` for a bounded number of rounds, then blocks. Returns
+/// `None` when every sender is gone.
+///
+/// Spinning only helps when another core can make progress while this
+/// thread polls; on a single-core machine the spin burns the very
+/// quantum the producer needs (and makes wall time a scheduler lottery),
+/// so there the poll falls straight through to the blocking receive.
+fn recv_spin<T>(rx: &Receiver<T>) -> Option<T> {
+    if default_threads() > 1 {
+        for round in 0..SPIN_ROUNDS {
+            match rx.try_recv() {
+                Ok(v) => return Some(v),
+                Err(TryRecvError::Empty) => {
+                    // Yield periodically so an oversubscribed machine
+                    // (more workers than CPUs) lets the producer run.
+                    if round % 64 == 63 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+    rx.recv().ok()
 }
 
-/// Applies `f` to every element of `items`, fanning contiguous chunks
-/// across at most `threads` scoped threads. `threads <= 1` (or a
-/// single-element slice) degenerates to the plain serial loop on the
-/// caller's thread, byte-for-byte reproducing the historical order.
+/// Default worker count: the machine's available parallelism. Cached —
+/// `available_parallelism` re-reads the cgroup CPU quota files on every
+/// call, which costs more than a whole host tick in fleet advance loops.
+pub fn default_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    /// Set once on pool threads; nested fan-outs from a worker run serial
+    /// inline instead of queueing onto the (busy) pool.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns senders for `n` persistent workers, spawning any that do not
+/// exist yet. The pool grows to the largest count ever requested — an
+/// explicit `--jobs N` must actually fan out N ways even on a smaller
+/// machine, or the cross-worker-count determinism gates would silently
+/// compare a serial run against itself. Returns fewer than `n` senders
+/// only when thread spawning fails.
+fn pool_senders(n: usize) -> Vec<Sender<Job>> {
+    static POOL: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
+    let mut pool = match POOL.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    while pool.len() < n {
+        let i = pool.len();
+        let (tx, rx) = channel::<Job>();
+        let spawned = std::thread::Builder::new()
+            .name(format!("sim-pool-{i}"))
+            .spawn(move || {
+                IS_POOL_WORKER.set(true);
+                while let Some(job) = recv_spin(&rx) {
+                    job();
+                }
+            });
+        if spawned.is_ok() {
+            pool.push(tx);
+        } else {
+            break;
+        }
+    }
+    pool.iter().take(n).cloned().collect()
+}
+
+/// Applies `f` to every element of `items`, fanning round-robin batches
+/// across `threads` lanes: the calling thread plus `threads - 1`
+/// persistent pool workers. The lane count is capped at the element
+/// count; `threads <= 1` (or a single-element vector) degenerates to the
+/// plain serial loop on the caller's thread.
 ///
 /// The caller promises the elements are independent: `f` must not rely
 /// on cross-element ordering for its results. Mutations within one
-/// element happen in program order as usual.
-pub fn par_for_each_mut_threads<T, F>(items: &mut [T], threads: usize, f: F)
+/// element happen in program order as usual. Element order in `items` is
+/// preserved. A panic inside `f` is propagated to the caller after every
+/// batch has been collected back, so the surviving elements keep their
+/// state.
+pub fn par_for_each_mut_threads<T, F>(items: &mut Vec<T>, threads: usize, f: F)
 where
-    T: Send,
-    F: Fn(&mut T) + Sync,
+    T: Send + 'static,
+    F: Fn(&mut T) + Send + Sync + 'static,
 {
-    let threads = threads.min(items.len());
-    if threads <= 1 {
-        for item in items {
+    let workers = if IS_POOL_WORKER.get() {
+        1
+    } else {
+        threads.min(items.len())
+    };
+    if workers <= 1 {
+        for item in items.iter_mut() {
             f(item);
         }
         return;
     }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|s| {
-        for part in items.chunks_mut(chunk) {
-            s.spawn(move || {
-                for item in part {
+    // Slot 0 runs on the calling thread; only workers - 1 pool threads
+    // are needed.
+    let senders = pool_senders(workers - 1);
+    let workers = senders.len() + 1;
+    if workers <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+
+    let n = items.len();
+    let mut batches: Vec<Vec<(usize, T)>> = (0..workers)
+        .map(|w| Vec::with_capacity(n / workers + usize::from(w < n % workers)))
+        .collect();
+    for (i, item) in items.drain(..).enumerate() {
+        batches[i % workers].push((i, item));
+    }
+
+    type BatchResult<T> = (Vec<(usize, T)>, Option<(usize, Box<dyn Any + Send>)>);
+    let (tx, rx) = channel::<BatchResult<T>>();
+    let f = Arc::new(f);
+    let mut batch0: Vec<(usize, T)> = Vec::new();
+    for (slot, mut batch) in batches.into_iter().enumerate() {
+        // The caller participates: batch 0 runs inline after the others
+        // are dispatched, saving one worker wake-up per call and keeping
+        // this thread busy instead of parked on the result channel.
+        if slot == 0 {
+            batch0 = batch;
+            continue;
+        }
+        let tx = tx.clone();
+        let f = Arc::clone(&f);
+        let job: Job = Box::new(move || {
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                for (_, item) in batch.iter_mut() {
                     f(item);
                 }
-            });
+            }))
+            .err();
+            let _ = tx.send((batch, payload.map(|p| (slot, p))));
+        });
+        if let Err(returned) = senders[slot - 1].send(job) {
+            // The worker is gone (shutdown race): run its batch inline.
+            (returned.0)();
         }
-    });
+    }
+    drop(tx);
+
+    let mut returned: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut panics: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        for (_, item) in batch0.iter_mut() {
+            f(item);
+        }
+    }))
+    .err();
+    returned.extend(batch0);
+    if let Some(p) = payload {
+        panics.push((0, p));
+    }
+    while let Some((batch, payload)) = recv_spin(&rx) {
+        returned.extend(batch);
+        if let Some(p) = payload {
+            panics.push(p);
+        }
+    }
+    returned.sort_unstable_by_key(|(i, _)| *i);
+    items.extend(returned.into_iter().map(|(_, v)| v));
+    // Deterministic propagation: the lowest batch's panic wins.
+    if let Some((_, p)) = panics.into_iter().min_by_key(|(s, _)| *s) {
+        resume_unwind(p);
+    }
 }
 
 /// [`par_for_each_mut_threads`] with [`default_threads`] workers.
-pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+pub fn par_for_each_mut<T, F>(items: &mut Vec<T>, f: F)
 where
-    T: Send,
-    F: Fn(&mut T) + Sync,
+    T: Send + 'static,
+    F: Fn(&mut T) + Send + Sync + 'static,
 {
     par_for_each_mut_threads(items, default_threads(), f);
 }
@@ -93,5 +260,47 @@ mod tests {
         let mut items = vec![0u32; 3];
         par_for_each_mut_threads(&mut items, 64, |x| *x += 1);
         assert_eq!(items, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn order_is_preserved_across_the_pool() {
+        let mut items: Vec<usize> = (0..31).collect();
+        par_for_each_mut_threads(&mut items, 4, |x| *x *= 2);
+        assert_eq!(items, (0..31).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_calls() {
+        let mut items = vec![0u64; 16];
+        for _ in 0..200 {
+            par_for_each_mut_threads(&mut items, 8, |x| *x += 1);
+        }
+        assert!(items.iter().all(|&x| x == 200), "{items:?}");
+    }
+
+    #[test]
+    fn nested_calls_run_serial_without_deadlock() {
+        let mut outer: Vec<Vec<u32>> = (0..8).map(|_| vec![0u32; 8]).collect();
+        par_for_each_mut_threads(&mut outer, 4, |inner| {
+            par_for_each_mut_threads(inner, 4, |x| *x += 1);
+        });
+        assert!(outer.iter().flatten().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn panics_propagate_and_preserve_elements() {
+        let mut items: Vec<u32> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_for_each_mut_threads(&mut items, 4, |x| {
+                if *x == 5 {
+                    panic!("boom");
+                }
+                *x += 100;
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(items.len(), 8, "elements survive a worker panic");
+        assert_eq!(items[0], 100);
+        assert_eq!(items[5], 5, "panicking element keeps its prior state");
     }
 }

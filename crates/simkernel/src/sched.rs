@@ -82,9 +82,9 @@ pub struct TickReport {
 /// allocation off the steady-state path.
 #[derive(Debug, Default)]
 pub struct SchedScratch {
-    assignment: Vec<Vec<HostPid>>,
-    runnable: Vec<HostPid>,
-    demands: Vec<f64>,
+    assignment: Vec<Vec<(HostPid, f64)>>,
+    loads: Vec<u32>,
+    once_candidates: Vec<HostPid>,
 }
 
 /// The scheduler.
@@ -161,32 +161,44 @@ impl Scheduler {
 
         // 1. Assign runnable tasks to CPUs: explicit affinity wins; others
         //    go to the least-loaded candidate, preferring their last CPU.
+        //    The single pass over the table also records each task's phase
+        //    demand (its cursor cannot move before step 2 divides capacity)
+        //    and the Once workloads that step 3 may need to reap.
         scratch.assignment.resize_with(ncpus, Vec::new);
         for a in scratch.assignment.iter_mut() {
             a.clear();
         }
-        scratch.runnable.clear();
-        scratch.runnable.extend(
-            procs
-                .iter()
-                .filter(|p| p.state == ProcState::Runnable)
-                .map(|p| p.host_pid),
-        );
-        for pid in &scratch.runnable {
-            let p = procs.get(*pid).expect("runnable pid exists");
+        scratch.loads.clear();
+        scratch.loads.resize(ncpus, 0);
+        scratch.once_candidates.clear();
+        for p in procs.iter().filter(|p| p.state == ProcState::Runnable) {
+            if matches!(p.workload.repeat(), workloads::Repeat::Once) {
+                scratch.once_candidates.push(p.host_pid);
+            }
             let last = p.last_cpu as usize;
-            let assignment = &scratch.assignment;
-            let key = |c: usize| (assignment[c].len(), usize::from(c != last), c);
+            let loads = &scratch.loads;
             let best = match p.affinity.as_deref() {
                 Some(cpus) => cpus
                     .iter()
                     .map(|c| *c as usize)
                     .filter(|c| *c < ncpus)
-                    .min_by_key(|c| key(*c)),
-                None => (0..ncpus).min_by_key(|c| key(*c)),
+                    .min_by_key(|&c| (loads[c], usize::from(c != last), c)),
+                None => {
+                    // Least-loaded, preferring the last CPU, then the lowest
+                    // index — the two cheap scans match the lexicographic
+                    // minimum of (load, c != last, c) over all CPUs.
+                    let min = loads.iter().copied().min().unwrap_or(0);
+                    if last < ncpus && loads[last] == min {
+                        Some(last)
+                    } else {
+                        loads.iter().position(|&l| l == min)
+                    }
+                }
             };
             let Some(best) = best else { continue };
-            scratch.assignment[best].push(*pid);
+            scratch.loads[best] += 1;
+            let demand = p.cursor.current_phase(&p.workload).cpu_demand;
+            scratch.assignment[best].push((p.host_pid, demand));
         }
 
         // 2. Divide each CPU's capacity among its tasks by demand.
@@ -202,20 +214,14 @@ impl Scheduler {
                 self.percpu[cpu].idle_ns += dt_ns;
                 continue;
             }
-            scratch.demands.clear();
-            scratch.demands.extend(tasks.iter().map(|pid| {
-                let p = procs.get(*pid).expect("assigned pid exists");
-                p.cursor.current_phase(&p.workload).cpu_demand
-            }));
-            let demands = &scratch.demands;
-            let total_demand: f64 = demands.iter().sum();
+            let total_demand: f64 = tasks.iter().map(|(_, d)| d).sum();
             let scale = if total_demand > 1.0 {
                 1.0 / total_demand
             } else {
                 1.0
             };
             let mut busy_ns_total = 0u64;
-            for (pid, demand) in tasks.iter().zip(demands.iter()) {
+            for (pid, demand) in tasks.iter() {
                 let ran_ns = (dt_ns as f64 * demand * scale) as u64;
                 if ran_ns == 0 {
                     continue;
@@ -253,7 +259,7 @@ impl Scheduler {
         self.total_switches += report.switches;
 
         // 3. Reap processes whose Once workloads completed.
-        for pid in &scratch.runnable {
+        for pid in &scratch.once_candidates {
             if let Some(p) = procs.get(*pid) {
                 if p.cursor.advance_peek_done(&p.workload) {
                     report.exited.push(*pid);
@@ -273,6 +279,26 @@ impl Scheduler {
             let decay = (-dt_s / window).exp();
             self.loadavg[i] = self.loadavg[i] * decay + n * (1.0 - decay);
         }
+    }
+
+    /// Jumps this scheduler to its quiescent-state value `rel_ns` after
+    /// `anchor` was captured: no runnable tasks, so every CPU idles apart
+    /// from deterministic kernel housekeeping, and the load averages decay
+    /// toward zero. Pure in (anchor, rel_ns) and draws no RNG, so any
+    /// subdivision of a quiescent span lands on byte-identical state.
+    pub fn idle_eval(&mut self, anchor: &Scheduler, rel_ns: u64) {
+        let hk = rel_ns / 500;
+        for (cur, base) in self.percpu.iter_mut().zip(anchor.percpu.iter()) {
+            cur.clone_from(base);
+            cur.system_ns += hk;
+            cur.run_time_ns += hk;
+            cur.idle_ns += rel_ns;
+        }
+        let rel_s = rel_ns as f64 / NANOS_PER_SEC as f64;
+        for (i, window) in [60.0f64, 300.0, 900.0].iter().enumerate() {
+            self.loadavg[i] = anchor.loadavg[i] * (-rel_s / window).exp();
+        }
+        self.total_switches = anchor.total_switches;
     }
 
     #[allow(clippy::too_many_arguments)]

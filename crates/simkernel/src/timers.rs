@@ -81,6 +81,22 @@ impl TimerList {
         }
     }
 
+    /// The earliest *one-shot* expiry strictly after `now_ns`, if any.
+    ///
+    /// Periodic timers are excluded on purpose: [`TimerList::refresh`] is
+    /// composable for them (re-arming at any later instant lands on the
+    /// same phase-preserving expiry), so they never constrain how far a
+    /// quiescent kernel may coalesce time. One-shot expiries, in contrast,
+    /// are genuine events a coalesced step must not jump across. This is
+    /// the allocation-free replacement for scanning [`TimerList::timers`].
+    pub fn next_event_after(&self, now_ns: u64) -> Option<u64> {
+        self.timers
+            .iter()
+            .filter(|t| t.period_ns == 0 && t.expires_ns > now_ns)
+            .map(|t| t.expires_ns)
+            .min()
+    }
+
     /// All armed timers, soonest first.
     pub fn timers(&self) -> Vec<&KernelTimer> {
         let mut v: Vec<&KernelTimer> = self.timers.iter().collect();
@@ -145,6 +161,26 @@ mod tests {
         let t = tl.timers()[0];
         assert!(t.expires_ns > NANOS_PER_SEC);
         assert!(t.expires_ns <= NANOS_PER_SEC + t.period_ns);
+    }
+
+    #[test]
+    fn next_event_skips_periodic_and_past_timers() {
+        let mut tl = TimerList::new();
+        tl.arm_sched_timer(HostPid(300), "a", 0); // periodic, excluded
+        assert_eq!(tl.next_event_after(0), None);
+        tl.timers.push(KernelTimer {
+            pid: HostPid(301),
+            comm: "oneshot".into(),
+            expires_ns: 5 * NANOS_PER_SEC,
+            function: "hrtimer_wakeup",
+            period_ns: 0,
+        });
+        assert_eq!(tl.next_event_after(0), Some(5 * NANOS_PER_SEC));
+        assert_eq!(
+            tl.next_event_after(5 * NANOS_PER_SEC - 1),
+            Some(5 * NANOS_PER_SEC)
+        );
+        assert_eq!(tl.next_event_after(5 * NANOS_PER_SEC), None);
     }
 
     #[test]

@@ -192,6 +192,26 @@ impl WorkloadSpec {
         self.phases.last().expect("non-empty phases")
     }
 
+    /// Sets every phase's `cpu_demand` to `demand` in place, leaving the
+    /// rest of the phase structure (durations, rates, name) untouched.
+    /// Fleet drivers retarget long-lived background services every
+    /// simulated interval; rebuilding the whole spec for a pure demand
+    /// change would churn allocations in their hottest loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is outside `(0, 1]`, mirroring
+    /// [`Phase::validate`] at construction time.
+    pub fn set_uniform_cpu_demand(&mut self, demand: f64) {
+        assert!(
+            demand > 0.0 && demand <= 1.0,
+            "cpu_demand {demand} outside (0, 1]"
+        );
+        for p in &mut self.phases {
+            p.cpu_demand = demand;
+        }
+    }
+
     /// Returns a copy of this workload scaled so that every phase's
     /// instruction rate is multiplied by `factor` (used to model frequency
     /// scaling or throttling).

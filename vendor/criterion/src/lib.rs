@@ -4,7 +4,10 @@
 //! with a `config`, `criterion_main!`, `Criterion::bench_function`,
 //! `Bencher::{iter, iter_batched}`, and `BatchSize` — and additionally
 //! writes machine-readable results to `BENCH_<file>.json` at the
-//! workspace root so the perf trajectory is tracked across PRs.
+//! workspace root so the perf trajectory is tracked across PRs. Set
+//! `BENCH_OUT=<dir>` to redirect the JSON (the bench-compare CI step
+//! uses this to take a fresh measurement without clobbering the
+//! committed baseline).
 
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -222,7 +225,13 @@ pub fn finish_run() {
         ));
     }
     json.push_str("  }\n}\n");
-    let path = workspace_root().join(format!("BENCH_{stem}.json"));
+    let out_dir = std::env::var_os("BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("warning: could not create {}: {e}", out_dir.display());
+    }
+    let path = out_dir.join(format!("BENCH_{stem}.json"));
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
