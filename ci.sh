@@ -29,39 +29,52 @@ cargo run --offline --release -q -p containerleaks-experiments --bin leakcheck -
 echo "== fault matrix: graceful degradation under injected faults =="
 cargo test --offline -q --release --test fault_matrix
 
-echo "== determinism: --jobs 1 vs --jobs 4 =="
+echo "== determinism: --jobs 1 vs --jobs 4 (artifacts + simtrace) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
-    --jobs 1 --out "$tmp/j1.md" >/dev/null
+    --jobs 1 --out "$tmp/j1.md" --trace "$tmp/j1.trace" >/dev/null
 cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
-    --jobs 4 --out "$tmp/j4.md" >/dev/null
+    --jobs 4 --out "$tmp/j4.md" --trace "$tmp/j4.trace" >/dev/null
 cmp "$tmp/j1.md" "$tmp/j4.md"
 cmp "$tmp/j1.json" "$tmp/j4.json"
-echo "byte-identical across job counts"
+# The trace is compared raw: exec-dependent counters never enter the
+# artifact, so the byte-compare needs no filtering across job counts.
+cmp "$tmp/j1.trace" "$tmp/j4.trace"
+echo "byte-identical across job counts (trace included)"
 
 echo "== determinism: coalescing on (--jobs 1) vs off (--jobs 4) =="
 cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
-    --jobs 4 --coalesce off --out "$tmp/c0.md" >/dev/null
+    --jobs 4 --coalesce off --out "$tmp/c0.md" --trace "$tmp/c0.trace" >/dev/null
 cmp "$tmp/j1.md" "$tmp/c0.md"
 cmp "$tmp/j1.json" "$tmp/c0.json"
-echo "byte-identical with coalescing disabled"
+# Coalescing legitimately reshapes quiescent ticks into spans; those
+# lines carry the documented mode-exempt tag. Everything else must be
+# byte-identical across the two modes.
+grep -v '"group":"mode-exempt"' "$tmp/j1.trace" > "$tmp/j1.trace.portable"
+grep -v '"group":"mode-exempt"' "$tmp/c0.trace" > "$tmp/c0.trace.portable"
+cmp "$tmp/j1.trace.portable" "$tmp/c0.trace.portable"
+echo "byte-identical with coalescing disabled (trace modulo mode-exempt)"
 
 echo "== determinism under faults: fault_matrix --jobs 1 vs --jobs 4 =="
 cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
-    --jobs 1 --out "$tmp/f1.md" >/dev/null
+    --jobs 1 --out "$tmp/f1.md" --trace "$tmp/f1.trace" >/dev/null
 cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
-    --jobs 4 --out "$tmp/f4.md" >/dev/null
+    --jobs 4 --out "$tmp/f4.md" --trace "$tmp/f4.trace" >/dev/null
 cmp "$tmp/f1.md" "$tmp/f4.md"
 cmp "$tmp/f1.json" "$tmp/f4.json"
-echo "byte-identical across job counts with faults active"
+cmp "$tmp/f1.trace" "$tmp/f4.trace"
+echo "byte-identical across job counts with faults active (trace included)"
 
 echo "== determinism under faults: coalescing on vs off =="
 cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
-    --jobs 4 --coalesce off --out "$tmp/fc0.md" >/dev/null
+    --jobs 4 --coalesce off --out "$tmp/fc0.md" --trace "$tmp/fc0.trace" >/dev/null
 cmp "$tmp/f1.md" "$tmp/fc0.md"
 cmp "$tmp/f1.json" "$tmp/fc0.json"
-echo "byte-identical with coalescing disabled and faults active"
+grep -v '"group":"mode-exempt"' "$tmp/f1.trace" > "$tmp/f1.trace.portable"
+grep -v '"group":"mode-exempt"' "$tmp/fc0.trace" > "$tmp/fc0.trace.portable"
+cmp "$tmp/f1.trace.portable" "$tmp/fc0.trace.portable"
+echo "byte-identical with coalescing disabled and faults active (trace modulo mode-exempt)"
 
 echo "== bench medians vs committed baseline =="
 ./scripts/bench_compare.sh

@@ -415,6 +415,27 @@ impl Cloud {
             },
         );
         self.billing.open(tenant, id);
+        if simtrace::enabled() {
+            simtrace::counters::add("cloud.placements", 1);
+            let host = &self.hosts[host_idx];
+            if let Some(tr) = host.kernel.tracer() {
+                let now = host.kernel.lifetime_ns();
+                tr.emit(
+                    now,
+                    simtrace::TraceEvent::Placement {
+                        instance: id.0,
+                        host: host.id.0,
+                    },
+                );
+                tr.emit(
+                    now,
+                    simtrace::TraceEvent::BillingOpen {
+                        tenant: tenant.to_string(),
+                        instance: id.0,
+                    },
+                );
+            }
+        }
         Ok(id)
     }
 
@@ -524,6 +545,16 @@ impl Cloud {
         host.runtime.remove(&mut host.kernel, inst.container)?;
         host.instances = host.instances.saturating_sub(1);
         self.billing.close(id);
+        if simtrace::enabled() {
+            simtrace::counters::add("cloud.terminations", 1);
+            let host = &self.hosts[inst.host.0 as usize];
+            if let Some(tr) = host.kernel.tracer() {
+                tr.emit(
+                    host.kernel.lifetime_ns(),
+                    simtrace::TraceEvent::BillingClose { instance: id.0 },
+                );
+            }
+        }
         Ok(())
     }
 
@@ -560,6 +591,7 @@ impl Cloud {
                 charges.push((inst.id, inst.tenant.clone(), used, secs));
             }
         }
+        simtrace::counters::add("cloud.billing_charges", charges.len() as u64);
         for (id, tenant, used_ns, dt) in charges {
             self.billing
                 .meter(&tenant, id, used_ns, dt, &self.cfg.billing);
@@ -597,6 +629,7 @@ impl Cloud {
         let Some(host) = self.hosts.get_mut(id.0 as usize) else {
             return Vec::new();
         };
+        simtrace::counters::add("cloud.host_reboots", 1);
         // Casualties: every instance placed here.
         let lost: Vec<InstanceId> = self
             .instances

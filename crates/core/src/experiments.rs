@@ -2107,6 +2107,10 @@ pub fn run_entries_with(
 /// Runs one driver behind a panic guard: a panicking experiment becomes a
 /// structured failure entry instead of tearing down the whole run.
 fn run_guarded(name: &str, f: ExperimentFn, seed: u64, fig2_days: u64) -> ExperimentResult {
+    // Kernels created inside the driver flush their trace buffers under
+    // deterministic `{experiment}/k{NNN}` scopes regardless of which worker
+    // thread runs the driver.
+    let _scope = simtrace::scope(name);
     match std::panic::catch_unwind(|| f(seed, fig2_days)) {
         Ok(r) => r,
         Err(payload) => {

@@ -42,6 +42,7 @@ pub use powerns;
 pub use powersim;
 pub use pseudofs;
 pub use simkernel;
+pub use simtrace;
 pub use workloads;
 
 pub mod defended;

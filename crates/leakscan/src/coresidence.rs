@@ -216,6 +216,7 @@ impl CoResDetector {
                     if let Some(reset) = self.reset_during_scan(cloud, a, b) {
                         if attempts < 3 {
                             reasons.push(format!("{reset}; rescanned"));
+                            simtrace::counters::add("leakscan.rescans", 1);
                             cloud.advance_secs(2);
                             continue;
                         }

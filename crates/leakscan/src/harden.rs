@@ -114,6 +114,7 @@ impl Hardener {
         }
 
         // Verification pass: same container, hardened view.
+        simtrace::counters::add("leakscan.harden_rescans", 1);
         let hardened_view = view.clone().with_policy(policy.clone());
         let after = self.validator.scan(kernel, &hardened_view);
         let leaks_after = after

@@ -159,12 +159,29 @@ impl Lab {
         loop {
             match self.hosts[i].read_container_into(path, buf) {
                 Ok(()) if attempt == 0 => return ReadAttempt::Clean,
-                Ok(()) => return ReadAttempt::Recovered(attempt),
+                Ok(()) => {
+                    if simtrace::enabled() {
+                        simtrace::counters::add("faults.tolerated.retried_reads", 1);
+                        if let Some(tr) = self.hosts[i].kernel.tracer() {
+                            tr.emit(
+                                self.hosts[i].kernel.lifetime_ns(),
+                                simtrace::TraceEvent::Degraded {
+                                    subsystem: "leakscan",
+                                    detail: format!("{path} recovered after {attempt} retries"),
+                                },
+                            );
+                        }
+                    }
+                    return ReadAttempt::Recovered(attempt);
+                }
                 Err(e) if e.is_transient() && attempt < 2 => {
                     self.advance_secs(u64::from(attempt) + 1);
                     attempt += 1;
                 }
-                Err(e) => return ReadAttempt::Failed(e),
+                Err(e) => {
+                    simtrace::counters::add("leakscan.lost_reads", 1);
+                    return ReadAttempt::Failed(e);
+                }
             }
         }
     }

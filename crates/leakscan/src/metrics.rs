@@ -451,6 +451,7 @@ impl MetricsAssessor {
         let confidence = if reasons.is_empty() {
             Confidence::Full
         } else {
+            simtrace::counters::add("leakscan.degraded_windows", 1);
             Confidence::Degraded { reasons }
         };
 

@@ -57,6 +57,7 @@ impl RaplMonitor {
                 Err(e) if e.is_transient() => {
                     // Sensor dropout: drop this sample, keep the baseline.
                     self.dropped += 1;
+                    simtrace::counters::add("faults.tolerated.rapl_dropped", 1);
                     return Ok(None);
                 }
                 Err(e) => {
@@ -104,6 +105,27 @@ impl RaplMonitor {
         };
         if reset_seen {
             self.resets += 1;
+            simtrace::counters::add("faults.tolerated.rapl_rebaseline", 1);
+        }
+        if simtrace::enabled() {
+            if let Some(watts) = result {
+                simtrace::counters::add("powersim.rapl_samples", 1);
+                if let Some(host) = cloud
+                    .instance(instance)
+                    .and_then(|inst| cloud.host(inst.host()))
+                {
+                    if let Some(tr) = host.kernel().tracer() {
+                        tr.emit(
+                            host.kernel().lifetime_ns(),
+                            simtrace::TraceEvent::RaplSample {
+                                instance: instance.0,
+                                // Integer milliwatts: byte-stable in traces.
+                                milliwatts: (watts * 1e3).round() as i64,
+                            },
+                        );
+                    }
+                }
+            }
         }
         *entry = readings.into_iter().map(|uj| (uj, now_s)).collect();
         Ok(result)

@@ -11,7 +11,8 @@
 //!    string only; the kernel's underlying counters are untouched, so
 //!    un-faulted readers and later reads see consistent state.
 
-use simkernel::{FsFaultKind, Kernel, SensorFaultKind};
+use simkernel::{is_sensor_path, FsFaultKind, Kernel, SensorFaultKind};
+use simtrace::TraceEvent;
 
 use crate::error::FsError;
 
@@ -25,10 +26,50 @@ const ENERGY_QUANTUM_UJ: u64 = 65_536;
 /// The injected error for `path` at this instant, if a fault window is
 /// active and selects it.
 pub(crate) fn injected_error(k: &Kernel, path: &str) -> Option<FsError> {
-    Some(match k.read_fault(path)? {
+    let kind = k.read_fault(path)?;
+    if simtrace::enabled() {
+        // An EIO on a sensor channel is sensor dropout by construction
+        // (the plan surfaces dropout windows through the read-fault
+        // query); on any other path it is a plain transient fs fault.
+        let (class, counter) = match kind {
+            FsFaultKind::Eio if is_sensor_path(path) => {
+                ("sensor.dropout", "faults.injected.sensor.dropout")
+            }
+            FsFaultKind::Eio => ("fs.eio", "faults.injected.fs.eio"),
+            FsFaultKind::ShortRead => ("fs.short_read", "faults.injected.fs.short_read"),
+        };
+        simtrace::counters::add(counter, 1);
+        if let Some(tr) = k.tracer() {
+            tr.emit(
+                k.lifetime_ns(),
+                TraceEvent::FaultInjected {
+                    class,
+                    path: path.to_string(),
+                },
+            );
+        }
+    }
+    Some(match kind {
         FsFaultKind::Eio => FsError::Io(path.to_string()),
         FsFaultKind::ShortRead => FsError::Truncated(path.to_string()),
     })
+}
+
+/// Records a value-level sensor distortion for the trace.
+fn note_distortion(k: &Kernel, class: &'static str, counter: &'static str, path: &str) {
+    if !simtrace::enabled() {
+        return;
+    }
+    simtrace::counters::add(counter, 1);
+    if let Some(tr) = k.tracer() {
+        tr.emit(
+            k.lifetime_ns(),
+            TraceEvent::SensorDistorted {
+                class,
+                path: path.to_string(),
+            },
+        );
+    }
 }
 
 /// Applies value-level sensor distortion and clock skew to a successfully
@@ -39,12 +80,24 @@ pub(crate) fn distort(k: &Kernel, path: &str, buf: &mut String) {
             buf.clear();
             buf.push_str("100000\n");
             debug_assert_eq!(buf.trim().parse::<u64>(), Ok(DTS_SATURATION_MC));
+            note_distortion(
+                k,
+                "sensor.saturation",
+                "faults.injected.sensor.saturation",
+                path,
+            );
         }
         Some(SensorFaultKind::QuantizationJitter) => {
             if let Ok(v) = buf.trim().parse::<u64>() {
                 buf.clear();
                 buf.push_str(&(v - v % ENERGY_QUANTUM_UJ).to_string());
                 buf.push('\n');
+                note_distortion(
+                    k,
+                    "sensor.quantization",
+                    "faults.injected.sensor.quantization",
+                    path,
+                );
             }
         }
         Some(SensorFaultKind::Dropout) | None => {}
@@ -52,6 +105,12 @@ pub(crate) fn distort(k: &Kernel, path: &str, buf: &mut String) {
     if path == "/proc/uptime" {
         let skew_ns = k.uptime_skew_ns();
         if skew_ns != 0 {
+            if simtrace::enabled() {
+                simtrace::counters::add("faults.injected.clock.skew", 1);
+                if let Some(tr) = k.tracer() {
+                    tr.emit(k.lifetime_ns(), TraceEvent::ClockSkewObserved { skew_ns });
+                }
+            }
             skew_uptime(buf, skew_ns);
         }
     }

@@ -14,6 +14,42 @@ use crate::view::{MaskAction, View};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PseudoFs;
 
+/// Records a masked-path denial (namespace-filter hit) for the trace.
+fn note_denied(k: &Kernel, path: &str) {
+    if !simtrace::enabled() {
+        return;
+    }
+    simtrace::counters::add("pseudofs.denied", 1);
+    if let Some(tr) = k.tracer() {
+        tr.emit(
+            k.lifetime_ns(),
+            simtrace::TraceEvent::MaskDenied {
+                path: path.to_string(),
+            },
+        );
+    }
+}
+
+/// Records a successful channel read (per-channel counter + probe-phase
+/// profile + event). Probes are instantaneous in sim time, so the probe
+/// phase accumulates event counts against zero virtual nanoseconds.
+fn note_read(k: &Kernel, path: &str, bytes: usize) {
+    if !simtrace::enabled() {
+        return;
+    }
+    simtrace::counters::add_channel("pseudofs.read", path, 1);
+    simtrace::profile::record("probe", 0, 1);
+    if let Some(tr) = k.tracer() {
+        tr.emit(
+            k.lifetime_ns(),
+            simtrace::TraceEvent::PseudofsRead {
+                path: path.to_string(),
+                bytes: bytes as u64,
+            },
+        );
+    }
+}
+
 /// Outcome of a [`PseudoFs::read_capped`] read against a bounded buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadStatus {
@@ -59,6 +95,7 @@ impl PseudoFs {
     ///   transient: the same read can succeed once the window passes.
     pub fn read(&self, k: &Kernel, view: &View, path: &str) -> Result<String, FsError> {
         if view.mask_action(path) == Some(MaskAction::Deny) {
+            note_denied(k, path);
             return Err(FsError::PermissionDenied(path.to_string()));
         }
         if let Some(e) = faultfx::injected_error(k, path) {
@@ -68,6 +105,7 @@ impl PseudoFs {
             .dispatch(k, view, path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         faultfx::distort(k, path, &mut out);
+        note_read(k, path, out.len());
         Ok(out)
     }
 
@@ -89,6 +127,7 @@ impl PseudoFs {
     ) -> Result<(), FsError> {
         buf.clear();
         if view.mask_action(path) == Some(MaskAction::Deny) {
+            note_denied(k, path);
             return Err(FsError::PermissionDenied(path.to_string()));
         }
         if let Some(e) = faultfx::injected_error(k, path) {
@@ -110,6 +149,7 @@ impl PseudoFs {
             },
         }
         faultfx::distort(k, path, buf);
+        note_read(k, path, buf.len());
         Ok(())
     }
 

@@ -1,0 +1,424 @@
+//! The noise-discounted median gate behind the `benchcmp` binary.
+//!
+//! A benchmark regresses when its fresh median exceeds the baseline
+//! median by more than the threshold *and* by more than the absolute
+//! floor — sub-floor deltas are scheduler noise, not code. On shared
+//! boxes the whole suite sometimes runs uniformly slower (co-tenant
+//! load), which says nothing about the code, so each ratio is first
+//! discounted by the suite-wide *noise factor* — the median of all
+//! fresh/baseline ratios, clamped to at least 1 so a fast run never
+//! manufactures regressions. The escape valve is bounded: past
+//! [`HARD_CAP`]× undiscounted, a bench fails regardless (a uniform
+//! *real* regression cannot hide forever). Benchmarks present in the
+//! baseline but missing from the fresh run fail the gate; benchmarks
+//! only in the fresh run are reported as new and pass.
+//!
+//! Medians are still a fragile location estimate on a one-core shared
+//! box: background bursts only ever *inflate* samples, so a handful of
+//! contaminated iterations drag the median up while the minimum stays
+//! at the true cost. When both reports carry `min_ns`, a bench whose
+//! fresh minimum sits within the threshold and floor of the baseline
+//! minimum is therefore rescued to `ok (min)` — at least one iteration
+//! demonstrated the old speed, which a real code regression makes
+//! impossible (a genuinely slower path shifts the minimum with it).
+
+use std::collections::BTreeMap;
+
+use serde::Deserialize;
+
+/// The slice of each benchmark's statistics the gate compares. The
+/// report also carries `mean_ns`/`min_ns`/`samples`; the derive ignores
+/// fields it is not asked for.
+#[derive(Debug, Clone, Deserialize)]
+pub struct BenchStats {
+    /// Median wall time of one iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed iteration, in nanoseconds. Optional so reports
+    /// without it still parse (missing fields deserialize as `None`);
+    /// then the min-rescue for contaminated medians simply never applies.
+    pub min_ns: Option<f64>,
+}
+
+/// The `BENCH_<file>.json` report shape.
+#[derive(Debug, Deserialize)]
+pub struct BenchReport {
+    /// Which bench file produced the report (e.g. `pipelines`).
+    pub bench_file: String,
+    /// `group -> bench -> stats`.
+    pub groups: BTreeMap<String, BTreeMap<String, BenchStats>>,
+}
+
+impl BenchReport {
+    /// Parses a report from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a human-readable message when the text is not a valid
+    /// report.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        serde_json::from_str(text).map_err(|e| format!("cannot parse bench report: {e}"))
+    }
+
+    /// Loads and parses a report file.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file is unreadable or not a valid report.
+    pub fn load(path: &str) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchReport::parse(&text)
+    }
+
+    /// Flattens `group/bench -> median_ns`; names are unique per file.
+    pub fn medians(&self) -> BTreeMap<String, f64> {
+        self.groups
+            .values()
+            .flat_map(|benches| benches.iter().map(|(name, s)| (name.clone(), s.median_ns)))
+            .collect()
+    }
+
+    /// Flattens `group/bench -> stats`; names are unique per file.
+    pub fn stats(&self) -> BTreeMap<String, BenchStats> {
+        self.groups
+            .values()
+            .flat_map(|benches| benches.iter().map(|(name, s)| (name.clone(), s.clone())))
+            .collect()
+    }
+}
+
+/// Past this many times the baseline — undiscounted — a bench fails
+/// even if the whole suite slowed with it.
+pub const HARD_CAP: f64 = 4.0;
+
+/// What the gate decided about one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the (noise-discounted) threshold.
+    Ok,
+    /// The median regressed but the fresh minimum matched the baseline
+    /// minimum: contaminated samples, not slower code. Passes.
+    OkMinRescued,
+    /// Beyond the threshold and the floor, or past the hard cap.
+    Regressed,
+    /// In the baseline but absent from the fresh run — fails the gate.
+    Missing,
+    /// In the fresh run only; passes, there is nothing to compare.
+    New,
+}
+
+/// One benchmark's comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name (unique within the bench file).
+    pub name: String,
+    /// Baseline median, absent for [`Verdict::New`].
+    pub baseline_ns: Option<f64>,
+    /// Fresh median, absent for [`Verdict::Missing`].
+    pub fresh_ns: Option<f64>,
+    /// The gate's decision.
+    pub verdict: Verdict,
+}
+
+/// The whole gate evaluation: the noise factor it discounted by, one
+/// row per benchmark (baseline order, then new benches), and the
+/// pass/fail verdict.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Median fresh/baseline ratio across shared benches, clamped ≥ 1.
+    pub noise: f64,
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+    /// True when any row is `Regressed` or `Missing`.
+    pub failed: bool,
+}
+
+/// The suite-wide noise factor: the median fresh/baseline ratio across
+/// every bench present in both maps, never below 1 (a uniformly fast
+/// run must not manufacture regressions elsewhere).
+pub fn noise_factor(base: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f64>) -> f64 {
+    let mut ratios: Vec<f64> = base
+        .iter()
+        .filter_map(|(name, &b)| fresh.get(name).map(|&n| n / b))
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    if ratios.is_empty() {
+        1.0
+    } else {
+        ratios[ratios.len() / 2].max(1.0)
+    }
+}
+
+/// Evaluates the gate: `threshold_pct` is the allowed median growth in
+/// percent after noise discounting, `floor_ns` the absolute delta below
+/// which a regression is never called.
+pub fn gate(
+    baseline: &BenchReport,
+    fresh: &BenchReport,
+    threshold_pct: f64,
+    floor_ns: f64,
+) -> Outcome {
+    let base = baseline.stats();
+    let new = fresh.stats();
+    let limit = 1.0 + threshold_pct / 100.0;
+    let noise = noise_factor(&baseline.medians(), &fresh.medians());
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (name, base_stats) in &base {
+        let b = base_stats.median_ns;
+        let (fresh_ns, verdict) = match new.get(name) {
+            None => (None, Verdict::Missing),
+            Some(stats) => {
+                let n = stats.median_ns;
+                let ratio = n / b;
+                let discounted = ratio / noise;
+                let regressed = (discounted > limit && n - b * noise > floor_ns)
+                    || (ratio > HARD_CAP && n - b > floor_ns);
+                // The minimum is immune to asymmetric contamination: if
+                // the fresh floor still reaches baseline speed (within
+                // the same threshold and noise floor), the code did not
+                // get slower — some iterations proved it.
+                let min_ok = match (base_stats.min_ns, stats.min_ns) {
+                    (Some(bm), Some(nm)) => nm / bm <= limit || nm - bm <= floor_ns,
+                    _ => false,
+                };
+                (
+                    Some(n),
+                    match (regressed, min_ok) {
+                        (false, _) => Verdict::Ok,
+                        (true, true) => Verdict::OkMinRescued,
+                        (true, false) => Verdict::Regressed,
+                    },
+                )
+            }
+        };
+        failed |= matches!(verdict, Verdict::Missing | Verdict::Regressed);
+        rows.push(Row {
+            name: name.clone(),
+            baseline_ns: Some(b),
+            fresh_ns,
+            verdict,
+        });
+    }
+    for (name, stats) in &new {
+        let n = stats.median_ns;
+        if !base.contains_key(name) {
+            rows.push(Row {
+                name: name.clone(),
+                baseline_ns: None,
+                fresh_ns: Some(n),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    Outcome {
+        noise,
+        rows,
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a one-group report from `(name, median_ns)` pairs.
+    fn report(medians: &[(&str, f64)]) -> BenchReport {
+        let benches: Vec<String> = medians
+            .iter()
+            .map(|(name, ns)| format!("\"{name}\":{{\"median_ns\":{ns}}}"))
+            .collect();
+        let text = format!(
+            "{{\"bench_file\":\"pipelines\",\"groups\":{{\"g\":{{{}}}}}}}",
+            benches.join(",")
+        );
+        BenchReport::parse(&text).expect("fixture parses")
+    }
+
+    /// Like [`report`] but with explicit minima, as the real harness
+    /// emits them.
+    fn report_with_min(stats: &[(&str, f64, f64)]) -> BenchReport {
+        let benches: Vec<String> = stats
+            .iter()
+            .map(|(name, med, min)| format!("\"{name}\":{{\"median_ns\":{med},\"min_ns\":{min}}}"))
+            .collect();
+        let text = format!(
+            "{{\"bench_file\":\"pipelines\",\"groups\":{{\"g\":{{{}}}}}}}",
+            benches.join(",")
+        );
+        BenchReport::parse(&text).expect("fixture parses")
+    }
+
+    fn verdict_of(out: &Outcome, name: &str) -> Verdict {
+        out.rows
+            .iter()
+            .find(|r| r.name == name)
+            .expect("row present")
+            .verdict
+    }
+
+    #[test]
+    fn parses_the_real_report_shape_ignoring_extra_stats() {
+        let r = BenchReport::parse(
+            r#"{"bench_file":"pipelines","generated_by":"bench_json",
+                "groups":{"scan":{"cold":{"median_ns":1500000.0,
+                "mean_ns":1600000.0,"min_ns":1400000.0,"samples":20}}}}"#,
+        )
+        .expect("parses with extra fields");
+        assert_eq!(r.medians()["cold"], 1_500_000.0);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(&[("a", 1e6), ("b", 2e6)]);
+        let out = gate(&base, &report(&[("a", 1e6), ("b", 2e6)]), 25.0, 20_000.0);
+        assert!(!out.failed);
+        assert_eq!(out.noise, 1.0);
+        assert!(out.rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn single_bench_regression_beyond_threshold_and_floor_fails() {
+        // One bench +60%, the rest flat: noise stays ~1, delta 600µs
+        // clears the 20µs floor.
+        let base = report(&[("a", 1e6), ("b", 1e6), ("c", 1e6)]);
+        let fresh = report(&[("a", 1.6e6), ("b", 1e6), ("c", 1e6)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert!(out.failed);
+        assert_eq!(verdict_of(&out, "a"), Verdict::Regressed);
+        assert_eq!(verdict_of(&out, "b"), Verdict::Ok);
+    }
+
+    #[test]
+    fn sub_floor_deltas_never_regress() {
+        // +100% but the benches are tiny: 8µs deltas sit under the 20µs
+        // floor, so this is scheduler noise by definition.
+        let base = report(&[("a", 8_000.0), ("b", 8_000.0), ("c", 8_000.0)]);
+        let fresh = report(&[("a", 16_000.0), ("b", 8_000.0), ("c", 8_000.0)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert!(!out.failed, "{out:?}");
+    }
+
+    #[test]
+    fn uniform_slowdown_is_discounted_as_box_noise() {
+        // Everything 1.8x: co-tenant load, not a code regression.
+        let base = report(&[("a", 1e6), ("b", 2e6), ("c", 3e6)]);
+        let fresh = report(&[("a", 1.8e6), ("b", 3.6e6), ("c", 5.4e6)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert!((out.noise - 1.8).abs() < 1e-9);
+        assert!(!out.failed, "{out:?}");
+    }
+
+    #[test]
+    fn hard_cap_defeats_the_noise_discount() {
+        // Everything 5x — beyond HARD_CAP, so the uniform-slowdown
+        // escape valve closes and every bench fails.
+        let base = report(&[("a", 1e6), ("b", 2e6), ("c", 3e6)]);
+        let fresh = report(&[("a", 5e6), ("b", 10e6), ("c", 15e6)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert!(out.failed);
+        assert!(out.rows.iter().all(|r| r.verdict == Verdict::Regressed));
+    }
+
+    #[test]
+    fn fast_runs_clamp_noise_to_one_and_still_catch_regressions() {
+        // Most benches got 2x faster; one got 60% slower. The clamp
+        // keeps the fast majority from hiding it (unclamped noise 0.5
+        // would *help*; the floor is the only remaining guard).
+        let base = report(&[("a", 1e6), ("b", 1e6), ("c", 1e6), ("d", 1e6)]);
+        let fresh = report(&[("a", 0.5e6), ("b", 0.5e6), ("c", 0.5e6), ("d", 1.6e6)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert_eq!(out.noise, 1.0);
+        assert_eq!(verdict_of(&out, "d"), Verdict::Regressed);
+    }
+
+    #[test]
+    fn missing_bench_fails_and_new_bench_passes() {
+        let base = report(&[("a", 1e6), ("gone", 1e6)]);
+        let fresh = report(&[("a", 1e6), ("added", 9e9)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert!(out.failed);
+        assert_eq!(verdict_of(&out, "gone"), Verdict::Missing);
+        assert_eq!(verdict_of(&out, "added"), Verdict::New);
+        // A lone new bench contributes no ratio and cannot regress.
+        assert_eq!(
+            out.rows
+                .iter()
+                .filter(|r| r.verdict == Verdict::Regressed)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn contaminated_median_with_clean_minimum_is_rescued() {
+        // The one-core-box failure shape: one bench's median jumped 48%
+        // because background bursts hit most samples, but its fastest
+        // iteration still reached baseline speed. Slower code cannot
+        // produce that minimum, so the gate passes it as noise.
+        let base = report_with_min(&[
+            ("flat", 1e6, 0.95e6),
+            ("flat2", 1e6, 0.95e6),
+            ("noisy", 1.35e6, 1.29e6),
+        ]);
+        let fresh = report_with_min(&[
+            ("flat", 1e6, 0.95e6),
+            ("flat2", 1e6, 0.95e6),
+            ("noisy", 2.0e6, 1.34e6),
+        ]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert_eq!(verdict_of(&out, "noisy"), Verdict::OkMinRescued);
+        assert!(!out.failed, "{out:?}");
+    }
+
+    #[test]
+    fn real_regressions_shift_the_minimum_and_still_fail() {
+        // A genuine 2x slowdown moves the whole distribution, minimum
+        // included — the rescue must not apply.
+        let base = report_with_min(&[
+            ("flat", 1e6, 0.95e6),
+            ("flat2", 1e6, 0.95e6),
+            ("slow", 1.35e6, 1.29e6),
+        ]);
+        let fresh = report_with_min(&[
+            ("flat", 1e6, 0.95e6),
+            ("flat2", 1e6, 0.95e6),
+            ("slow", 2.7e6, 2.6e6),
+        ]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert_eq!(verdict_of(&out, "slow"), Verdict::Regressed);
+        assert!(out.failed);
+    }
+
+    #[test]
+    fn rescue_requires_minima_on_both_sides() {
+        // Median-only reports (older harness) keep the strict verdict.
+        let base = report(&[("a", 1e6), ("b", 1e6), ("c", 1e6)]);
+        let fresh = report(&[("a", 1.6e6), ("b", 1e6), ("c", 1e6)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert_eq!(verdict_of(&out, "a"), Verdict::Regressed);
+        // Sub-floor minimum deltas rescue even when the ratio is large:
+        // an 8 µs floor-scale bench doubling its min is scheduler noise.
+        let base = report_with_min(&[
+            ("flat", 1e6, 0.95e6),
+            ("flat2", 1e6, 0.95e6),
+            ("tiny", 100_000.0, 8_000.0),
+        ]);
+        let fresh = report_with_min(&[
+            ("flat", 1e6, 0.95e6),
+            ("flat2", 1e6, 0.95e6),
+            ("tiny", 140_000.0, 16_000.0),
+        ]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert_eq!(verdict_of(&out, "tiny"), Verdict::OkMinRescued);
+    }
+
+    #[test]
+    fn empty_overlap_defaults_noise_to_one() {
+        let base = report(&[("only-old", 1e6)]);
+        let fresh = report(&[("only-new", 1e6)]);
+        let out = gate(&base, &fresh, 25.0, 20_000.0);
+        assert_eq!(out.noise, 1.0);
+        assert!(out.failed, "the dropped bench must still fail the gate");
+    }
+}

@@ -4,8 +4,11 @@
 //! length (default 7), `--out <path>` (default `EXPERIMENTS.md`),
 //! `--jobs <n>` worker threads for the experiment pool (default = available
 //! cores; `--jobs 1` reproduces the serial order), `--coalesce <on|off>`
-//! to toggle event-horizon tick coalescing (default on). Every experiment
-//! driver is a pure function of the seed, so the written artifacts are
+//! to toggle event-horizon tick coalescing (default on), `--trace <path>`
+//! to write the deterministic JSONL trace artifact, and `--counters` to
+//! print the per-subsystem counter and sim-time profile summary. Every
+//! experiment driver is a pure function of the seed, so the written
+//! artifacts — the trace included, modulo its mode-exempt group — are
 //! byte-identical for any `--jobs` value and either `--coalesce` setting.
 
 use std::io::Write as _;
@@ -15,6 +18,7 @@ fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
     let jobs = containerleaks_experiments::jobs_arg();
     containerleaks_experiments::apply_coalesce_arg();
+    containerleaks_experiments::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let days = args
         .windows(2)
@@ -53,6 +57,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&results).expect("serializable results");
     std::fs::write(&json_path, json).expect("write json artifact");
     eprintln!("wrote {json_path}");
+    containerleaks_experiments::finish_tracing(seed);
     if results.iter().any(|r| !r.all_hold()) {
         std::process::exit(1);
     }

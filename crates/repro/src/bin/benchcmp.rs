@@ -4,56 +4,15 @@
 //! `--fresh <path>` (default `target/bench-artifacts/BENCH_pipelines.json`),
 //! `--threshold-pct <p>` (default 25), `--floor-ns <n>` (default 20000).
 //!
-//! A benchmark regresses when its fresh median exceeds the baseline
-//! median by more than the threshold *and* by more than the absolute
-//! floor — sub-floor deltas are scheduler noise, not code. On shared
-//! boxes the whole suite sometimes runs uniformly slower (co-tenant
-//! load), which says nothing about the code, so each ratio is first
-//! discounted by the suite-wide *noise factor* — the median of all
-//! fresh/baseline ratios, clamped to at least 1 so a fast run never
-//! manufactures regressions. A code change shifts specific benches
-//! against that backdrop; box load shifts all of them together. The
-//! escape valve is bounded: past `HARD_CAP`× undiscounted, a bench
-//! fails regardless (a uniform *real* regression cannot hide forever).
-//! Benchmarks present in the baseline but missing from the fresh run
-//! fail the gate (a silently dropped bench would otherwise pass
-//! forever); benchmarks only in the fresh run are reported as new and
-//! pass.
+//! The comparison math — noise-discounted medians, the absolute floor,
+//! the hard cap, and the missing/new rules — lives in
+//! [`containerleaks_experiments::benchgate`], where it is unit-tested
+//! against fixture reports; this binary only parses flags and renders
+//! the verdict table.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use serde::Deserialize;
-
-/// The slice of each benchmark's statistics the gate compares. The
-/// report also carries `mean_ns`/`min_ns`/`samples`; the derive ignores
-/// fields it is not asked for.
-#[derive(Debug, Clone, Deserialize)]
-struct BenchStats {
-    median_ns: f64,
-}
-
-/// The `BENCH_<file>.json` report shape.
-#[derive(Debug, Deserialize)]
-struct BenchReport {
-    bench_file: String,
-    groups: BTreeMap<String, BTreeMap<String, BenchStats>>,
-}
-
-impl BenchReport {
-    fn load(path: &str) -> Result<BenchReport, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
-    }
-
-    /// Flattens `group/bench -> median_ns`; names are unique per file.
-    fn medians(&self) -> BTreeMap<String, f64> {
-        self.groups
-            .values()
-            .flat_map(|benches| benches.iter().map(|(name, s)| (name.clone(), s.median_ns)))
-            .collect()
-    }
-}
+use containerleaks_experiments::benchgate::{gate, BenchReport, Verdict, HARD_CAP};
 
 fn arg(flag: &str, default: &str) -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -71,6 +30,10 @@ fn fmt_ns(ns: f64) -> String {
     } else {
         format!("{ns:.1} ns")
     }
+}
+
+fn fmt_opt(ns: Option<f64>) -> String {
+    ns.map_or_else(|| "-".to_string(), fmt_ns)
 }
 
 fn main() -> ExitCode {
@@ -99,73 +62,37 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let base = baseline.medians();
-    let new = fresh.medians();
-    let limit = 1.0 + threshold_pct / 100.0;
-
-    // Suite-wide noise factor: the median fresh/baseline ratio across
-    // every bench present in both reports, never below 1.
-    let mut ratios: Vec<f64> = base
-        .iter()
-        .filter_map(|(name, &b)| new.get(name).map(|&n| n / b))
-        .collect();
-    ratios.sort_by(f64::total_cmp);
-    let noise = if ratios.is_empty() {
-        1.0
-    } else {
-        ratios[ratios.len() / 2].max(1.0)
-    };
-    // Past this many times the baseline — undiscounted — a bench fails
-    // even if the whole suite slowed with it.
-    const HARD_CAP: f64 = 4.0;
-    let mut failed = false;
-
-    println!("suite noise factor: {noise:.2}x (discounted before gating)");
+    let out = gate(&baseline, &fresh, threshold_pct, floor_ns);
+    println!(
+        "suite noise factor: {:.2}x (discounted before gating; hard cap {HARD_CAP}x)",
+        out.noise
+    );
     println!(
         "{:<34} {:>12} {:>12} {:>8}  verdict",
         "benchmark", "baseline", "fresh", "ratio"
     );
-    for (name, &b) in &base {
-        match new.get(name) {
-            None => {
-                failed = true;
-                println!(
-                    "{name:<34} {:>12} {:>12} {:>8}  MISSING",
-                    fmt_ns(b),
-                    "-",
-                    "-"
-                );
+    for row in &out.rows {
+        let ratio = match (row.baseline_ns, row.fresh_ns) {
+            (Some(b), Some(n)) => format!("{:.2}x", n / b),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:<34} {:>12} {:>12} {:>8}  {}",
+            row.name,
+            fmt_opt(row.baseline_ns),
+            fmt_opt(row.fresh_ns),
+            ratio,
+            match row.verdict {
+                Verdict::Ok => "ok",
+                Verdict::OkMinRescued => "ok (min held)",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Missing => "MISSING",
+                Verdict::New => "new (no baseline)",
             }
-            Some(&n) => {
-                let ratio = n / b;
-                let discounted = ratio / noise;
-                let regressed = (discounted > limit && n - b * noise > floor_ns)
-                    || (ratio > HARD_CAP && n - b > floor_ns);
-                if regressed {
-                    failed = true;
-                }
-                println!(
-                    "{name:<34} {:>12} {:>12} {:>7.2}x  {}",
-                    fmt_ns(b),
-                    fmt_ns(n),
-                    ratio,
-                    if regressed { "REGRESSED" } else { "ok" }
-                );
-            }
-        }
-    }
-    for (name, &n) in &new {
-        if !base.contains_key(name) {
-            println!(
-                "{name:<34} {:>12} {:>12} {:>8}  new (no baseline)",
-                "-",
-                fmt_ns(n),
-                "-"
-            );
-        }
+        );
     }
 
-    if failed {
+    if out.failed {
         eprintln!(
             "benchcmp: FAIL — median regression beyond {threshold_pct}% \
              (+{} floor) or a benchmark went missing",

@@ -3,8 +3,11 @@
 //! Flags: `--seed <u64>` (default 1729), `--out <path>` (default
 //! `FAULTS.md`; the JSON companion lands next to it), `--jobs <n>` worker
 //! threads (default = available cores), `--coalesce <on|off>` to toggle
-//! event-horizon tick coalescing (default on). Every scenario is a pure
-//! function of the seed — fault schedules included — so the artifacts are
+//! event-horizon tick coalescing (default on), `--trace <path>` to write
+//! the deterministic JSONL trace artifact, and `--counters` to print the
+//! per-subsystem counter and sim-time profile summary. Every scenario is
+//! a pure function of the seed — fault schedules included — so the
+//! artifacts (the trace included, modulo its mode-exempt group) are
 //! byte-identical for any `--jobs` value and either `--coalesce` setting;
 //! CI compares `--jobs 1` against `--jobs 4` and coalescing on against
 //! off to prove it.
@@ -16,6 +19,7 @@ fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
     let jobs = containerleaks_experiments::jobs_arg();
     containerleaks_experiments::apply_coalesce_arg();
+    containerleaks_experiments::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
         .windows(2)
@@ -46,6 +50,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&results).expect("serializable results");
     std::fs::write(&json_path, json).expect("write json artifact");
     eprintln!("wrote {json_path}");
+    containerleaks_experiments::finish_tracing(seed);
     if results.iter().any(|r| !r.all_hold()) {
         std::process::exit(1);
     }

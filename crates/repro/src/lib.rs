@@ -2,9 +2,17 @@
 //!
 //! Every binary accepts `--seed <u64>` (default
 //! [`containerleaks::DEFAULT_SEED`]) and `--json` to emit the structured
-//! result instead of the rendered text.
+//! result instead of the rendered text. The `all` and `fault_matrix`
+//! bins additionally take `--trace <path>` (write the deterministic
+//! JSONL trace artifact) and `--counters` (print the subsystem counter
+//! and sim-time profile summary after the run).
 
+use std::sync::{Arc, OnceLock};
+
+use containerleaks::simtrace;
 use containerleaks::ExperimentResult;
+
+pub mod benchgate;
 
 /// Parses `--seed` from argv, with a default.
 pub fn seed_arg(default: u64) -> u64 {
@@ -45,6 +53,48 @@ pub fn apply_coalesce_arg() {
                 std::process::exit(2);
             }
         }
+    }
+}
+
+/// Parses `--trace <path>` from argv.
+pub fn trace_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--trace")
+        .map(|w| w[1].clone())
+}
+
+/// Whether `--counters` was passed.
+pub fn counters_flag() -> bool {
+    std::env::args().any(|a| a == "--counters")
+}
+
+static TRACE_SINK: OnceLock<Arc<simtrace::MemorySink>> = OnceLock::new();
+
+/// Enables tracing for this process when `--trace` or `--counters` asks
+/// for it. Must run before the first kernel is built so every event is
+/// captured; a no-op (tracing stays zero-cost) when neither flag is
+/// present.
+pub fn init_tracing() {
+    if trace_arg().is_none() && !counters_flag() {
+        return;
+    }
+    let sink = Arc::new(simtrace::MemorySink::new());
+    let _ = TRACE_SINK.set(Arc::clone(&sink));
+    simtrace::install(sink);
+}
+
+/// After the run: writes the JSONL trace artifact (`--trace`) and/or
+/// prints the counter + profile summary (`--counters`).
+pub fn finish_tracing(seed: u64) {
+    if let Some(path) = trace_arg() {
+        let sink = TRACE_SINK.get().expect("init_tracing ran at startup");
+        let trace = simtrace::render_jsonl(seed, &sink.drain());
+        std::fs::write(&path, trace).expect("write trace artifact");
+        eprintln!("wrote {path}");
+    }
+    if counters_flag() {
+        println!("{}", simtrace::render_summary());
     }
 }
 

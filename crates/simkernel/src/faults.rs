@@ -343,6 +343,14 @@ fn path_hit(salt: u64, path: &str) -> bool {
         .is_multiple_of(3)
 }
 
+/// Whether `path` is a hardware-sensor channel (a RAPL `energy_uj`
+/// counter or a coretemp/thermal temperature input) — the paths sensor
+/// dropout windows turn into `EIO` reads. Public so fault observers can
+/// classify an injected `EIO` as sensor dropout vs. a plain fs fault.
+pub fn is_sensor_path(path: &str) -> bool {
+    sensor_class(path).is_some()
+}
+
 fn sensor_class(path: &str) -> Option<SensorClass> {
     if path.starts_with("/sys/class/powercap/") && path.ends_with("/energy_uj") {
         return Some(SensorClass::Energy);

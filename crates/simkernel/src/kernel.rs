@@ -22,6 +22,7 @@ use crate::sched::{SchedScratch, Scheduler, TickReport};
 use crate::syscost::SysCosts;
 use crate::time::{Clock, NANOS_PER_SEC};
 use crate::timers::TimerList;
+use simtrace::TraceEvent;
 use workloads::{PhaseCursor, WorkloadSpec};
 
 /// Default simulation tick: 1 s (coarse enough for week-long traces, fine
@@ -149,6 +150,9 @@ pub struct Kernel {
     reboots: u32,
     coalesce: bool,
     idle_anchor: Option<IdleAnchor>,
+    /// Trace-event buffer; `Some` only when tracing is enabled and this
+    /// kernel was built inside a `simtrace::scope`.
+    tracer: Option<simtrace::KernelTracer>,
 }
 
 /// A snapshot of the subsystem state at the instant a quiescent span
@@ -236,6 +240,7 @@ impl Kernel {
             reboots: 0,
             coalesce: coalescing_default(),
             idle_anchor: None,
+            tracer: simtrace::tracer_for_new_kernel(),
             seed,
             cfg,
             rng,
@@ -366,6 +371,12 @@ impl Kernel {
     pub fn total_idle_ns(&self) -> u64 {
         self.sched.cpu_stats().iter().map(|c| c.idle_ns).sum()
     }
+    /// This kernel's trace-event buffer, when tracing is active and the
+    /// kernel was built inside a [`simtrace::scope`]. Consumers above the
+    /// kernel (pseudo-fs, monitors) emit their events through this.
+    pub fn tracer(&self) -> Option<&simtrace::KernelTracer> {
+        self.tracer.as_ref()
+    }
 
     // ------------------------------------------------------------------
     // Fault injection
@@ -375,6 +386,15 @@ impl Kernel {
     /// current lifetime instant becomes the plan's time origin.
     pub fn install_faults(&mut self, plan: FaultPlan) {
         self.idle_anchor = None;
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                self.lifetime_ns,
+                TraceEvent::FaultsInstalled {
+                    reboots: plan.reboot_count() as u32,
+                },
+            );
+        }
+        simtrace::counters::add("faults.plans_installed", 1);
         self.faults = Some(InstalledFaults {
             base_ns: self.lifetime_ns,
             plan,
@@ -458,16 +478,63 @@ impl Kernel {
     /// idle-anchor spans — one span per event horizon when coalescing
     /// is on, one per tick quantum when off, with identical results.
     pub fn advance(&mut self, mut dt_ns: u64) {
+        // Tick-shape accounting is accumulated locally (cheap u64 adds)
+        // and published in one batch after the loop, so tracing costs a
+        // single `enabled()` check per advance call, not per tick.
+        let mut run_ns = 0u64;
+        let mut run_ticks = 0u64;
+        let mut switches = 0u64;
+        let mut idle_ns = 0u64;
+        let mut spans = 0u64;
+        let mut stepped = 0u64;
         while dt_ns > 0 {
             if self.procs.runnable() == 0 {
                 let step = self.quiescent_step_size(dt_ns, self.coalesce);
+                if step > self.tick_ns {
+                    // A multi-tick jump to the event horizon; exists only
+                    // with coalescing on, so both the count and the event
+                    // are mode-exempt.
+                    spans += 1;
+                    if let Some(tr) = &self.tracer {
+                        tr.emit(
+                            self.lifetime_ns,
+                            TraceEvent::CoalescedSpan {
+                                from_ns: self.lifetime_ns,
+                                to_ns: self.lifetime_ns + step,
+                            },
+                        );
+                    }
+                } else {
+                    stepped += 1;
+                }
                 self.quiescent_step(step);
+                idle_ns += step;
                 dt_ns -= step;
             } else {
                 self.idle_anchor = None;
                 let step = dt_ns.min(self.tick_ns);
                 self.tick_once(step);
+                run_ns += step;
+                run_ticks += 1;
+                switches += self.scratch.report.switches;
                 dt_ns -= step;
+            }
+        }
+        if simtrace::enabled() {
+            if run_ticks > 0 {
+                simtrace::counters::add("kernel.run_ticks", run_ticks);
+                simtrace::counters::add("sched.switches", switches);
+                simtrace::profile::record("run", run_ns, switches);
+            }
+            if idle_ns > 0 {
+                simtrace::counters::add("kernel.quiescent_ns", idle_ns);
+                simtrace::profile::record("idle", idle_ns, 0);
+            }
+            if spans > 0 {
+                simtrace::counters::add_exempt("kernel.quiescent_spans", spans);
+            }
+            if stepped > 0 {
+                simtrace::counters::add_exempt("kernel.quiescent_stepped_ticks", stepped);
             }
         }
     }
@@ -498,6 +565,11 @@ impl Kernel {
             let step = self.quiescent_step_size(remaining, true);
             self.quiescent_step(step);
             remaining -= step;
+        }
+        if simtrace::enabled() && secs > 0 {
+            // Pre-experiment uptime; always coalesced, so mode-invariant.
+            simtrace::counters::add("kernel.fastforward_ns", secs * NANOS_PER_SEC);
+            simtrace::profile::record("idle", secs * NANOS_PER_SEC, 0);
         }
     }
 
@@ -695,6 +767,11 @@ impl Kernel {
         self.fs.rotate_boot_id(&mut self.rng);
         self.hw.reset_monotone_counters();
         self.reboots += 1;
+        if let Some(tr) = &self.tracer {
+            tr.emit(self.lifetime_ns, TraceEvent::Reboot { boot: self.reboots });
+        }
+        simtrace::counters::add("faults.reboots", 1);
+        simtrace::profile::record("reboot", DOWNTIME_SECS * NANOS_PER_SEC, 1);
     }
 
     // ------------------------------------------------------------------
@@ -734,6 +811,16 @@ impl Kernel {
         self.idle_anchor = None;
         let host_pid = self.procs.allocate_pid();
         let ns_pid = self.ns.allocate_pid(ns.pid, host_pid)?;
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                self.lifetime_ns,
+                TraceEvent::SchedSpawn {
+                    pid: host_pid.0,
+                    comm: spec.name.clone(),
+                },
+            );
+        }
+        simtrace::counters::add("sched.spawns", 1);
         self.timers
             .arm_sched_timer(host_pid, &spec.name, self.clock.since_boot_ns());
         self.procs.insert(Process {
@@ -789,6 +876,10 @@ impl Kernel {
         self.idle_anchor = None;
         if let Some(p) = self.procs.remove(pid) {
             self.ns.release_pid(p.ns.pid, pid);
+            if let Some(tr) = &self.tracer {
+                tr.emit(self.lifetime_ns, TraceEvent::SchedExit { pid: pid.0 });
+            }
+            simtrace::counters::add("sched.exits", 1);
         }
         self.fs.drop_locks_of(pid);
         self.timers.drop_timers_of(pid);
@@ -825,6 +916,10 @@ impl Kernel {
         match self.procs.get_mut(pid) {
             Some(p) => {
                 p.state = ProcState::Sleeping;
+                if let Some(tr) = &self.tracer {
+                    tr.emit(self.lifetime_ns, TraceEvent::SchedPause { pid: pid.0 });
+                }
+                simtrace::counters::add("sched.pauses", 1);
                 Ok(())
             }
             None => Err(KernelError::NoSuchProcess(pid)),
@@ -842,6 +937,10 @@ impl Kernel {
             Some(p) => {
                 if p.state == ProcState::Sleeping {
                     p.state = ProcState::Runnable;
+                    if let Some(tr) = &self.tracer {
+                        tr.emit(self.lifetime_ns, TraceEvent::SchedResume { pid: pid.0 });
+                    }
+                    simtrace::counters::add("sched.resumes", 1);
                 }
                 Ok(())
             }
@@ -992,6 +1091,15 @@ impl Kernel {
             return Err(KernelError::NoSuchProcess(pid));
         }
         self.idle_anchor = None;
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                self.lifetime_ns,
+                TraceEvent::TimerArmed {
+                    pid: pid.0,
+                    comm: comm.to_string(),
+                },
+            );
+        }
         self.timers
             .arm_user_timer(pid, comm, self.clock.since_boot_ns(), interval_ns.max(1));
         Ok(())

@@ -65,7 +65,7 @@ pub mod timers;
 pub use cgroup::{CgroupForest, CgroupId, CgroupKind};
 pub use config::MachineConfig;
 pub use error::KernelError;
-pub use faults::{FaultPlan, FsFaultKind, SensorFaultKind};
+pub use faults::{is_sensor_path, FaultPlan, FsFaultKind, SensorFaultKind};
 pub use hw::{PowerModelParams, PowerSnapshot, RaplDomains};
 pub use kernel::{coalescing_default, set_coalescing_default, Kernel};
 pub use ns::{NamespaceKind, NamespaceSet, NsId};

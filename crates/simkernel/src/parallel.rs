@@ -34,29 +34,40 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// spin keeps the steady-state path hot while still parking idle workers.
 const SPIN_ROUNDS: u32 = 4096;
 
+/// How many spin rounds a receive should use for the given machine
+/// parallelism. Spinning only helps when another core can make progress
+/// while this thread polls; on a single-core machine the spin burns the
+/// very quantum the producer needs (and makes wall time a scheduler
+/// lottery), so there the poll falls straight through to the blocking
+/// receive.
+fn spin_rounds_for(parallelism: usize) -> u32 {
+    if parallelism > 1 {
+        SPIN_ROUNDS
+    } else {
+        0
+    }
+}
+
 /// Busy-polls `rx` for a bounded number of rounds, then blocks. Returns
 /// `None` when every sender is gone.
-///
-/// Spinning only helps when another core can make progress while this
-/// thread polls; on a single-core machine the spin burns the very
-/// quantum the producer needs (and makes wall time a scheduler lottery),
-/// so there the poll falls straight through to the blocking receive.
 fn recv_spin<T>(rx: &Receiver<T>) -> Option<T> {
-    if default_threads() > 1 {
-        for round in 0..SPIN_ROUNDS {
-            match rx.try_recv() {
-                Ok(v) => return Some(v),
-                Err(TryRecvError::Empty) => {
-                    // Yield periodically so an oversubscribed machine
-                    // (more workers than CPUs) lets the producer run.
-                    if round % 64 == 63 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
+    recv_spin_rounds(rx, spin_rounds_for(default_threads()))
+}
+
+fn recv_spin_rounds<T>(rx: &Receiver<T>, rounds: u32) -> Option<T> {
+    for round in 0..rounds {
+        match rx.try_recv() {
+            Ok(v) => return Some(v),
+            Err(TryRecvError::Empty) => {
+                // Yield periodically so an oversubscribed machine
+                // (more workers than CPUs) lets the producer run.
+                if round % 64 == 63 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
                 }
-                Err(TryRecvError::Disconnected) => return None,
             }
+            Err(TryRecvError::Disconnected) => return None,
         }
     }
     rx.recv().ok()
@@ -76,6 +87,20 @@ pub fn default_threads() -> usize {
 
 type Job = Box<dyn FnOnce() + Send>;
 
+/// The persistent worker pool; grows monotonically to the largest worker
+/// count ever requested and is never torn down.
+static POOL: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
+
+/// Number of persistent pool workers spawned so far. Grows monotonically
+/// with the largest fan-out ever requested (the caller's thread is not
+/// counted: a `--jobs 4` run keeps 3 workers).
+pub fn pool_len() -> usize {
+    match POOL.lock() {
+        Ok(guard) => guard.len(),
+        Err(poisoned) => poisoned.into_inner().len(),
+    }
+}
+
 thread_local! {
     /// Set once on pool threads; nested fan-outs from a worker run serial
     /// inline instead of queueing onto the (busy) pool.
@@ -89,7 +114,6 @@ thread_local! {
 /// compare a serial run against itself. Returns fewer than `n` senders
 /// only when thread spawning fails.
 fn pool_senders(n: usize) -> Vec<Sender<Job>> {
-    static POOL: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
     let mut pool = match POOL.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
@@ -106,6 +130,7 @@ fn pool_senders(n: usize) -> Vec<Sender<Job>> {
                 }
             });
         if spawned.is_ok() {
+            simtrace::counters::add_exec("pool.workers_spawned", 1);
             pool.push(tx);
         } else {
             break;
@@ -152,6 +177,9 @@ where
         }
         return;
     }
+
+    simtrace::counters::add_exec("pool.fanouts", 1);
+    simtrace::counters::add_exec("pool.batches", workers as u64);
 
     let n = items.len();
     let mut batches: Vec<Vec<(usize, T)>> = (0..workers)
@@ -285,6 +313,54 @@ mod tests {
             par_for_each_mut_threads(inner, 4, |x| *x += 1);
         });
         assert!(outer.iter().flatten().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn pool_grows_to_largest_requested_jobs() {
+        let mut items = vec![0u32; 12];
+        par_for_each_mut_threads(&mut items, 3, |x| *x += 1);
+        // 3 lanes = caller + 2 workers.
+        let after_three = pool_len();
+        assert!(after_three >= 2, "pool holds {after_three} after --jobs 3");
+        par_for_each_mut_threads(&mut items, 6, |x| *x += 1);
+        let after_six = pool_len();
+        assert!(after_six >= 5, "pool holds {after_six} after --jobs 6");
+        // Shrinking the request never shrinks the pool.
+        par_for_each_mut_threads(&mut items, 2, |x| *x += 1);
+        assert!(pool_len() >= after_six, "pool must grow monotonically");
+    }
+
+    #[test]
+    fn single_core_machines_skip_the_spin() {
+        assert_eq!(spin_rounds_for(1), 0);
+        assert_eq!(spin_rounds_for(0), 0);
+        assert_eq!(spin_rounds_for(2), SPIN_ROUNDS);
+        assert_eq!(spin_rounds_for(64), SPIN_ROUNDS);
+        // With zero rounds the receive must fall straight through to the
+        // blocking path and still deliver queued values and disconnects.
+        let (tx, rx) = channel::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(recv_spin_rounds(&rx, 0), Some(7));
+        drop(tx);
+        assert_eq!(recv_spin_rounds(&rx, 0), None);
+        let (tx, rx) = channel::<u32>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(recv_spin_rounds(&rx, SPIN_ROUNDS), Some(9));
+        assert_eq!(recv_spin_rounds(&rx, SPIN_ROUNDS), None);
+    }
+
+    #[test]
+    fn jobs_one_runs_every_element_on_the_caller() {
+        let caller = std::thread::current().id();
+        let mut seen: Vec<std::thread::ThreadId> = (0..6).map(|_| caller).collect();
+        par_for_each_mut_threads(&mut seen, 1, |slot| {
+            *slot = std::thread::current().id();
+        });
+        assert!(
+            seen.iter().all(|&id| id == caller),
+            "--jobs 1 must bypass the pool entirely"
+        );
     }
 
     #[test]

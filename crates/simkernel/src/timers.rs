@@ -43,6 +43,7 @@ impl TimerList {
 
     /// Arms the per-task scheduler tick timer every process carries.
     pub fn arm_sched_timer(&mut self, pid: HostPid, comm: &str, now_ns: u64) {
+        simtrace::counters::add("timers.sched_armed", 1);
         self.timers.push(KernelTimer {
             pid,
             comm: comm.to_string(),
@@ -55,12 +56,27 @@ impl TimerList {
     /// Arms a user-created timer (the manipulation primitive: `comm` is
     /// fully attacker-controlled).
     pub fn arm_user_timer(&mut self, pid: HostPid, comm: &str, now_ns: u64, interval_ns: u64) {
+        simtrace::counters::add("timers.user_armed", 1);
         self.timers.push(KernelTimer {
             pid,
             comm: comm.to_string(),
             expires_ns: now_ns + interval_ns,
             function: "hrtimer_wakeup",
             period_ns: interval_ns,
+        });
+    }
+
+    /// Arms a one-shot timer expiring at `expires_ns`. One-shots are the
+    /// timers that genuinely constrain coalescing (see
+    /// [`TimerList::next_event_after`]), so tests drive this directly.
+    pub fn arm_oneshot(&mut self, pid: HostPid, comm: &str, expires_ns: u64) {
+        simtrace::counters::add("timers.oneshot_armed", 1);
+        self.timers.push(KernelTimer {
+            pid,
+            comm: comm.to_string(),
+            expires_ns,
+            function: "hrtimer_wakeup",
+            period_ns: 0,
         });
     }
 
@@ -181,6 +197,16 @@ mod tests {
             Some(5 * NANOS_PER_SEC)
         );
         assert_eq!(tl.next_event_after(5 * NANOS_PER_SEC), None);
+    }
+
+    #[test]
+    fn oneshot_arms_without_a_period_and_never_rearms() {
+        let mut tl = TimerList::new();
+        tl.arm_oneshot(HostPid(1), "alarm", 3 * NANOS_PER_SEC);
+        assert_eq!(tl.next_event_after(0), Some(3 * NANOS_PER_SEC));
+        tl.refresh(10 * NANOS_PER_SEC);
+        assert_eq!(tl.next_event_after(3 * NANOS_PER_SEC), None);
+        assert_eq!(tl.timers()[0].expires_ns, 3 * NANOS_PER_SEC);
     }
 
     #[test]

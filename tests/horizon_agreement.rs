@@ -1,0 +1,180 @@
+//! Property tests: the event-horizon oracles (`timers::next_event_after`,
+//! `faults::next_event_after`) agree with a naive per-tick scan.
+//!
+//! The quiescent-span coalescing machinery trusts these oracles
+//! completely: a kernel jumps straight to the reported horizon on the
+//! promise that nothing observable changes strictly before it. These
+//! properties check that promise two ways over seeded schedules:
+//!
+//! 1. *soundness* — every fault query is constant at sampled instants
+//!    strictly between `rel` and the reported next event;
+//! 2. *completeness* — whenever a naive tick-by-tick scan observes a
+//!    query change across a tick, the oracle reports an event inside
+//!    that tick.
+
+use proptest::prelude::*;
+
+use containerleaks::simkernel::timers::TimerList;
+use containerleaks::simkernel::{FaultPlan, HostPid, NANOS_PER_SEC};
+
+/// Probe paths spanning every class the plan can affect: a plain file,
+/// an energy counter, a temperature sensor, and the skewed uptime.
+const PROBES: [&str; 5] = [
+    "/proc/stat",
+    "/proc/meminfo",
+    "/sys/class/powercap/intel-rapl:0/energy_uj",
+    "/sys/devices/platform/coretemp.0/hwmon/hwmon0/temp1_input",
+    "/sys/class/thermal/thermal_zone0/temp",
+];
+
+/// Everything a kernel can observe about the plan at one instant.
+fn fingerprint(plan: &FaultPlan, rel_ns: u64) -> Vec<String> {
+    let mut fp: Vec<String> = PROBES
+        .iter()
+        .map(|p| {
+            format!(
+                "{:?}/{:?}",
+                plan.fs_fault(rel_ns, p),
+                plan.sensor_transform(rel_ns, p)
+            )
+        })
+        .collect();
+    fp.push(plan.clock_skew_ns(rel_ns).to_string());
+    fp
+}
+
+/// A seeded plan with a little of everything.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (0u64..u64::MAX, 0usize..5, 0usize..5, 0usize..3, 0usize..3).prop_map(
+        |(seed, reads, sensors, skews, reboots)| {
+            FaultPlan::builder(seed)
+                .horizon_secs(120)
+                .transient_reads(reads)
+                .sensor_faults(sensors)
+                .clock_skew(skews)
+                .reboots(reboots)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness: no fault query changes strictly before the reported
+    /// next event, so a coalesced jump to it loses nothing.
+    #[test]
+    fn fault_queries_constant_until_the_reported_event(
+        plan in arb_plan(),
+        rel_frac in 0.0f64..1.0,
+        sample_fracs in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let horizon = 120 * NANOS_PER_SEC;
+        let rel = (rel_frac * horizon as f64) as u64;
+        // Sample inside (rel, next); with no next event, inside
+        // (rel, horizon] — constancy must hold either way.
+        let end = plan.next_event_after(rel).unwrap_or(horizon.max(rel + 1));
+        let base = fingerprint(&plan, rel);
+        for f in sample_fracs {
+            let span = end - rel;
+            if span <= 1 { continue; }
+            let t = rel + 1 + (f * (span - 1) as f64) as u64;
+            let t = t.min(end - 1);
+            prop_assert_eq!(&fingerprint(&plan, t), &base, "query changed at {} < next {}", t, end);
+            prop_assert!(
+                !plan.reboot_in(rel, t),
+                "reboot inside (rel, {t}] before reported event {end}"
+            );
+        }
+    }
+
+    /// Completeness against the naive scan: walk the horizon tick by
+    /// tick; wherever the fingerprint differs across a tick, the oracle
+    /// must place an event inside that tick.
+    #[test]
+    fn naive_tick_scan_never_sees_an_unannounced_change(
+        plan in arb_plan(),
+        tick_ms in 50u64..500,
+    ) {
+        let tick = tick_ms * 1_000_000;
+        let horizon = 121 * NANOS_PER_SEC;
+        let mut prev = 0u64;
+        let mut prev_fp = fingerprint(&plan, 0);
+        let mut t = tick;
+        while t <= horizon {
+            let fp = fingerprint(&plan, t);
+            if fp != prev_fp || plan.reboot_in(prev, t) {
+                let next = plan.next_event_after(prev);
+                prop_assert!(
+                    matches!(next, Some(e) if prev < e && e <= t),
+                    "change in ({prev}, {t}] but next_event_after({prev}) = {next:?}"
+                );
+            }
+            prev = t;
+            prev_fp = fp;
+            t += tick;
+        }
+    }
+
+    /// The timer oracle against a naive per-tick scan of the public
+    /// timer dump: the first tick containing a pending one-shot expiry
+    /// is exactly the tick the oracle points into, and periodic timers
+    /// (which re-arm phase-preservingly) never register.
+    #[test]
+    fn timer_oracle_matches_naive_scan(
+        oneshot_fracs in proptest::collection::vec(0.0f64..1.0, 0..6),
+        periodic_ms in proptest::collection::vec(1u64..5_000, 0..4),
+        now_frac in 0.0f64..1.0,
+        tick_ms in 50u64..500,
+    ) {
+        let horizon = 60 * NANOS_PER_SEC;
+        let mut tl = TimerList::new();
+        for (i, f) in oneshot_fracs.iter().enumerate() {
+            tl.arm_oneshot(
+                HostPid(100 + i as u32),
+                "alarm",
+                (f * horizon as f64) as u64,
+            );
+        }
+        for (i, ms) in periodic_ms.iter().enumerate() {
+            tl.arm_user_timer(HostPid(200 + i as u32), "tick", 0, ms * 1_000_000);
+        }
+        let now = (now_frac * horizon as f64) as u64;
+        let next = tl.next_event_after(now);
+
+        // Naive scan: step tick by tick, reading the public dump for a
+        // one-shot expiry inside each tick.
+        let tick = tick_ms * 1_000_000;
+        let mut naive = None;
+        let mut lo = now;
+        'scan: while lo < horizon + tick {
+            let hi = lo + tick;
+            for timer in tl.timers() {
+                if timer.period_ns == 0 && lo < timer.expires_ns && timer.expires_ns <= hi {
+                    naive = Some(timer.expires_ns);
+                    break 'scan;
+                }
+            }
+            lo = hi;
+        }
+        // The dump is unordered within a tick; take the true minimum.
+        if let Some(n) = naive {
+            let hi = ((n - now - 1) / tick + 1) * tick + now;
+            let min_in_tick = tl
+                .timers()
+                .iter()
+                .filter(|t| t.period_ns == 0 && now < t.expires_ns && t.expires_ns <= hi)
+                .map(|t| t.expires_ns)
+                .min();
+            prop_assert_eq!(next, min_in_tick);
+        } else {
+            prop_assert_eq!(next, None, "oracle invented an event the scan never found");
+        }
+
+        // refresh() re-arms only periodic timers and must not move the
+        // coalescing horizon.
+        let mut refreshed = tl.clone();
+        refreshed.refresh(now);
+        prop_assert_eq!(refreshed.next_event_after(now), next);
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden-trace snapshot: a small seeded faulted run must render a
+//! byte-identical JSONL trace, release after release.
+//!
+//! The committed snapshot is the determinism contract made concrete —
+//! any change to event ordering, field layout, counter taxonomy, or the
+//! underlying simulation's event stream shows up as a diff against
+//! `tests/golden/trace_fig4_small.jsonl` and has to be reviewed, not
+//! discovered in production traces. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test --test trace_golden`.
+//!
+//! Own integration-test binary: `simtrace::install` is once-per-process
+//! and the rendered artifact embeds the process-global counter and
+//! profile stores, so nothing else may trace in this process.
+
+use std::sync::Arc;
+
+use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
+use containerleaks::powersim::RaplMonitor;
+use containerleaks::simkernel::FaultPlan;
+use containerleaks::simtrace;
+
+const GOLDEN_PATH: &str = "tests/golden/trace_fig4_small.jsonl";
+const SEED: u64 = 424;
+
+/// A fig4-sized scenario: one host, an observer and a victim, a short
+/// fault plan with a mid-run crash-reboot, RAPL monitoring, and a probe
+/// sweep every five simulated seconds — small enough to commit, rich
+/// enough to cover every event kind the cloud stack emits.
+fn run_scenario() {
+    let _scope = simtrace::scope("golden/fig4");
+    let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(1), SEED);
+    let observer = cloud
+        .launch("spy", InstanceSpec::new("obs").vcpus(1))
+        .expect("launch observer");
+    let victim = cloud
+        .launch("victim", InstanceSpec::new("v"))
+        .expect("launch victim");
+    cloud.advance_secs(2);
+    cloud.install_faults(
+        &FaultPlan::builder(SEED)
+            .horizon_secs(60)
+            .transient_reads(3)
+            .sensor_faults(3)
+            .clock_skew(1)
+            .reboot_at_secs(30)
+            .build(),
+    );
+    let mut mon = RaplMonitor::new();
+    for t in 0..60u64 {
+        cloud.advance_secs(1);
+        let _ = mon.sample_watts(&cloud, observer, t as f64);
+        if t % 5 == 0 {
+            for path in [
+                "/proc/stat",
+                "/proc/uptime",
+                "/sys/class/thermal/thermal_zone0/temp",
+            ] {
+                let _ = cloud.read_file(observer, path);
+            }
+        }
+    }
+    cloud.terminate(victim).expect("terminate victim");
+    cloud.advance_secs(2);
+    // Dropping the cloud flushes every kernel's buffer to the sink.
+}
+
+#[test]
+fn small_seeded_trace_matches_the_committed_golden_file() {
+    let sink = Arc::new(simtrace::MemorySink::new());
+    simtrace::install(Arc::clone(&sink) as Arc<dyn simtrace::TraceSink>);
+
+    run_scenario();
+    let rendered = simtrace::render_jsonl(SEED, &sink.drain());
+    assert!(
+        rendered.lines().count() > 50,
+        "scenario too quiet to be a meaningful snapshot"
+    );
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert!(
+        rendered == golden,
+        "trace diverged from the golden snapshot ({} vs {} lines). \
+         If the change is intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test trace_golden",
+        rendered.lines().count(),
+        golden.lines().count()
+    );
+}
