@@ -1,10 +1,31 @@
 #!/usr/bin/env bash
 # Full local gate: build, tests, lints, formatting, the determinism
 # regressions for the parallel experiment runner (--jobs 1 vs --jobs 4,
-# and event-horizon coalescing on vs off, must produce byte-identical
-# EXPERIMENTS.md / .json artifacts), and the bench medians gate.
+# event-horizon coalescing on vs off, and render caching on vs off must
+# all produce byte-identical EXPERIMENTS.md / .json artifacts), and the
+# bench medians gate.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Byte compare that fails loudly: on divergence, print a bounded unified
+# diff before exiting non-zero (a bare `cmp` offset helps nobody).
+same() {
+    if ! cmp -s "$1" "$2"; then
+        echo "ci: FAIL — $1 and $2 differ:" >&2
+        diff -u "$1" "$2" | head -40 >&2 || true
+        return 1
+    fi
+}
+
+# The committed snapshots the gates below anchor on. A missing file must
+# be a loud failure up front, not a confusing mid-run error.
+for snap in BENCH_pipelines.json leakcheck.json tests/golden/trace_fig4_small.jsonl; do
+    if [ ! -f "$snap" ]; then
+        echo "ci: FAIL — committed snapshot $snap is missing; the gate it" >&2
+        echo "    anchors cannot run (see its regeneration note in README.md)" >&2
+        exit 1
+    fi
+done
 
 echo "== build (release) =="
 cargo build --offline --release --workspace
@@ -36,24 +57,24 @@ cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
     --jobs 1 --out "$tmp/j1.md" --trace "$tmp/j1.trace" >/dev/null
 cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
     --jobs 4 --out "$tmp/j4.md" --trace "$tmp/j4.trace" >/dev/null
-cmp "$tmp/j1.md" "$tmp/j4.md"
-cmp "$tmp/j1.json" "$tmp/j4.json"
+same "$tmp/j1.md" "$tmp/j4.md"
+same "$tmp/j1.json" "$tmp/j4.json"
 # The trace is compared raw: exec-dependent counters never enter the
 # artifact, so the byte-compare needs no filtering across job counts.
-cmp "$tmp/j1.trace" "$tmp/j4.trace"
+same "$tmp/j1.trace" "$tmp/j4.trace"
 echo "byte-identical across job counts (trace included)"
 
 echo "== determinism: coalescing on (--jobs 1) vs off (--jobs 4) =="
 cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
     --jobs 4 --coalesce off --out "$tmp/c0.md" --trace "$tmp/c0.trace" >/dev/null
-cmp "$tmp/j1.md" "$tmp/c0.md"
-cmp "$tmp/j1.json" "$tmp/c0.json"
+same "$tmp/j1.md" "$tmp/c0.md"
+same "$tmp/j1.json" "$tmp/c0.json"
 # Coalescing legitimately reshapes quiescent ticks into spans; those
 # lines carry the documented mode-exempt tag. Everything else must be
 # byte-identical across the two modes.
 grep -v '"group":"mode-exempt"' "$tmp/j1.trace" > "$tmp/j1.trace.portable"
 grep -v '"group":"mode-exempt"' "$tmp/c0.trace" > "$tmp/c0.trace.portable"
-cmp "$tmp/j1.trace.portable" "$tmp/c0.trace.portable"
+same "$tmp/j1.trace.portable" "$tmp/c0.trace.portable"
 echo "byte-identical with coalescing disabled (trace modulo mode-exempt)"
 
 echo "== determinism under faults: fault_matrix --jobs 1 vs --jobs 4 =="
@@ -61,20 +82,43 @@ cargo run --offline --release -q -p containerleaks-experiments --bin fault_matri
     --jobs 1 --out "$tmp/f1.md" --trace "$tmp/f1.trace" >/dev/null
 cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
     --jobs 4 --out "$tmp/f4.md" --trace "$tmp/f4.trace" >/dev/null
-cmp "$tmp/f1.md" "$tmp/f4.md"
-cmp "$tmp/f1.json" "$tmp/f4.json"
-cmp "$tmp/f1.trace" "$tmp/f4.trace"
+same "$tmp/f1.md" "$tmp/f4.md"
+same "$tmp/f1.json" "$tmp/f4.json"
+same "$tmp/f1.trace" "$tmp/f4.trace"
 echo "byte-identical across job counts with faults active (trace included)"
 
 echo "== determinism under faults: coalescing on vs off =="
 cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
     --jobs 4 --coalesce off --out "$tmp/fc0.md" --trace "$tmp/fc0.trace" >/dev/null
-cmp "$tmp/f1.md" "$tmp/fc0.md"
-cmp "$tmp/f1.json" "$tmp/fc0.json"
+same "$tmp/f1.md" "$tmp/fc0.md"
+same "$tmp/f1.json" "$tmp/fc0.json"
 grep -v '"group":"mode-exempt"' "$tmp/f1.trace" > "$tmp/f1.trace.portable"
 grep -v '"group":"mode-exempt"' "$tmp/fc0.trace" > "$tmp/fc0.trace.portable"
-cmp "$tmp/f1.trace.portable" "$tmp/fc0.trace.portable"
+same "$tmp/f1.trace.portable" "$tmp/fc0.trace.portable"
 echo "byte-identical with coalescing disabled and faults active (trace modulo mode-exempt)"
+
+echo "== determinism: render caching on vs off =="
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --jobs 4 --render-cache off --out "$tmp/r0.md" --trace "$tmp/r0.trace" >/dev/null
+same "$tmp/j1.md" "$tmp/r0.md"
+same "$tmp/j1.json" "$tmp/r0.json"
+# Cache-occupancy counters exist only while caching is on; every other
+# trace line — the per-channel read counters included — must match byte
+# for byte, proving the cache never changes *what* gets read.
+grep -v '"name":"pseudofs.cache_' "$tmp/j1.trace" > "$tmp/j1.trace.nocache"
+grep -v '"name":"pseudofs.cache_' "$tmp/r0.trace" > "$tmp/r0.trace.nocache"
+same "$tmp/j1.trace.nocache" "$tmp/r0.trace.nocache"
+echo "byte-identical with render caching disabled (trace modulo cache occupancy)"
+
+echo "== determinism under faults: render caching on vs off =="
+cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
+    --jobs 4 --render-cache off --out "$tmp/fr0.md" --trace "$tmp/fr0.trace" >/dev/null
+same "$tmp/f1.md" "$tmp/fr0.md"
+same "$tmp/f1.json" "$tmp/fr0.json"
+grep -v '"name":"pseudofs.cache_' "$tmp/f1.trace" > "$tmp/f1.trace.nocache"
+grep -v '"name":"pseudofs.cache_' "$tmp/fr0.trace" > "$tmp/fr0.trace.nocache"
+same "$tmp/f1.trace.nocache" "$tmp/fr0.trace.nocache"
+echo "byte-identical with render caching disabled and faults active (trace modulo cache occupancy)"
 
 echo "== bench medians vs committed baseline =="
 ./scripts/bench_compare.sh

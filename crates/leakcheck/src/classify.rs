@@ -95,6 +95,12 @@ pub struct Facts {
     pub neutral: BTreeSet<String>,
     /// Masking-policy consultations.
     pub mask_markers: BTreeSet<String>,
+    /// Every kernel accessor the function touches, with no gating filter
+    /// applied and propagated through local calls unconditionally. The
+    /// blindness verdict never consults this set; it feeds the
+    /// cache-coherence lint, which must see context-gated reads too — a
+    /// gated read still makes rendered bytes depend on that subsystem.
+    pub kernel_reads: BTreeSet<String>,
 }
 
 impl Facts {
@@ -182,6 +188,9 @@ pub fn analyze_module(src: &str) -> BTreeMap<String, FnAnalysis> {
                 for m in &cf.mask_markers {
                     changed |= me.mask_markers.insert(m.clone());
                 }
+                for r in &cf.kernel_reads {
+                    changed |= me.kernel_reads.insert(r.clone());
+                }
             }
         }
         if !changed {
@@ -219,6 +228,7 @@ fn analyze_fn(def: &FnDef, local_fns: &BTreeSet<String>) -> (Facts, Vec<LocalCal
             && body.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident);
         if !kernel.is_empty() && t.text == kernel && dot_access {
             let accessor = body[i + 2].text.as_str();
+            facts.kernel_reads.insert(format!("k.{accessor}()"));
             if NS_AWARE.contains(&accessor) {
                 if !in_any(&mask_spans, i) {
                     facts.ns_markers.insert(format!("k.{accessor}()"));
@@ -475,6 +485,27 @@ mod tests {
             }
         ";
         assert_eq!(verdict_of(src, "self_status"), Verdict::ViewRouted);
+    }
+
+    #[test]
+    fn kernel_reads_sees_gated_reads_and_propagates() {
+        // `k.mem()` is context-gated (excluded from `globals`) and
+        // `k.clock()` sits in a helper; both must reach `kernel_reads`.
+        let src = "
+            fn stamp(k: &Kernel, _view: &View) -> u64 { k.clock().now_ns() }
+            pub fn meminfo(k: &Kernel, view: &View) -> String {
+                let t = stamp(k, view);
+                match view.context {
+                    Context::Host => k.mem().total().to_string(),
+                    Context::Container { .. } => t.to_string(),
+                }
+            }
+        ";
+        let m = analyze_module(src);
+        assert_eq!(m["meminfo"].verdict, Verdict::ViewRouted);
+        let reads = &m["meminfo"].facts.kernel_reads;
+        assert!(reads.contains("k.mem()"), "{reads:?}");
+        assert!(reads.contains("k.clock()"), "{reads:?}");
     }
 
     #[test]

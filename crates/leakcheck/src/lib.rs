@@ -92,11 +92,12 @@ pub fn audit_at(root: &Path) -> Result<Report, String> {
 
     let mut channels = Vec::new();
     for r in pseudofs::ROUTES {
-        channels.push(channel_report(&modules, r.pattern, r.handler)?);
+        channels.push(channel_report(&modules, r)?);
     }
 
     let fs_src = read(&root.join("crates/pseudofs/src/fs.rs"))?;
     cross_check(&fs_src, &modules)?;
+    check_dep_coverage(&modules)?;
 
     let mut hazards = Vec::new();
     for c in LINTED_CRATES {
@@ -119,32 +120,110 @@ pub fn audit_at(root: &Path) -> Result<Report, String> {
     Ok(Report { channels, hazards })
 }
 
-/// Resolves `module::function` to its analysis and builds the row.
+/// Resolves the route's handler to its analysis and builds the row,
+/// including the declared dirty-epoch dependencies and the kernel reads
+/// (handler plus fast path) the cache-coherence lint checks them against.
 fn channel_report(
     modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
-    pattern: &str,
-    handler: &str,
+    route: &pseudofs::Route,
 ) -> Result<ChannelReport, String> {
-    let (m, f) = handler
-        .split_once("::")
-        .ok_or_else(|| format!("handler `{handler}` is not module::function"))?;
-    let analysis = modules
-        .get(m)
-        .and_then(|fns| fns.get(f))
-        .ok_or_else(|| format!("handler `{handler}` not found in render sources"))?;
-    Ok(ChannelReport::new(pattern, handler, analysis))
+    let analysis = lookup(modules, route.handler)?;
+    let deps = (0..simkernel::dep::COUNT)
+        .filter(|i| route.deps & (1 << i) != 0)
+        .map(|i| simkernel::dep::name(1 << i).to_string())
+        .collect();
+    Ok(ChannelReport::new(
+        route.pattern,
+        route.handler,
+        analysis,
+        deps,
+        route_kernel_reads(modules, route)?,
+    ))
+}
+
+/// Kernel reads of a route's handler and fast path, unioned and sorted.
+fn route_kernel_reads(
+    modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
+    route: &pseudofs::Route,
+) -> Result<Vec<String>, String> {
+    let mut reads = lookup(modules, route.handler)?.facts.kernel_reads.clone();
+    if let Some(into) = route.fast_into {
+        reads.extend(lookup(modules, into)?.facts.kernel_reads.iter().cloned());
+    }
+    Ok(reads.into_iter().collect())
+}
+
+/// Maps a kernel accessor to the dirty-epoch subsystem it reads
+/// (`simkernel::dep` bit), or 0 for construction-time constants that no
+/// mutation can change. Unknown accessors are audit failures, so a new
+/// accessor in a handler cannot silently bypass the cache-coherence lint.
+fn accessor_dep(accessor: &str) -> Result<u32, String> {
+    use simkernel::dep;
+    Ok(match accessor {
+        "clock" => dep::CLOCK,
+        "sched" | "total_idle_ns" => dep::SCHED,
+        "hw" | "rapl" => dep::HW,
+        "irq" => dep::IRQ,
+        "mem" => dep::MEM,
+        "fs" | "boot_id" => dep::FS,
+        "net" => dep::NET,
+        "timers" => dep::TIMERS,
+        "process" | "processes" | "process_count" | "last_pid" | "total_forks" => dep::PROCESS,
+        "cgroups" => dep::CGROUP,
+        "namespaces" => dep::NS,
+        "stats" => dep::STATS,
+        "config" | "seed" => 0,
+        other => {
+            return Err(format!(
+                "kernel accessor `k.{other}()` has no dirty-epoch subsystem mapping"
+            ))
+        }
+    })
+}
+
+/// The cache-coherence lint: every route's declared dependency mask must
+/// cover each kernel subsystem its handler (or fast path) reads,
+/// including reads behind context/mask gates — a gated read still makes
+/// the rendered bytes depend on that subsystem. An uncovered read means
+/// the render cache would serve stale bytes after that subsystem mutates.
+fn check_dep_coverage(
+    modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
+) -> Result<(), String> {
+    for r in pseudofs::ROUTES {
+        let mut needed = 0u32;
+        for read in route_kernel_reads(modules, r)? {
+            let accessor = read
+                .strip_prefix("k.")
+                .and_then(|s| s.strip_suffix("()"))
+                .unwrap_or(&read);
+            needed |= accessor_dep(accessor).map_err(|e| format!("`{}`: {e}", r.pattern))?;
+        }
+        let missing = needed & !r.deps;
+        if missing != 0 {
+            return Err(format!(
+                "cache-coherence: `{}` ({}) reads subsystems [{}] not covered by its declared \
+                 deps [{}] — the render cache would serve stale bytes",
+                r.pattern,
+                r.handler,
+                simkernel::dep::mask_names(missing),
+                simkernel::dep::mask_names(r.deps),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Verifies the registry against the code: the `module::function` calls
 /// in the parsed `fs.rs` `dispatch` body must be exactly the registry's
-/// handler set, the `read_into` fast arms exactly the `fast_into` set,
-/// and each fast path's verdict must match its handler's.
+/// handler set, the `render_into` fast arms (the single render path every
+/// cache miss flows through) exactly the `fast_into` set, and each fast
+/// path's verdict must match its handler's.
 fn cross_check(
     fs_src: &str,
     modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
 ) -> Result<(), String> {
     let dispatch_refs = render_calls(fs_src, "dispatch")?;
-    let into_refs = render_calls(fs_src, "read_into")?;
+    let into_refs = render_calls(fs_src, "render_into")?;
 
     let registry: BTreeSet<String> = pseudofs::ROUTES
         .iter()
@@ -166,7 +245,7 @@ fn cross_check(
         let only_code: Vec<_> = into_refs.difference(&fast).cloned().collect();
         let only_table: Vec<_> = fast.difference(&into_refs).cloned().collect();
         return Err(format!(
-            "fast-path drift: read_into-only {only_code:?}, registry-only {only_table:?}"
+            "fast-path drift: render_into-only {only_code:?}, registry-only {only_table:?}"
         ));
     }
 

@@ -24,11 +24,24 @@ pub struct ChannelReport {
     pub neutral: Vec<String>,
     /// Masking-policy consultations.
     pub mask_markers: Vec<String>,
+    /// Dirty-epoch subsystems the route declares (its render-cache
+    /// dependency mask, as subsystem names).
+    pub deps: Vec<String>,
+    /// Every kernel accessor the handler or its fast path reads (gated
+    /// reads included) — what the cache-coherence lint checked `deps`
+    /// against.
+    pub kernel_reads: Vec<String>,
 }
 
 impl ChannelReport {
     /// Builds a row from a route and its handler's analysis.
-    pub fn new(pattern: &str, handler: &str, analysis: &FnAnalysis) -> Self {
+    pub fn new(
+        pattern: &str,
+        handler: &str,
+        analysis: &FnAnalysis,
+        deps: Vec<String>,
+        kernel_reads: Vec<String>,
+    ) -> Self {
         let f = &analysis.facts;
         ChannelReport {
             pattern: pattern.to_string(),
@@ -38,6 +51,8 @@ impl ChannelReport {
             globals: f.globals.iter().cloned().collect(),
             neutral: f.neutral.iter().cloned().collect(),
             mask_markers: f.mask_markers.iter().cloned().collect(),
+            deps,
+            kernel_reads,
         }
     }
 }
@@ -207,12 +222,15 @@ mod tests {
                 "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
                 "sys_cgroup::ifpriomap",
                 &analysis(),
+                vec!["net".to_string(), "cgroup".to_string()],
+                vec!["k.net()".to_string()],
             )],
             hazards: Vec::new(),
         };
         let j = r.to_json();
         assert!(j.contains("\"namespace-blind-mixed\""), "{j}");
         assert!(j.contains("\"k.net()\""));
+        assert!(j.contains("\"deps\""));
         assert!(j.ends_with('\n'));
     }
 
@@ -227,7 +245,13 @@ mod tests {
     #[test]
     fn human_table_tallies_verdicts() {
         let r = Report {
-            channels: vec![ChannelReport::new("/proc/x", "m::f", &analysis())],
+            channels: vec![ChannelReport::new(
+                "/proc/x",
+                "m::f",
+                &analysis(),
+                Vec::new(),
+                Vec::new(),
+            )],
             hazards: Vec::new(),
         };
         let t = r.human_table();

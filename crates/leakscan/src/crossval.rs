@@ -39,6 +39,34 @@ pub struct FileFinding {
     pub class: ChannelClass,
 }
 
+/// A capture of the host side of the differential walk: every listed
+/// host path plus its rendered contents, stamped with the kernel's total
+/// subsystem epoch. One snapshot serves any number of [`CrossValidator::scan_with`]
+/// calls at the same instant (the hardener's generate-then-verify pair
+/// reads every host file once instead of once per scan), and the epoch
+/// stamp makes staleness checkable: if no subsystem epoch advanced, the
+/// host contents provably did not change.
+#[derive(Debug, Clone)]
+pub struct HostSnapshot {
+    /// `kernel.epochs().total()` at capture time.
+    epoch_total: u64,
+    /// Sorted host paths, as returned by `list` (shared with the render
+    /// cache — capturing a snapshot does not deep-clone the listing).
+    paths: std::sync::Arc<Vec<String>>,
+    /// Rendered host contents aligned with `paths`; `None` for per-pid
+    /// paths (never content-compared) and for read errors. Shared with
+    /// the render cache: capturing costs no body copies on cache hits.
+    contents: Vec<Option<std::sync::Arc<String>>>,
+}
+
+impl HostSnapshot {
+    /// Whether this snapshot still reflects `kernel`'s state: no
+    /// subsystem epoch has advanced since capture.
+    pub fn is_current(&self, kernel: &Kernel) -> bool {
+        self.epoch_total == kernel.epochs().total()
+    }
+}
+
 /// The cross-validation detector.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CrossValidator {
@@ -53,19 +81,51 @@ impl CrossValidator {
         }
     }
 
+    /// Captures the host side of the walk for reuse across scans taken
+    /// at the same kernel instant.
+    pub fn host_snapshot(&self, kernel: &Kernel) -> HostSnapshot {
+        let host_view = View::host();
+        let paths = self.fs.list_shared(kernel, &host_view);
+        let contents = paths
+            .iter()
+            .map(|path| {
+                if is_pid_path(path) {
+                    None
+                } else {
+                    self.fs.read_shared(kernel, &host_view, path).ok()
+                }
+            })
+            .collect();
+        HostSnapshot {
+            epoch_total: kernel.epochs().total(),
+            paths,
+            contents,
+        }
+    }
+
     /// Scans all pseudo files, classifying each. `container_view` is the
     /// container context to compare against the host context on `kernel`.
     pub fn scan(&self, kernel: &Kernel, container_view: &View) -> Vec<FileFinding> {
-        let host_view = View::host();
-        let host_paths = self.fs.list(kernel, &host_view);
-        let cont_paths = self.fs.list(kernel, container_view);
+        let snap = self.host_snapshot(kernel);
+        self.scan_with(kernel, &snap, container_view)
+    }
 
-        // Two buffers reused across the whole walk: each path's pair of
-        // renders lands in the same allocations as the previous path's.
-        let mut host_buf = String::new();
-        let mut cont_buf = String::new();
-        let mut findings = Vec::with_capacity(host_paths.len());
-        for path in &host_paths {
+    /// [`CrossValidator::scan`] against a pre-captured [`HostSnapshot`].
+    /// The snapshot must have been taken at the current kernel instant
+    /// (checked in debug builds via the epoch stamp).
+    pub fn scan_with(
+        &self,
+        kernel: &Kernel,
+        snap: &HostSnapshot,
+        container_view: &View,
+    ) -> Vec<FileFinding> {
+        debug_assert!(
+            snap.is_current(kernel),
+            "host snapshot is stale (a subsystem epoch advanced since capture)"
+        );
+        let cont_paths = self.fs.list_shared(kernel, container_view);
+        let mut findings = Vec::with_capacity(snap.paths.len());
+        for (path, host) in snap.paths.iter().zip(&snap.contents) {
             // Per-pid directories cannot be aligned across contexts (the
             // pid number spaces differ); they are namespaced by
             // construction of the PID namespace.
@@ -76,20 +136,13 @@ impl CrossValidator {
                 });
                 continue;
             }
-            if self
-                .fs
-                .read_into(kernel, &host_view, path, &mut host_buf)
-                .is_err()
-            {
+            let Some(host_buf) = host else {
                 continue;
-            }
-            let class = match self
-                .fs
-                .read_into(kernel, container_view, path, &mut cont_buf)
-            {
+            };
+            let class = match self.fs.read_shared(kernel, container_view, path) {
                 Err(_) => ChannelClass::Masked,
-                Ok(()) => {
-                    if cont_buf == host_buf {
+                Ok(cont) => {
+                    if cont == *host_buf {
                         ChannelClass::Leaking
                     } else if container_view.mask_action(path) == Some(MaskAction::Partial) {
                         ChannelClass::PartiallyMasked
@@ -105,10 +158,10 @@ impl CrossValidator {
         }
         // Container-only paths (its own pid dirs): namespaced. `list`
         // returns sorted paths, so membership is a binary search.
-        for path in cont_paths {
-            if host_paths.binary_search(&path).is_err() {
+        for path in cont_paths.iter() {
+            if snap.paths.binary_search(path).is_err() {
                 findings.push(FileFinding {
-                    path,
+                    path: path.clone(),
                     class: ChannelClass::Namespaced,
                 });
             }

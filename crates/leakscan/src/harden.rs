@@ -84,7 +84,11 @@ impl Hardener {
     /// verifies it by re-scanning. The returned policy denies every
     /// leaking channel except the app-friendly ones, which get `Partial`.
     pub fn harden(&self, kernel: &Kernel, view: &View) -> (MaskPolicy, HardeningReport) {
-        let before = self.validator.scan(kernel, view);
+        // Both the generation scan and the verification rescan happen at
+        // the same kernel instant, so the host side of the differential
+        // walk is captured once and shared between them.
+        let snap = self.validator.host_snapshot(kernel);
+        let before = self.validator.scan_with(kernel, &snap, view);
         let leaking: Vec<&str> = before
             .iter()
             .filter(|f| f.class == ChannelClass::Leaking)
@@ -116,7 +120,7 @@ impl Hardener {
         // Verification pass: same container, hardened view.
         simtrace::counters::add("leakscan.harden_rescans", 1);
         let hardened_view = view.clone().with_policy(policy.clone());
-        let after = self.validator.scan(kernel, &hardened_view);
+        let after = self.validator.scan_with(kernel, &snap, &hardened_view);
         let leaks_after = after
             .iter()
             .filter(|f| f.class == ChannelClass::Leaking)

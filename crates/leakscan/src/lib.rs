@@ -34,7 +34,7 @@ pub mod parse;
 pub use channels::{Channel, ManipulationKind, UniquenessKind, TABLE1_CHANNELS, TABLE2_CHANNELS};
 pub use coresidence::{CoResDetector, CoResOutcome, CoResVerdict, DetectorKind};
 pub use covert::{CovertLink, CovertMedium, CovertOutcome};
-pub use crossval::{ChannelClass, CrossValidator, FileFinding};
+pub use crossval::{ChannelClass, CrossValidator, FileFinding, HostSnapshot};
 pub use dos::{ExhaustionOutcome, MemExhaustion};
 pub use fingerprint::{FingerprintMatch, HostFingerprint};
 pub use harden::{Hardener, HardeningReport};

@@ -1,14 +1,31 @@
 //! Path dispatch and tree enumeration.
 
-use simkernel::Kernel;
+use simkernel::{dep, Kernel, RenderHit};
 
 use crate::error::FsError;
 use crate::faultfx;
+use crate::registry;
 use crate::render::{
     proc_basic, proc_irq, proc_kernel, proc_misc, proc_pid, proc_sched, proc_vm, sys_cgroup,
     sys_node, sys_power,
 };
 use crate::view::{MaskAction, View};
+
+/// Reserved cache key for directory listings — NUL-prefixed so it can
+/// never collide with a real path.
+const LIST_KEY: &str = "\u{0}list";
+
+/// Subsystems [`PseudoFs::list`] consults: hardware presence and package
+/// counts, ext4 partitions, visible pids (process table filtered through
+/// the view's namespaces), and NUMA topology.
+const LIST_DEPS: u32 = dep::HW | dep::FS | dep::NS | dep::PROCESS | dep::MEM;
+
+/// The dependency mask to tag a cached render of `path` with: the
+/// registered route's declared deps, or every subsystem for paths
+/// outside the registry (conservative, never stale).
+fn deps_for(path: &str) -> u32 {
+    registry::route_for(path).map_or(dep::ALL, |r| r.deps)
+}
 
 /// The pseudo filesystem: a stateless router over the kernel's state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -94,18 +111,11 @@ impl PseudoFs {
     ///   installed fault plan has an active window covering this path —
     ///   transient: the same read can succeed once the window passes.
     pub fn read(&self, k: &Kernel, view: &View, path: &str) -> Result<String, FsError> {
-        if view.mask_action(path) == Some(MaskAction::Deny) {
-            note_denied(k, path);
-            return Err(FsError::PermissionDenied(path.to_string()));
-        }
-        if let Some(e) = faultfx::injected_error(k, path) {
-            return Err(e);
-        }
-        let mut out = self
-            .dispatch(k, view, path)
-            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
-        faultfx::distort(k, path, &mut out);
-        note_read(k, path, out.len());
+        // Delegates to `read_into` so both entry points share one
+        // cache-coherent path (the hand-written `_into` fast renderers
+        // produce the same bytes as their `dispatch` counterparts).
+        let mut out = String::new();
+        self.read_into(k, view, path, &mut out)?;
         Ok(out)
     }
 
@@ -126,13 +136,143 @@ impl PseudoFs {
         buf: &mut String,
     ) -> Result<(), FsError> {
         buf.clear();
-        if view.mask_action(path) == Some(MaskAction::Deny) {
-            note_denied(k, path);
-            return Err(FsError::PermissionDenied(path.to_string()));
+        if !k.render_caching() {
+            if view.mask_action(path) == Some(MaskAction::Deny) {
+                note_denied(k, path);
+                return Err(FsError::PermissionDenied(path.to_string()));
+            }
+            if let Some(e) = faultfx::injected_error(k, path) {
+                return Err(e);
+            }
+            if !self.render_into(k, view, path, buf) {
+                return Err(FsError::NotFound(path.to_string()));
+            }
+            faultfx::distort(k, path, buf);
+            note_read(k, path, buf.len());
+            return Ok(());
         }
-        if let Some(e) = faultfx::injected_error(k, path) {
-            return Err(e);
+
+        // Cache consult. Fault effects are applied strictly *after* the
+        // cache (errors abort before store; distortion happens on the
+        // caller's copy, never the cached bytes), so injected EIO and
+        // sensor noise can never poison an entry — the ordering the
+        // cached-vs-uncached byte gates depend on.
+        let view_fp = view.fingerprint();
+        match k.render_cache_get(view_fp, path) {
+            Some(RenderHit::Denied) => {
+                note_denied(k, path);
+                Err(FsError::PermissionDenied(path.to_string()))
+            }
+            Some(RenderHit::Fresh(bytes)) => {
+                simtrace::counters::add("pseudofs.cache_hit", 1);
+                if let Some(e) = faultfx::injected_error(k, path) {
+                    return Err(e);
+                }
+                buf.push_str(&bytes);
+                faultfx::distort(k, path, buf);
+                note_read(k, path, buf.len());
+                Ok(())
+            }
+            hit => {
+                simtrace::counters::add("pseudofs.cache_miss", 1);
+                // A stale entry still proves this view is not denied the
+                // path (denials cache as `Denied` and never expire), so
+                // the policy's glob walk is skipped on every revalidation.
+                if hit.is_none() && view.mask_action(path) == Some(MaskAction::Deny) {
+                    k.render_cache_store_denied(view_fp, path);
+                    note_denied(k, path);
+                    return Err(FsError::PermissionDenied(path.to_string()));
+                }
+                if let Some(e) = faultfx::injected_error(k, path) {
+                    return Err(e);
+                }
+                if !self.render_into(k, view, path, buf) {
+                    return Err(FsError::NotFound(path.to_string()));
+                }
+                let rendered = std::sync::Arc::new(buf.clone());
+                k.render_cache_store_bytes(view_fp, path, deps_for(path), &rendered);
+                faultfx::distort(k, path, buf);
+                note_read(k, path, buf.len());
+                Ok(())
+            }
         }
+    }
+
+    /// Reads `path` as a shared handle: a cache hit costs one refcount
+    /// bump and zero byte copies. The differential scanners read both
+    /// contexts through this — their inner loop is then hash lookups and
+    /// content compares, never body copies. Falls back to an owned
+    /// render (wrapped once) when caching is off, the entry is stale, or
+    /// an active fault plan distorts this path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PseudoFs::read`].
+    pub fn read_shared(
+        &self,
+        k: &Kernel,
+        view: &View,
+        path: &str,
+    ) -> Result<std::sync::Arc<String>, FsError> {
+        if !k.render_caching() {
+            let mut buf = String::new();
+            self.read_into(k, view, path, &mut buf)?;
+            return Ok(std::sync::Arc::new(buf));
+        }
+        let view_fp = view.fingerprint();
+        match k.render_cache_get(view_fp, path) {
+            Some(RenderHit::Denied) => {
+                note_denied(k, path);
+                Err(FsError::PermissionDenied(path.to_string()))
+            }
+            Some(RenderHit::Fresh(bytes)) => {
+                simtrace::counters::add("pseudofs.cache_hit", 1);
+                if let Some(e) = faultfx::injected_error(k, path) {
+                    return Err(e);
+                }
+                let out = if k.fault_plan().is_some() {
+                    // Distortion mutates the caller's copy, never the
+                    // cached bytes — fall back to an owned body.
+                    let mut owned = (*bytes).clone();
+                    faultfx::distort(k, path, &mut owned);
+                    std::sync::Arc::new(owned)
+                } else {
+                    bytes
+                };
+                note_read(k, path, out.len());
+                Ok(out)
+            }
+            hit => {
+                simtrace::counters::add("pseudofs.cache_miss", 1);
+                if hit.is_none() && view.mask_action(path) == Some(MaskAction::Deny) {
+                    k.render_cache_store_denied(view_fp, path);
+                    note_denied(k, path);
+                    return Err(FsError::PermissionDenied(path.to_string()));
+                }
+                if let Some(e) = faultfx::injected_error(k, path) {
+                    return Err(e);
+                }
+                let mut buf = String::new();
+                if !self.render_into(k, view, path, &mut buf) {
+                    return Err(FsError::NotFound(path.to_string()));
+                }
+                let mut rendered = std::sync::Arc::new(buf);
+                k.render_cache_store_bytes(view_fp, path, deps_for(path), &rendered);
+                if k.fault_plan().is_some() {
+                    let mut owned = (*rendered).clone();
+                    faultfx::distort(k, path, &mut owned);
+                    rendered = std::sync::Arc::new(owned);
+                }
+                note_read(k, path, rendered.len());
+                Ok(rendered)
+            }
+        }
+    }
+
+    /// Renders `path` into `buf` (fast `_into` arm when one exists,
+    /// otherwise the dispatch table); `false` means the path does not
+    /// resolve in this view.
+    fn render_into(&self, k: &Kernel, view: &View, path: &str, buf: &mut String) -> bool {
         match path {
             "/proc/meminfo" => proc_basic::meminfo_into(k, view, buf),
             "/proc/stat" => proc_basic::stat_into(k, view, buf),
@@ -145,12 +285,10 @@ impl PseudoFs {
             "/proc/timer_list" => proc_sched::timer_list_into(k, view, buf),
             _ => match self.dispatch(k, view, path) {
                 Some(s) => *buf = s,
-                None => return Err(FsError::NotFound(path.to_string())),
+                None => return false,
             },
         }
-        faultfx::distort(k, path, buf);
-        note_read(k, path, buf.len());
-        Ok(())
+        true
     }
 
     /// [`PseudoFs::read_into`] against a bounded destination: at most
@@ -189,6 +327,29 @@ impl PseudoFs {
     /// recursive exploration step of the paper's detection framework.
     /// Deny-masked paths are excluded (they are unreadable in the cloud).
     pub fn list(&self, k: &Kernel, view: &View) -> Vec<String> {
+        self.list_shared(k, view).as_ref().clone()
+    }
+
+    /// [`PseudoFs::list`] as a shared handle: a cache hit costs one
+    /// refcount bump instead of deep-cloning a few hundred path strings.
+    /// Scan loops that re-list every pass (the cross-validator, the
+    /// metric windows) read through this.
+    pub fn list_shared(&self, k: &Kernel, view: &View) -> std::sync::Arc<Vec<String>> {
+        if k.render_caching() {
+            let view_fp = view.fingerprint();
+            if let Some(paths) = k.render_cache_get_paths(view_fp, LIST_KEY) {
+                simtrace::counters::add("pseudofs.cache_hit", 1);
+                return paths;
+            }
+            simtrace::counters::add("pseudofs.cache_miss", 1);
+            let paths = std::sync::Arc::new(self.list_uncached(k, view));
+            k.render_cache_store_paths(view_fp, LIST_KEY, LIST_DEPS, &paths);
+            return paths;
+        }
+        std::sync::Arc::new(self.list_uncached(k, view))
+    }
+
+    fn list_uncached(&self, k: &Kernel, view: &View) -> Vec<String> {
         let mut paths = Vec::with_capacity(256);
         let mut push = |p: String| {
             if view.mask_action(&p) != Some(MaskAction::Deny) {
@@ -537,6 +698,54 @@ mod tests {
             if p != "/proc/locks" {
                 assert!(!content.is_empty(), "{p} rendered empty");
             }
+        }
+    }
+
+    #[test]
+    fn render_caching_is_invisible_to_reads() {
+        // Same kernel evolution with caching on and off: every read —
+        // repeated reads included, which hit the cache — and every
+        // listing must be byte-identical.
+        let snap = |caching: bool| {
+            let mut k = kernel();
+            k.set_render_caching(caching);
+            let fs = PseudoFs::new();
+            let v = View::host();
+            let mut out = String::new();
+            for _ in 0..2 {
+                for p in fs.list(&k, &v) {
+                    out.push_str(&p);
+                    out.push('\n');
+                    out.push_str(&fs.read(&k, &v, &p).unwrap());
+                }
+            }
+            k.advance_secs(3);
+            for p in fs.list(&k, &v) {
+                out.push_str(&fs.read(&k, &v, &p).unwrap());
+            }
+            out
+        };
+        assert_eq!(snap(true), snap(false));
+    }
+
+    #[test]
+    fn cached_deny_still_denies_and_other_views_are_unaffected() {
+        let mut k = Kernel::new(MachineConfig::small_server(), 9);
+        let env = k.create_container_env("c1").unwrap();
+        k.advance_secs(1);
+        let fs = PseudoFs::new();
+        let denied =
+            View::container(env.ns, env.cgroups).with_policy(MaskPolicy::none().deny("/proc/stat"));
+        let open = View::container(env.ns, env.cgroups);
+        for _ in 0..2 {
+            assert!(matches!(
+                fs.read(&k, &denied, "/proc/stat"),
+                Err(FsError::PermissionDenied(_))
+            ));
+            // Same namespaces, different policy: distinct fingerprint,
+            // so the cached deny cannot leak across views.
+            assert!(fs.read(&k, &open, "/proc/stat").is_ok());
+            assert!(fs.read(&k, &View::host(), "/proc/stat").is_ok());
         }
     }
 

@@ -3,18 +3,25 @@
 //! [`PseudoFs::read`](crate::PseudoFs::read) routes paths to handler
 //! functions through a `match`; that control flow is opaque to tooling.
 //! This module mirrors it as data: one [`Route`] per dispatch arm, naming
-//! the glob it serves, a concrete probe path, and the handler function
+//! the glob it serves, a concrete probe path, the handler function
 //! (plus the buffer-writing fast path, when one exists) as a
-//! `module::function` string relative to [`crate::render`].
+//! `module::function` string relative to [`crate::render`], and the
+//! subsystem dependency mask the render cache keys freshness on.
 //!
 //! Consumers:
 //!
 //! * the `leakcheck` static auditor resolves each route to its handler's
 //!   source and classifies the channel's namespace behavior, then
 //!   cross-checks this table against the parsed `fs.rs` dispatch arms so
-//!   the two can never drift silently;
+//!   the two can never drift silently — and lints that each route's
+//!   declared `deps` cover every kernel accessor its handler reads;
+//! * the pseudofs render cache tags each cached buffer with its route's
+//!   `deps` so a read is served from cache only while those subsystem
+//!   epochs are unchanged;
 //! * tests walk [`ROUTES`] to assert every probe renders and every listed
 //!   path is routable.
+
+use simkernel::dep;
 
 use crate::view::glob_match;
 
@@ -34,14 +41,25 @@ pub struct Route {
     /// The hand-written buffer-writing fast-path renderer used by
     /// [`PseudoFs::read_into`](crate::PseudoFs::read_into), if one exists.
     pub fast_into: Option<&'static str>,
+    /// OR of [`simkernel::dep`] bits naming every kernel subsystem the
+    /// handler reads. Over-declaring is sound (costs a re-render);
+    /// under-declaring would serve stale bytes and is what the leakcheck
+    /// cache-coherence lint guards against.
+    pub deps: u32,
 }
 
-const fn route(pattern: &'static str, probe: &'static str, handler: &'static str) -> Route {
+const fn route(
+    pattern: &'static str,
+    probe: &'static str,
+    handler: &'static str,
+    deps: u32,
+) -> Route {
     Route {
         pattern,
         probe,
         handler,
         fast_into: None,
+        deps,
     }
 }
 
@@ -50,12 +68,14 @@ const fn fast(
     probe: &'static str,
     handler: &'static str,
     into: &'static str,
+    deps: u32,
 ) -> Route {
     Route {
         pattern,
         probe,
         handler,
         fast_into: Some(into),
+        deps,
     }
 }
 
@@ -63,290 +83,406 @@ const fn fast(
 /// (lookup is first-match-wins, mirroring the `match` order in `fs.rs`).
 pub const ROUTES: &[Route] = &[
     // ---- exact /proc arms ----
-    route("/proc/cpuinfo", "/proc/cpuinfo", "proc_basic::cpuinfo"),
+    route(
+        "/proc/cpuinfo",
+        "/proc/cpuinfo",
+        "proc_basic::cpuinfo",
+        dep::HW,
+    ),
     fast(
         "/proc/meminfo",
         "/proc/meminfo",
         "proc_basic::meminfo",
         "proc_basic::meminfo_into",
+        dep::MEM | dep::PROCESS | dep::CGROUP,
     ),
     fast(
         "/proc/stat",
         "/proc/stat",
         "proc_basic::stat",
         "proc_basic::stat_into",
+        dep::CLOCK | dep::SCHED | dep::IRQ | dep::PROCESS,
     ),
     fast(
         "/proc/uptime",
         "/proc/uptime",
         "proc_basic::uptime",
         "proc_basic::uptime_into",
+        dep::CLOCK | dep::SCHED,
     ),
-    route("/proc/version", "/proc/version", "proc_basic::version"),
+    route("/proc/version", "/proc/version", "proc_basic::version", 0),
     fast(
         "/proc/loadavg",
         "/proc/loadavg",
         "proc_basic::loadavg",
         "proc_basic::loadavg_into",
+        dep::SCHED | dep::PROCESS,
     ),
     fast(
         "/proc/interrupts",
         "/proc/interrupts",
         "proc_irq::interrupts",
         "proc_irq::interrupts_into",
+        dep::IRQ,
     ),
     fast(
         "/proc/softirqs",
         "/proc/softirqs",
         "proc_irq::softirqs",
         "proc_irq::softirqs_into",
+        dep::IRQ,
     ),
     fast(
         "/proc/schedstat",
         "/proc/schedstat",
         "proc_sched::schedstat",
         "proc_sched::schedstat_into",
+        dep::SCHED,
     ),
     fast(
         "/proc/sched_debug",
         "/proc/sched_debug",
         "proc_sched::sched_debug",
         "proc_sched::sched_debug_into",
+        dep::CLOCK | dep::SCHED | dep::PROCESS,
     ),
     fast(
         "/proc/timer_list",
         "/proc/timer_list",
         "proc_sched::timer_list",
         "proc_sched::timer_list_into",
+        dep::CLOCK | dep::TIMERS,
     ),
-    route("/proc/locks", "/proc/locks", "proc_sched::locks"),
-    route("/proc/modules", "/proc/modules", "proc_misc::modules"),
-    route("/proc/zoneinfo", "/proc/zoneinfo", "proc_misc::zoneinfo"),
-    route("/proc/diskstats", "/proc/diskstats", "proc_misc::diskstats"),
+    route("/proc/locks", "/proc/locks", "proc_sched::locks", dep::FS),
+    route("/proc/modules", "/proc/modules", "proc_misc::modules", 0),
+    route(
+        "/proc/zoneinfo",
+        "/proc/zoneinfo",
+        "proc_misc::zoneinfo",
+        dep::MEM,
+    ),
+    route(
+        "/proc/diskstats",
+        "/proc/diskstats",
+        "proc_misc::diskstats",
+        dep::STATS,
+    ),
     route(
         "/proc/sys/fs/dentry-state",
         "/proc/sys/fs/dentry-state",
         "proc_kernel::dentry_state",
+        dep::FS,
     ),
     route(
         "/proc/sys/fs/inode-nr",
         "/proc/sys/fs/inode-nr",
         "proc_kernel::inode_nr",
+        dep::FS,
     ),
     route(
         "/proc/sys/fs/file-nr",
         "/proc/sys/fs/file-nr",
         "proc_kernel::file_nr",
+        dep::FS,
     ),
     route(
         "/proc/sys/kernel/random/boot_id",
         "/proc/sys/kernel/random/boot_id",
         "proc_kernel::boot_id",
+        dep::FS,
     ),
     route(
         "/proc/sys/kernel/random/entropy_avail",
         "/proc/sys/kernel/random/entropy_avail",
         "proc_kernel::entropy_avail",
+        dep::FS,
     ),
     route(
         "/proc/sys/kernel/random/uuid",
         "/proc/sys/kernel/random/uuid",
         "proc_kernel::uuid",
+        dep::CLOCK | dep::FS,
     ),
     route(
         "/proc/sys/kernel/hostname",
         "/proc/sys/kernel/hostname",
         "proc_kernel::hostname",
+        dep::NS,
     ),
     route(
         "/proc/sys/kernel/osrelease",
         "/proc/sys/kernel/osrelease",
         "proc_kernel::osrelease",
+        0,
     ),
     route(
         "/proc/self/status",
         "/proc/self/status",
         "proc_pid::self_status",
+        dep::NS,
     ),
     route(
         "/proc/self/cgroup",
         "/proc/self/cgroup",
         "proc_pid::self_cgroup",
+        dep::NS | dep::CGROUP,
     ),
-    route("/proc/net/dev", "/proc/net/dev", "proc_pid::net_dev"),
-    route("/proc/mounts", "/proc/mounts", "proc_pid::mounts"),
-    route("/proc/net/snmp", "/proc/net/snmp", "proc_pid::net_snmp"),
-    route("/proc/net/tcp", "/proc/net/tcp", "proc_pid::net_tcp"),
+    route(
+        "/proc/net/dev",
+        "/proc/net/dev",
+        "proc_pid::net_dev",
+        dep::CLOCK | dep::NET | dep::NS,
+    ),
+    route("/proc/mounts", "/proc/mounts", "proc_pid::mounts", dep::NS),
+    route(
+        "/proc/net/snmp",
+        "/proc/net/snmp",
+        "proc_pid::net_snmp",
+        dep::CLOCK | dep::NET | dep::NS,
+    ),
+    route(
+        "/proc/net/tcp",
+        "/proc/net/tcp",
+        "proc_pid::net_tcp",
+        dep::NET | dep::NS | dep::PROCESS,
+    ),
     route(
         "/proc/sys/kernel/pid_max",
         "/proc/sys/kernel/pid_max",
         "proc_kernel::pid_max",
+        0,
     ),
     route(
         "/proc/sys/kernel/threads-max",
         "/proc/sys/kernel/threads-max",
         "proc_kernel::threads_max",
+        dep::MEM,
     ),
     route(
         "/proc/sys/vm/overcommit_memory",
         "/proc/sys/vm/overcommit_memory",
         "proc_kernel::overcommit_memory",
+        0,
     ),
     route(
         "/proc/sys/vm/swappiness",
         "/proc/sys/vm/swappiness",
         "proc_kernel::swappiness",
+        0,
     ),
-    route("/proc/vmstat", "/proc/vmstat", "proc_vm::vmstat"),
-    route("/proc/slabinfo", "/proc/slabinfo", "proc_vm::slabinfo"),
-    route("/proc/buddyinfo", "/proc/buddyinfo", "proc_vm::buddyinfo"),
-    route("/proc/swaps", "/proc/swaps", "proc_vm::swaps"),
+    route("/proc/vmstat", "/proc/vmstat", "proc_vm::vmstat", dep::MEM),
+    route(
+        "/proc/slabinfo",
+        "/proc/slabinfo",
+        "proc_vm::slabinfo",
+        dep::MEM | dep::FS | dep::PROCESS,
+    ),
+    route(
+        "/proc/buddyinfo",
+        "/proc/buddyinfo",
+        "proc_vm::buddyinfo",
+        dep::MEM,
+    ),
+    route("/proc/swaps", "/proc/swaps", "proc_vm::swaps", dep::MEM),
     route(
         "/proc/partitions",
         "/proc/partitions",
         "proc_vm::partitions",
+        0,
     ),
     route(
         "/proc/filesystems",
         "/proc/filesystems",
         "proc_vm::filesystems",
+        0,
     ),
-    route("/proc/cgroups", "/proc/cgroups", "proc_vm::cgroups"),
+    route(
+        "/proc/cgroups",
+        "/proc/cgroups",
+        "proc_vm::cgroups",
+        dep::CGROUP,
+    ),
     // ---- exact /sys arms ----
     route(
         "/sys/devices/system/cpu/online",
         "/sys/devices/system/cpu/online",
         "sys_power::cpu_online",
+        0,
     ),
     route(
         "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
         "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
         "sys_cgroup::ifpriomap",
+        dep::NET | dep::CGROUP,
     ),
     route(
         "/sys/fs/cgroup/net_prio/net_prio.prioidx",
         "/sys/fs/cgroup/net_prio/net_prio.prioidx",
         "sys_cgroup::prioidx",
+        dep::CGROUP,
     ),
     route(
         "/sys/fs/cgroup/cpuacct/cpuacct.usage",
         "/sys/fs/cgroup/cpuacct/cpuacct.usage",
         "sys_cgroup::cpuacct_usage",
+        dep::CGROUP,
     ),
     route(
         "/sys/fs/cgroup/cpuacct/cpuacct.usage_percpu",
         "/sys/fs/cgroup/cpuacct/cpuacct.usage_percpu",
         "sys_cgroup::cpuacct_usage_percpu",
+        dep::CGROUP,
     ),
     route(
         "/sys/fs/cgroup/memory/memory.usage_in_bytes",
         "/sys/fs/cgroup/memory/memory.usage_in_bytes",
         "sys_cgroup::memory_usage",
+        dep::CGROUP,
     ),
     route(
         "/sys/fs/cgroup/memory/memory.max_usage_in_bytes",
         "/sys/fs/cgroup/memory/memory.max_usage_in_bytes",
         "sys_cgroup::memory_max_usage",
+        dep::CGROUP,
     ),
     // ---- parameterized arms (segment globs) ----
     route(
         "/proc/sys/kernel/sched_domain/cpu*/domain0/max_newidle_lb_cost",
         "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost",
         "proc_kernel::max_newidle_lb_cost",
+        dep::SCHED,
     ),
     route(
         "/proc/fs/ext4/*/mb_groups",
         "/proc/fs/ext4/sda1/mb_groups",
         "proc_misc::mb_groups",
+        dep::FS,
     ),
-    route("/proc/*/status", "/proc/1/status", "proc_pid::pid_status"),
-    route("/proc/*/stat", "/proc/1/stat", "proc_pid::pid_stat"),
+    route(
+        "/proc/*/status",
+        "/proc/1/status",
+        "proc_pid::pid_status",
+        dep::NS | dep::PROCESS,
+    ),
+    route(
+        "/proc/*/stat",
+        "/proc/1/stat",
+        "proc_pid::pid_stat",
+        dep::NS | dep::PROCESS,
+    ),
     route(
         "/proc/*/cmdline",
         "/proc/1/cmdline",
         "proc_pid::pid_cmdline",
+        dep::NS | dep::PROCESS,
     ),
-    route("/proc/*/io", "/proc/1/io", "proc_pid::pid_io"),
-    route("/proc/*/sched", "/proc/1/sched", "proc_pid::pid_sched"),
+    route(
+        "/proc/*/io",
+        "/proc/1/io",
+        "proc_pid::pid_io",
+        dep::NS | dep::PROCESS,
+    ),
+    route(
+        "/proc/*/sched",
+        "/proc/1/sched",
+        "proc_pid::pid_sched",
+        dep::CLOCK | dep::NS | dep::PROCESS,
+    ),
     route(
         "/sys/block/*/stat",
         "/sys/block/sda/stat",
         "sys_power::block_stat",
+        dep::STATS,
     ),
     route(
         "/sys/class/thermal/thermal_zone*/temp",
         "/sys/class/thermal/thermal_zone0/temp",
         "sys_power::thermal_zone_temp",
+        dep::HW,
     ),
     route(
         "/sys/devices/system/cpu/cpu*/cpufreq/scaling_cur_freq",
         "/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq",
         "sys_power::cpufreq_cur",
+        dep::HW,
     ),
     route(
         "/sys/devices/system/cpu/cpu*/cpufreq/cpuinfo_max_freq",
         "/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq",
         "sys_power::cpufreq_max",
+        dep::HW,
     ),
     route(
         "/sys/devices/system/cpu/cpu*/cpuidle/state*/name",
         "/sys/devices/system/cpu/cpu0/cpuidle/state0/name",
         "sys_power::cpuidle_name",
+        dep::HW,
     ),
     route(
         "/sys/devices/system/cpu/cpu*/cpuidle/state*/usage",
         "/sys/devices/system/cpu/cpu0/cpuidle/state0/usage",
         "sys_power::cpuidle_usage",
+        dep::HW,
     ),
     route(
         "/sys/devices/system/cpu/cpu*/cpuidle/state*/time",
         "/sys/devices/system/cpu/cpu0/cpuidle/state0/time",
         "sys_power::cpuidle_time",
+        dep::HW,
     ),
     route(
         "/sys/class/powercap/intel-rapl:*/name",
         "/sys/class/powercap/intel-rapl:0/name",
         "sys_power::rapl_name",
+        dep::HW,
     ),
     route(
         "/sys/class/powercap/intel-rapl:*/energy_uj",
         "/sys/class/powercap/intel-rapl:0/energy_uj",
         "sys_power::rapl_package_energy",
+        dep::HW,
     ),
     route(
         "/sys/class/powercap/intel-rapl:*/max_energy_range_uj",
         "/sys/class/powercap/intel-rapl:0/max_energy_range_uj",
         "sys_power::rapl_max_range",
+        dep::HW,
     ),
     route(
         "/sys/class/powercap/intel-rapl:*/intel-rapl:*/name",
         "/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/name",
         "sys_power::rapl_subdomain_name",
+        dep::HW,
     ),
     route(
         "/sys/class/powercap/intel-rapl:*/intel-rapl:*/energy_uj",
         "/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/energy_uj",
         "sys_power::rapl_subdomain_energy",
+        dep::HW,
     ),
     route(
         "/sys/devices/platform/coretemp.*/hwmon/hwmon*/temp*_input",
         "/sys/devices/platform/coretemp.0/hwmon/hwmon0/temp1_input",
         "sys_power::coretemp",
+        dep::HW,
     ),
     route(
         "/sys/devices/system/node/node*/numastat",
         "/sys/devices/system/node/node0/numastat",
         "sys_node::numastat",
+        dep::MEM,
     ),
     route(
         "/sys/devices/system/node/node*/vmstat",
         "/sys/devices/system/node/node0/vmstat",
         "sys_node::vmstat",
+        dep::MEM,
     ),
     route(
         "/sys/devices/system/node/node*/meminfo",
         "/sys/devices/system/node/node0/meminfo",
         "sys_node::node_meminfo",
+        dep::MEM,
     ),
 ];
 
@@ -450,5 +586,17 @@ mod tests {
             "proc_pid::pid_status"
         );
         assert!(route_for("/proc/does_not_exist").is_none());
+    }
+
+    #[test]
+    fn deps_are_within_the_subsystem_bit_range() {
+        for r in ROUTES {
+            assert_eq!(
+                r.deps & !dep::ALL,
+                0,
+                "{} declares unknown dependency bits",
+                r.pattern
+            );
+        }
     }
 }

@@ -210,6 +210,70 @@ impl View {
             self.policy.action_for(path)
         }
     }
+
+    /// A fingerprint over everything that can change what this view
+    /// reads: context (with the full namespace and cgroup identity),
+    /// policy rules, and resource allotments. The render cache keys
+    /// entries on this, so two views alias only when every read through
+    /// them is guaranteed byte-identical. Computed per call — the fields
+    /// are public and mutable, so memoizing would be unsound.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over strings; whole-word rounds for integer fields.
+        // This runs on every cached read, so the word mix folds a full
+        // u64 per multiply instead of FNV's byte-at-a-time loop — the
+        // xor-then-odd-multiply round is bijective on u64, so views
+        // differing in any single field can never collide.
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *h ^= u64::from(*b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn mix_u64(h: &mut u64, v: u64) {
+            *h ^= v;
+            *h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        match &self.context {
+            Context::Host => mix(&mut h, &[0]),
+            Context::Container { ns, cgroups } => {
+                mix(&mut h, &[1]);
+                for id in [ns.mnt, ns.uts, ns.pid, ns.net, ns.ipc, ns.user, ns.cgroup] {
+                    mix_u64(&mut h, u64::from(id.0));
+                }
+                for id in [
+                    cgroups.cpuacct,
+                    cgroups.perf_event,
+                    cgroups.net_prio,
+                    cgroups.memory,
+                ] {
+                    mix_u64(&mut h, u64::from(id.0));
+                }
+            }
+        }
+        match &self.allotted_cpus {
+            None => mix_u64(&mut h, u64::MAX),
+            Some(cpus) => {
+                mix_u64(&mut h, cpus.len() as u64);
+                for c in cpus {
+                    mix_u64(&mut h, u64::from(*c));
+                }
+            }
+        }
+        mix_u64(&mut h, self.mem_limit_bytes.map_or(u64::MAX, |b| b ^ 1));
+        mix_u64(&mut h, self.policy.rules.len() as u64);
+        for rule in &self.policy.rules {
+            mix(&mut h, rule.pattern.as_bytes());
+            mix(
+                &mut h,
+                &[match rule.action {
+                    MaskAction::Deny => 2,
+                    MaskAction::Partial => 3,
+                }],
+            );
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +323,18 @@ mod tests {
         let mut v = View::host();
         v.policy = MaskPolicy::none().deny("/proc/**");
         assert_eq!(v.mask_action("/proc/stat"), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_policy_and_allotment() {
+        let a = View::host();
+        assert_eq!(a.fingerprint(), View::host().fingerprint());
+        let b = View::host().with_policy(MaskPolicy::none().deny("/proc/**"));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = View::host().with_mem_limit(1 << 30);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = View::host().with_allotted_cpus(vec![0, 1]);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

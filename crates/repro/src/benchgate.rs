@@ -218,6 +218,83 @@ pub fn gate(
     }
 }
 
+/// One `--require-speedup <fast>:<slow>:<factor>` demand: the fresh
+/// median of `slow` must be at least `factor` times the fresh median of
+/// `fast`. Evaluated on the fresh run only — a stale committed baseline
+/// can neither grant nor revoke a speedup the current code doesn't have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupReq {
+    /// The optimized benchmark (e.g. `table1_scan_cached`).
+    pub fast: String,
+    /// The reference benchmark it must beat (e.g. `table1_scan`).
+    pub slow: String,
+    /// Minimum required `slow / fast` median ratio.
+    pub factor: f64,
+}
+
+impl SpeedupReq {
+    /// Parses a `fast:slow:factor` spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a usage message on malformed specs.
+    pub fn parse(spec: &str) -> Result<SpeedupReq, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let err = || format!("--require-speedup takes `fast:slow:factor`, got `{spec}`");
+        let [fast, slow, factor] = parts.as_slice() else {
+            return Err(err());
+        };
+        let factor: f64 = factor.parse().map_err(|_| err())?;
+        if fast.is_empty() || slow.is_empty() || !factor.is_finite() || factor <= 0.0 {
+            return Err(err());
+        }
+        Ok(SpeedupReq {
+            fast: (*fast).to_string(),
+            slow: (*slow).to_string(),
+            factor,
+        })
+    }
+}
+
+/// One evaluated speedup requirement.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// The demand being checked.
+    pub req: SpeedupReq,
+    /// Fresh median of the optimized bench, when present.
+    pub fast_ns: Option<f64>,
+    /// Fresh median of the reference bench, when present.
+    pub slow_ns: Option<f64>,
+    /// Achieved `slow / fast` ratio, when both are present.
+    pub achieved: Option<f64>,
+    /// False when a bench is missing or the ratio falls short.
+    pub ok: bool,
+}
+
+/// Evaluates speedup requirements against the fresh report. A missing
+/// bench fails its row — silently skipping a vanished benchmark would
+/// turn the gate into a no-op.
+pub fn check_speedups(fresh: &BenchReport, reqs: &[SpeedupReq]) -> Vec<SpeedupRow> {
+    let medians = fresh.medians();
+    reqs.iter()
+        .map(|req| {
+            let fast_ns = medians.get(&req.fast).copied();
+            let slow_ns = medians.get(&req.slow).copied();
+            let achieved = match (fast_ns, slow_ns) {
+                (Some(f), Some(s)) if f > 0.0 => Some(s / f),
+                _ => None,
+            };
+            SpeedupRow {
+                req: req.clone(),
+                fast_ns,
+                slow_ns,
+                achieved,
+                ok: achieved.is_some_and(|r| r >= req.factor),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +488,41 @@ mod tests {
         ]);
         let out = gate(&base, &fresh, 25.0, 20_000.0);
         assert_eq!(verdict_of(&out, "tiny"), Verdict::OkMinRescued);
+    }
+
+    #[test]
+    fn speedup_spec_parses_and_rejects_garbage() {
+        let r = SpeedupReq::parse("fast:slow:5.0").expect("valid spec");
+        assert_eq!(r.fast, "fast");
+        assert_eq!(r.slow, "slow");
+        assert!((r.factor - 5.0).abs() < 1e-12);
+        for bad in ["fast:slow", "fast:slow:zero", ":slow:2", "a:b:-1", "a:b:0"] {
+            assert!(SpeedupReq::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn speedup_check_passes_meets_and_fails_shortfalls() {
+        let fresh = report(&[("scan", 1e6), ("scan_cached", 1e5)]);
+        let meets = check_speedups(
+            &fresh,
+            &[SpeedupReq::parse("scan_cached:scan:5.0").unwrap()],
+        );
+        assert!(meets[0].ok, "{meets:?}");
+        assert!((meets[0].achieved.unwrap() - 10.0).abs() < 1e-9);
+        let short = check_speedups(
+            &fresh,
+            &[SpeedupReq::parse("scan_cached:scan:20.0").unwrap()],
+        );
+        assert!(!short[0].ok);
+    }
+
+    #[test]
+    fn speedup_check_fails_on_missing_benches() {
+        let fresh = report(&[("scan", 1e6)]);
+        let rows = check_speedups(&fresh, &[SpeedupReq::parse("gone:scan:5.0").unwrap()]);
+        assert!(!rows[0].ok);
+        assert!(rows[0].achieved.is_none());
     }
 
     #[test]

@@ -4,12 +4,15 @@
 //! length (default 7), `--out <path>` (default `EXPERIMENTS.md`),
 //! `--jobs <n>` worker threads for the experiment pool (default = available
 //! cores; `--jobs 1` reproduces the serial order), `--coalesce <on|off>`
-//! to toggle event-horizon tick coalescing (default on), `--trace <path>`
-//! to write the deterministic JSONL trace artifact, and `--counters` to
-//! print the per-subsystem counter and sim-time profile summary. Every
-//! experiment driver is a pure function of the seed, so the written
-//! artifacts — the trace included, modulo its mode-exempt group — are
-//! byte-identical for any `--jobs` value and either `--coalesce` setting.
+//! to toggle event-horizon tick coalescing (default on),
+//! `--render-cache <on|off>` to toggle epoch-keyed pseudo-file render
+//! caching (default on), `--trace <path>` to write the deterministic
+//! JSONL trace artifact, and `--counters` to print the per-subsystem
+//! counter and sim-time profile summary. Every experiment driver is a
+//! pure function of the seed, so the written artifacts — the trace
+//! included, modulo its mode-exempt group and the cache-occupancy
+//! counters — are byte-identical for any `--jobs` value and any
+//! `--coalesce`/`--render-cache` setting.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,6 +21,7 @@ fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
     let jobs = containerleaks_experiments::jobs_arg();
     containerleaks_experiments::apply_coalesce_arg();
+    containerleaks_experiments::apply_render_cache_arg();
     containerleaks_experiments::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let days = args

@@ -2,7 +2,11 @@
 //!
 //! Flags: `--baseline <path>` (default `BENCH_pipelines.json`),
 //! `--fresh <path>` (default `target/bench-artifacts/BENCH_pipelines.json`),
-//! `--threshold-pct <p>` (default 25), `--floor-ns <n>` (default 20000).
+//! `--threshold-pct <p>` (default 25), `--floor-ns <n>` (default 20000),
+//! and repeatable `--require-speedup <fast>:<slow>:<factor>` demands —
+//! each asserts the fresh median of `slow` is at least `factor`× the
+//! fresh median of `fast` (e.g. the render-cache win on the headline
+//! pipelines), failing the gate otherwise.
 //!
 //! The comparison math — noise-discounted medians, the absolute floor,
 //! the hard cap, and the missing/new rules — lives in
@@ -12,7 +16,9 @@
 
 use std::process::ExitCode;
 
-use containerleaks_experiments::benchgate::{gate, BenchReport, Verdict, HARD_CAP};
+use containerleaks_experiments::benchgate::{
+    check_speedups, gate, BenchReport, SpeedupReq, Verdict, HARD_CAP,
+};
 
 fn arg(flag: &str, default: &str) -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -20,6 +26,15 @@ fn arg(flag: &str, default: &str) -> String {
         .find(|w| w[0] == flag)
         .map(|w| w[1].clone())
         .unwrap_or_else(|| default.to_string())
+}
+
+/// Every value of a repeatable flag, in argv order.
+fn args_all(flag: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -41,6 +56,16 @@ fn main() -> ExitCode {
     let fresh_path = arg("--fresh", "target/bench-artifacts/BENCH_pipelines.json");
     let threshold_pct: f64 = arg("--threshold-pct", "25").parse().unwrap_or(25.0);
     let floor_ns: f64 = arg("--floor-ns", "20000").parse().unwrap_or(20_000.0);
+    let mut speedups = Vec::new();
+    for spec in args_all("--require-speedup") {
+        match SpeedupReq::parse(&spec) {
+            Ok(req) => speedups.push(req),
+            Err(e) => {
+                eprintln!("benchcmp: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let (baseline, fresh) = match (
         BenchReport::load(&baseline_path),
@@ -92,12 +117,39 @@ fn main() -> ExitCode {
         );
     }
 
-    if out.failed {
-        eprintln!(
-            "benchcmp: FAIL — median regression beyond {threshold_pct}% \
-             (+{} floor) or a benchmark went missing",
-            fmt_ns(floor_ns)
+    let mut speedup_failed = false;
+    if !speedups.is_empty() {
+        println!();
+        println!(
+            "{:<34} {:>12} {:>12} {:>9}  required",
+            "speedup (fresh medians)", "slow", "fast", "achieved"
         );
+        for row in check_speedups(&fresh, &speedups) {
+            speedup_failed |= !row.ok;
+            println!(
+                "{:<34} {:>12} {:>12} {:>9}  >= {:.1}x  {}",
+                row.req.fast,
+                fmt_opt(row.slow_ns),
+                fmt_opt(row.fast_ns),
+                row.achieved
+                    .map_or_else(|| "-".to_string(), |r| format!("{r:.2}x")),
+                row.req.factor,
+                if row.ok { "ok" } else { "SHORTFALL" }
+            );
+        }
+    }
+
+    if out.failed || speedup_failed {
+        if out.failed {
+            eprintln!(
+                "benchcmp: FAIL — median regression beyond {threshold_pct}% \
+                 (+{} floor) or a benchmark went missing",
+                fmt_ns(floor_ns)
+            );
+        }
+        if speedup_failed {
+            eprintln!("benchcmp: FAIL — a required speedup was not achieved");
+        }
         ExitCode::FAILURE
     } else {
         println!("benchcmp: ok — all medians within {threshold_pct}% of baseline");

@@ -3,14 +3,16 @@
 //! Flags: `--seed <u64>` (default 1729), `--out <path>` (default
 //! `FAULTS.md`; the JSON companion lands next to it), `--jobs <n>` worker
 //! threads (default = available cores), `--coalesce <on|off>` to toggle
-//! event-horizon tick coalescing (default on), `--trace <path>` to write
-//! the deterministic JSONL trace artifact, and `--counters` to print the
-//! per-subsystem counter and sim-time profile summary. Every scenario is
-//! a pure function of the seed — fault schedules included — so the
-//! artifacts (the trace included, modulo its mode-exempt group) are
-//! byte-identical for any `--jobs` value and either `--coalesce` setting;
-//! CI compares `--jobs 1` against `--jobs 4` and coalescing on against
-//! off to prove it.
+//! event-horizon tick coalescing (default on), `--render-cache <on|off>`
+//! to toggle epoch-keyed pseudo-file render caching (default on),
+//! `--trace <path>` to write the deterministic JSONL trace artifact, and
+//! `--counters` to print the per-subsystem counter and sim-time profile
+//! summary. Every scenario is a pure function of the seed — fault
+//! schedules included — so the artifacts (the trace included, modulo its
+//! mode-exempt group and the cache-occupancy counters) are byte-identical
+//! for any `--jobs` value and any `--coalesce`/`--render-cache` setting;
+//! CI compares `--jobs 1` against `--jobs 4`, coalescing on against off,
+//! and render caching on against off to prove it.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,6 +21,7 @@ fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
     let jobs = containerleaks_experiments::jobs_arg();
     containerleaks_experiments::apply_coalesce_arg();
+    containerleaks_experiments::apply_render_cache_arg();
     containerleaks_experiments::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let out_path = args

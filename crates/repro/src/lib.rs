@@ -56,6 +56,24 @@ pub fn apply_coalesce_arg() {
     }
 }
 
+/// Applies `--render-cache <on|off>` process-wide (the default, absent
+/// the flag, is the kernel's compiled default: on). CI runs the
+/// experiment binaries both ways and byte-compares the artifacts —
+/// epoch-keyed render caching must be an invisible optimization.
+pub fn apply_render_cache_arg() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--render-cache") {
+        match w[1].as_str() {
+            "on" => containerleaks::simkernel::set_render_caching_default(true),
+            "off" => containerleaks::simkernel::set_render_caching_default(false),
+            other => {
+                eprintln!("--render-cache takes `on` or `off`, got `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Parses `--trace <path>` from argv.
 pub fn trace_arg() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

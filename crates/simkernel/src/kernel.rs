@@ -2,12 +2,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cgroup::{CgroupForest, CgroupId, CgroupKind};
 use crate::config::MachineConfig;
+use crate::epoch::{dep, CacheEntry, CachePayload, RenderCache, SubsystemEpochs};
 use crate::error::KernelError;
 use crate::faults::{FaultPlan, FsFaultKind, SensorFaultKind};
 use crate::fsstate::{FsState, LockKind};
@@ -46,6 +48,60 @@ pub fn set_coalescing_default(on: bool) {
 /// The current process-wide coalescing default.
 pub fn coalescing_default() -> bool {
     COALESCING_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Process-wide default for pseudofs render caching on newly built
+/// kernels. On by default: a cached read serves bytes only while every
+/// dependency epoch is unchanged, so cached and uncached runs are
+/// byte-identical (the property tests and CI gates assert this) — like
+/// coalescing, there is no accuracy trade-off, only speed.
+static RENDER_CACHING_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide render-caching default picked up by
+/// [`Kernel::new`]. Experiment binaries expose this as
+/// `--render-cache on|off` so CI can byte-compare both modes; existing
+/// kernels are unaffected (use [`Kernel::set_render_caching`]).
+pub fn set_render_caching_default(on: bool) {
+    RENDER_CACHING_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide render-caching default.
+pub fn render_caching_default() -> bool {
+    RENDER_CACHING_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Subsystems that evolve while the host is quiescent: the clock plus
+/// every closed-form idle evaluation in [`Kernel::quiescent_step`]
+/// (cgroup included — the anchor capture re-aggregates per-cgroup RSS),
+/// and timers, whose expiries refresh against the advanced clock.
+const IDLE_BUMP: u32 = dep::CLOCK
+    | dep::SCHED
+    | dep::HW
+    | dep::IRQ
+    | dep::MEM
+    | dep::FS
+    | dep::NET
+    | dep::TIMERS
+    | dep::CGROUP;
+
+/// Subsystems a run tick can mutate: everything the idle set touches
+/// plus the process table and the aggregate syscall/IO counters. The
+/// namespace registry is the only subsystem no tick path writes.
+const RUN_BUMP: u32 = IDLE_BUMP | dep::PROCESS | dep::STATS;
+
+/// Outcome of a render-cache probe (see [`Kernel::render_cache_get`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderHit {
+    /// Dependency epochs unchanged: the cached rendered bytes, shared —
+    /// a hit is a refcount bump, the caller decides whether to copy.
+    Fresh(std::sync::Arc<String>),
+    /// The view's policy denies this path. Policy is hashed into the
+    /// view fingerprint, so a deny verdict never goes stale.
+    Denied,
+    /// An entry exists but a dependency epoch advanced: the bytes are
+    /// stale, yet the entry still proves the path is *not* denied for
+    /// this view (a deny would have been cached as `Denied`).
+    Stale,
 }
 
 /// Everything needed to run processes inside one container: its namespace
@@ -150,6 +206,14 @@ pub struct Kernel {
     reboots: u32,
     coalesce: bool,
     idle_anchor: Option<IdleAnchor>,
+    /// Per-subsystem dirty epochs; bumped by every mutating entry point.
+    epochs: SubsystemEpochs,
+    /// Rendered pseudo-file cache guarded by the epochs above. Behind a
+    /// mutex (not a `RefCell`) so `Kernel` stays `Sync` for the worker
+    /// pool; contention is nil — readers hold `&Kernel` exclusively per
+    /// host.
+    render_cache: Mutex<RenderCache>,
+    render_caching: bool,
     /// Trace-event buffer; `Some` only when tracing is enabled and this
     /// kernel was built inside a `simtrace::scope`.
     tracer: Option<simtrace::KernelTracer>,
@@ -240,6 +304,9 @@ impl Kernel {
             reboots: 0,
             coalesce: coalescing_default(),
             idle_anchor: None,
+            epochs: SubsystemEpochs::default(),
+            render_cache: Mutex::new(RenderCache::default()),
+            render_caching: render_caching_default(),
             tracer: simtrace::tracer_for_new_kernel(),
             seed,
             cfg,
@@ -275,6 +342,7 @@ impl Kernel {
     /// Mutable namespace registry (used by the container runtime).
     pub fn namespaces_mut(&mut self) -> &mut NamespaceRegistry {
         self.idle_anchor = None;
+        self.bump_epochs(dep::NS);
         &mut self.ns
     }
     /// The cgroup forest.
@@ -284,6 +352,7 @@ impl Kernel {
     /// Mutable cgroup forest.
     pub fn cgroups_mut(&mut self) -> &mut CgroupForest {
         self.idle_anchor = None;
+        self.bump_epochs(dep::CGROUP);
         &mut self.cgroups
     }
     /// The scheduler (accounting views).
@@ -313,6 +382,7 @@ impl Kernel {
     /// Mutable VFS state (uuid reads consume RNG).
     pub fn fs_mut(&mut self) -> (&mut FsState, &mut StdRng) {
         self.idle_anchor = None;
+        self.bump_epochs(dep::FS);
         (&mut self.fs, &mut self.rng)
     }
     /// Network state.
@@ -376,6 +446,147 @@ impl Kernel {
     /// kernel (pseudo-fs, monitors) emit their events through this.
     pub fn tracer(&self) -> Option<&simtrace::KernelTracer> {
         self.tracer.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty epochs and the render cache
+    // ------------------------------------------------------------------
+
+    /// The per-subsystem dirty epochs.
+    pub fn epochs(&self) -> &SubsystemEpochs {
+        &self.epochs
+    }
+
+    /// Enables or disables the pseudofs render cache on this kernel.
+    /// Both settings produce byte-identical reads; off is an escape
+    /// hatch for bisecting and for the CI cached-vs-uncached compare.
+    pub fn set_render_caching(&mut self, on: bool) {
+        self.render_caching = on;
+    }
+
+    /// Whether the render cache is enabled on this kernel.
+    pub fn render_caching(&self) -> bool {
+        self.render_caching
+    }
+
+    /// Advances the epochs named in `mask`. Called by every mutating
+    /// entry point; bump placement is mode-invariant (one bump per
+    /// mutation or per `advance` call, never per tick), so epoch values
+    /// are identical across `--jobs` and `--coalesce` settings.
+    fn bump_epochs(&mut self, mask: u32) {
+        self.epochs.bump(mask);
+        simtrace::counters::add("kernel.epoch_bump", u64::from(mask.count_ones()));
+    }
+
+    /// Probes the render cache for `(view_fp, path)`. On [`RenderHit::Fresh`]
+    /// the returned handle shares the cached bytes; on [`RenderHit::Denied`]
+    /// the path is policy-denied for this view; on [`RenderHit::Stale`] an
+    /// entry exists but a dependency epoch advanced — the bytes are stale,
+    /// yet the path is known not to be denied. `None` when caching is off
+    /// or nothing is cached.
+    pub fn render_cache_get(&self, view_fp: u64, path: &str) -> Option<RenderHit> {
+        if !self.render_caching {
+            return None;
+        }
+        let cache = self.render_cache.lock().expect("render cache poisoned");
+        let entry = cache.get(view_fp, path)?;
+        match &entry.payload {
+            CachePayload::Denied => Some(RenderHit::Denied),
+            CachePayload::Bytes(bytes) => {
+                if entry.dep_sum == self.epochs.masked_sum(entry.mask) {
+                    Some(RenderHit::Fresh(std::sync::Arc::clone(bytes)))
+                } else {
+                    Some(RenderHit::Stale)
+                }
+            }
+            CachePayload::Paths(_) => None,
+        }
+    }
+
+    /// Caches rendered bytes for `(view_fp, path)` under dependency
+    /// `mask`. No-op when caching is off.
+    pub fn render_cache_store_bytes(
+        &self,
+        view_fp: u64,
+        path: &str,
+        mask: u32,
+        bytes: &std::sync::Arc<String>,
+    ) {
+        if !self.render_caching {
+            return;
+        }
+        let entry = CacheEntry {
+            mask,
+            dep_sum: self.epochs.masked_sum(mask),
+            payload: CachePayload::Bytes(std::sync::Arc::clone(bytes)),
+        };
+        self.render_cache
+            .lock()
+            .expect("render cache poisoned")
+            .store(view_fp, path, entry);
+    }
+
+    /// Caches a policy-deny verdict for `(view_fp, path)`. Deny entries
+    /// carry an empty mask: the verdict depends only on the view's
+    /// policy, which is part of the fingerprint. No-op when caching is
+    /// off.
+    pub fn render_cache_store_denied(&self, view_fp: u64, path: &str) {
+        if !self.render_caching {
+            return;
+        }
+        let entry = CacheEntry {
+            mask: 0,
+            dep_sum: 0,
+            payload: CachePayload::Denied,
+        };
+        self.render_cache
+            .lock()
+            .expect("render cache poisoned")
+            .store(view_fp, path, entry);
+    }
+
+    /// A fresh cached path list for `(view_fp, key)`, if any — a shared
+    /// handle, so a hit is a refcount bump, not a deep clone. Stale list
+    /// entries return `None` (they carry no deny information).
+    pub fn render_cache_get_paths(
+        &self,
+        view_fp: u64,
+        key: &str,
+    ) -> Option<std::sync::Arc<Vec<String>>> {
+        if !self.render_caching {
+            return None;
+        }
+        let cache = self.render_cache.lock().expect("render cache poisoned");
+        let entry = cache.get(view_fp, key)?;
+        match &entry.payload {
+            CachePayload::Paths(paths) if entry.dep_sum == self.epochs.masked_sum(entry.mask) => {
+                Some(std::sync::Arc::clone(paths))
+            }
+            _ => None,
+        }
+    }
+
+    /// Caches a path list for `(view_fp, key)` under dependency `mask`.
+    /// No-op when caching is off.
+    pub fn render_cache_store_paths(
+        &self,
+        view_fp: u64,
+        key: &str,
+        mask: u32,
+        paths: &std::sync::Arc<Vec<String>>,
+    ) {
+        if !self.render_caching {
+            return;
+        }
+        let entry = CacheEntry {
+            mask,
+            dep_sum: self.epochs.masked_sum(mask),
+            payload: CachePayload::Paths(std::sync::Arc::clone(paths)),
+        };
+        self.render_cache
+            .lock()
+            .expect("render cache poisoned")
+            .store(view_fp, key, entry);
     }
 
     // ------------------------------------------------------------------
@@ -520,6 +731,17 @@ impl Kernel {
                 dt_ns -= step;
             }
         }
+        // One bump per advance call — not per tick or span — keyed on the
+        // *shape* of the elapsed interval (any run time / any idle time),
+        // which is identical across coalescing modes and worker counts.
+        // Sound because reads hold `&Kernel` and cannot interleave with
+        // this `&mut self` method.
+        if run_ticks > 0 {
+            self.bump_epochs(RUN_BUMP);
+        }
+        if idle_ns > 0 {
+            self.bump_epochs(IDLE_BUMP);
+        }
         if simtrace::enabled() {
             if run_ticks > 0 {
                 simtrace::counters::add("kernel.run_ticks", run_ticks);
@@ -565,6 +787,9 @@ impl Kernel {
             let step = self.quiescent_step_size(remaining, true);
             self.quiescent_step(step);
             remaining -= step;
+        }
+        if secs > 0 {
+            self.bump_epochs(IDLE_BUMP);
         }
         if simtrace::enabled() && secs > 0 {
             // Pre-experiment uptime; always coalesced, so mode-invariant.
@@ -843,6 +1068,7 @@ impl Kernel {
             io_write_bytes: 0,
             syscalls: 0,
         });
+        self.bump_epochs(dep::PROCESS | dep::NS | dep::TIMERS);
         Ok(host_pid)
     }
 
@@ -883,6 +1109,7 @@ impl Kernel {
         }
         self.fs.drop_locks_of(pid);
         self.timers.drop_timers_of(pid);
+        self.bump_epochs(dep::PROCESS | dep::NS | dep::FS | dep::TIMERS);
     }
 
     /// Changes a process's CPU affinity (`taskset`).
@@ -900,6 +1127,7 @@ impl Kernel {
         match self.procs.get_mut(pid) {
             Some(p) => {
                 p.affinity = Some(cpus);
+                self.bump_epochs(dep::PROCESS);
                 Ok(())
             }
             None => Err(KernelError::NoSuchProcess(pid)),
@@ -920,6 +1148,7 @@ impl Kernel {
                     tr.emit(self.lifetime_ns, TraceEvent::SchedPause { pid: pid.0 });
                 }
                 simtrace::counters::add("sched.pauses", 1);
+                self.bump_epochs(dep::PROCESS | dep::SCHED);
                 Ok(())
             }
             None => Err(KernelError::NoSuchProcess(pid)),
@@ -941,6 +1170,7 @@ impl Kernel {
                         tr.emit(self.lifetime_ns, TraceEvent::SchedResume { pid: pid.0 });
                     }
                     simtrace::counters::add("sched.resumes", 1);
+                    self.bump_epochs(dep::PROCESS | dep::SCHED);
                 }
                 Ok(())
             }
@@ -963,6 +1193,7 @@ impl Kernel {
             Some(p) => {
                 p.workload = workload;
                 p.cursor = PhaseCursor::new();
+                self.bump_epochs(dep::PROCESS);
                 Ok(())
             }
             None => Err(KernelError::NoSuchProcess(pid)),
@@ -982,6 +1213,7 @@ impl Kernel {
         match self.procs.get_mut(pid) {
             Some(p) => {
                 p.workload.set_uniform_cpu_demand(demand);
+                self.bump_epochs(dep::PROCESS);
                 Ok(())
             }
             None => Err(KernelError::NoSuchProcess(pid)),
@@ -1026,6 +1258,7 @@ impl Kernel {
             let id = self.cgroups.create_child(parent, name, &ifaces)?;
             ids.insert(kind, id);
         }
+        self.bump_epochs(dep::NS | dep::NET | dep::CGROUP);
         Ok(ContainerEnv {
             ns,
             cgroups: CgroupMembership {
@@ -1068,6 +1301,7 @@ impl Kernel {
             self.cgroups.remove(id)?;
         }
         self.net.remove_device(&env.veth);
+        self.bump_epochs(dep::NS | dep::NET | dep::CGROUP);
         Ok(())
     }
 
@@ -1102,6 +1336,7 @@ impl Kernel {
         }
         self.timers
             .arm_user_timer(pid, comm, self.clock.since_boot_ns(), interval_ns.max(1));
+        self.bump_epochs(dep::TIMERS);
         Ok(())
     }
 
@@ -1120,6 +1355,7 @@ impl Kernel {
             return Err(KernelError::NoSuchProcess(pid));
         }
         self.idle_anchor = None;
+        self.bump_epochs(dep::FS);
         Ok(self.fs.add_lock(pid, kind, range))
     }
 
@@ -1131,6 +1367,7 @@ impl Kernel {
     /// Propagates cgroup errors.
     pub fn attach_perf_monitoring(&mut self, cgroup: CgroupId) -> Result<(), KernelError> {
         self.idle_anchor = None;
+        self.bump_epochs(dep::CGROUP);
         let ncpus = self.cfg.cpus;
         self.perf.attach_cgroup(
             &mut self.cgroups,
@@ -1147,6 +1384,7 @@ impl Kernel {
     /// Propagates cgroup errors.
     pub fn detach_perf_monitoring(&mut self, cgroup: CgroupId) -> Result<(), KernelError> {
         self.idle_anchor = None;
+        self.bump_epochs(dep::CGROUP);
         self.perf.detach_cgroup(&mut self.cgroups, cgroup)
     }
 }

@@ -45,6 +45,7 @@
 
 pub mod cgroup;
 pub mod config;
+pub mod epoch;
 pub mod error;
 pub mod faults;
 pub mod fsstate;
@@ -64,10 +65,14 @@ pub mod timers;
 
 pub use cgroup::{CgroupForest, CgroupId, CgroupKind};
 pub use config::MachineConfig;
+pub use epoch::{dep, SubsystemEpochs};
 pub use error::KernelError;
 pub use faults::{is_sensor_path, FaultPlan, FsFaultKind, SensorFaultKind};
 pub use hw::{PowerModelParams, PowerSnapshot, RaplDomains};
-pub use kernel::{coalescing_default, set_coalescing_default, Kernel};
+pub use kernel::{
+    coalescing_default, render_caching_default, set_coalescing_default, set_render_caching_default,
+    Kernel, RenderHit,
+};
 pub use ns::{NamespaceKind, NamespaceSet, NsId};
 pub use process::{HostPid, ProcState, Process};
 pub use syscost::SysCosts;

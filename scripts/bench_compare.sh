@@ -5,7 +5,10 @@
 # past a 20 µs absolute floor against BENCH_pipelines.json. A bench
 # whose fresh *minimum* still reaches baseline speed passes regardless
 # (contaminated samples on a busy box inflate the median but cannot
-# lower the floor a genuinely slower path would raise). The fresh
+# lower the floor a genuinely slower path would raise). The gate also
+# demands the epoch-keyed render cache actually pays for itself: the
+# cached variants of the two headline pipelines must beat their
+# uncached twins by at least 5x on the fresh medians. The fresh
 # measurement is left at $BENCH_ARTIFACT_DIR (default
 # target/bench-artifacts/) as the run's artifact; to accept a new
 # baseline, copy it over BENCH_pipelines.json and commit.
@@ -29,4 +32,6 @@ cargo run --offline --release -q -p containerleaks-experiments --bin benchcmp --
     --baseline BENCH_pipelines.json \
     --fresh "$artifacts/BENCH_pipelines.json" \
     --threshold-pct "${BENCH_THRESHOLD_PCT:-25}" \
-    --floor-ns "${BENCH_FLOOR_NS:-20000}"
+    --floor-ns "${BENCH_FLOOR_NS:-20000}" \
+    --require-speedup "table1_scan_cached:table1_scan:${BENCH_CACHE_SPEEDUP:-5.0}" \
+    --require-speedup "hardening_policy_generation_cached:hardening_policy_generation:${BENCH_CACHE_SPEEDUP:-5.0}"
