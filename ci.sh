@@ -45,7 +45,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
     --exclude serde --exclude serde_derive --exclude serde_json
 
 echo "== static leakage audit (snapshot + dynamic agreement) =="
-cargo run --offline --release -q -p containerleaks-experiments --bin leakcheck -- --check
+cargo run --offline --release -q -p containerleaks-experiments --bin leakcheck -- \
+    --check --deny-missing-dep
+
+echo "== flow analysis vs runtime: single-subsystem mutation containment =="
+cargo test --offline -q --release --test flow_dynamic_agreement
 
 echo "== fault matrix: graceful degradation under injected faults =="
 cargo test --offline -q --release --test fault_matrix

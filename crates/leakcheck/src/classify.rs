@@ -42,14 +42,14 @@ use crate::extract::{functions, FnDef};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Kernel accessors that route reads through the namespace registry.
-const NS_AWARE: &[&str] = &["namespaces"];
+pub(crate) const NS_AWARE: &[&str] = &["namespaces"];
 
 /// Kernel accessors neutral when a namespace marker is present (reads
 /// keyed by view-derived pids/cgroups/time), global otherwise.
-const NEUTRAL_WHEN_ROUTED: &[&str] = &["clock", "process", "processes", "cgroups"];
+pub(crate) const NEUTRAL_WHEN_ROUTED: &[&str] = &["clock", "process", "processes", "cgroups"];
 
 /// View accessors that derive reader identity (namespace markers).
-const VIEW_NS: &[&str] = &["context", "is_host"];
+pub(crate) const VIEW_NS: &[&str] = &["context", "is_host"];
 
 /// View accessors that only express masking policy or resource limits.
 const VIEW_MASK: &[&str] = &["mask_action", "allotted_cpus", "mem_limit_bytes"];
@@ -264,7 +264,7 @@ fn analyze_fn(def: &FnDef, local_fns: &BTreeSet<String>) -> (Facts, Vec<LocalCal
 
 /// Local bindings whose initializer consults `view.mask_action` — gating
 /// on them is masking policy, not namespace routing.
-fn mask_tainted_locals(body: &[Token], view: &str) -> BTreeSet<String> {
+pub(crate) fn mask_tainted_locals(body: &[Token], view: &str) -> BTreeSet<String> {
     let mut tainted = BTreeSet::new();
     if view.is_empty() {
         return tainted;
@@ -309,12 +309,16 @@ fn statement_end(body: &[Token], from: usize) -> usize {
 }
 
 /// A half-open token-index range into a function body.
-type Span = (usize, usize);
+pub(crate) type Span = (usize, usize);
 
 /// Computes context-gated and mask-gated token spans (half-open index
 /// ranges into `body`) from `match`/`if` constructs whose scrutinee or
 /// condition derives from the view context or a mask-tainted local.
-fn gated_spans(body: &[Token], view: &str, tainted: &BTreeSet<String>) -> (Vec<Span>, Vec<Span>) {
+pub(crate) fn gated_spans(
+    body: &[Token],
+    view: &str,
+    tainted: &BTreeSet<String>,
+) -> (Vec<Span>, Vec<Span>) {
     let mut ctx = Vec::new();
     let mut mask = Vec::new();
     for i in 0..body.len() {

@@ -195,6 +195,24 @@ pub const ACCEPTED_PANICS: &[(&str, &str, &str)] = &[
         "u128 nanosecond arithmetic cannot overflow within any \
          representable simulation horizon",
     ),
+    (
+        "leakcheck/src/classify.rs",
+        "analyze_module",
+        "the facts map is seeded from the same function list the \
+         fixpoint loop iterates, so the lookup cannot miss",
+    ),
+    (
+        "leakcheck/src/lib.rs",
+        "workspace_root",
+        "compile-time manifest path: CARGO_MANIFEST_DIR always sits two \
+         levels below the workspace root in this repository layout",
+    ),
+    (
+        "leakcheck/src/report.rs",
+        "to_json",
+        "the report is plain strings, bools and vectors; serde_json \
+         serialization of such values cannot fail",
+    ),
 ];
 
 /// The panic-capable method calls the surface pass counts.

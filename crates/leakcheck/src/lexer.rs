@@ -290,4 +290,63 @@ mod tests {
         let toks = texts(r##"let p = r#"k.fs()"#; q"##);
         assert_eq!(toks, ["let", "p", "=", "\"…\"", ";", "q"]);
     }
+
+    #[test]
+    fn multi_hash_raw_strings_skip_embedded_terminators() {
+        // A `"#` inside an `r##"…"##` literal must not end it early.
+        let toks = texts(r###"r##"quote "# inside"## after"###);
+        assert_eq!(toks, ["\"…\"", "after"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_single_literals() {
+        assert_eq!(texts(r#"b"k.hw()" x"#), ["\"…\"", "x"]);
+        assert_eq!(texts(r##"br#"k.net()"# y"##), ["\"…\"", "y"]);
+        // `r`/`b` not followed by a quote stay ordinary identifiers.
+        assert_eq!(texts("rb_tree b r"), ["rb_tree", "b", "r"]);
+    }
+
+    #[test]
+    fn raw_string_newlines_advance_the_line_counter() {
+        let toks = lex("let s = r\"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+        let lit = toks.iter().find(|t| t.kind == TokenKind::Literal).unwrap();
+        assert_eq!(lit.line, 1, "literal is anchored to its opening quote");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        // `/* a /* b */ c */` is one comment in Rust; `c` must not leak out.
+        let toks = texts("/* outer /* inner */ still_comment */ visible");
+        assert_eq!(toks, ["visible"]);
+        // An unterminated inner comment swallows the rest of the input.
+        assert_eq!(texts("/* open /* never closed */ tail").len(), 0);
+    }
+
+    #[test]
+    fn block_comment_newlines_advance_the_line_counter() {
+        let toks = lex("/* one\ntwo\nthree */ after");
+        assert_eq!(toks[0].text, "after");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn single_quote_disambiguation_pins_the_tricky_cases() {
+        // `'a'` is a char literal even though `a` is alphabetic.
+        assert_eq!(texts("x == 'a'"), ["x", "=", "=", "'…'"]);
+        // An escaped quote char `'\''` terminates on the right quote.
+        assert_eq!(
+            texts(r"c == '\'' && d"),
+            ["c", "=", "=", "'…'", "&", "&", "d"]
+        );
+        // A lifetime in a generic bound emits nothing, and the following
+        // identifier is untouched.
+        assert_eq!(
+            texts("impl<'de> Deserialize<'de> for T"),
+            ["impl", "<", ">", "Deserialize", "<", ">", "for", "T"]
+        );
+        // `'static` in a where-clause is also dropped.
+        assert_eq!(texts("where T: 'static"), ["where", "T", ":"]);
+    }
 }

@@ -20,9 +20,11 @@
 //!
 //! [`leakscan`]: https://docs.rs/leakscan
 
+pub mod callgraph;
 pub mod classify;
 pub mod determinism;
 pub mod extract;
+pub mod flow;
 pub mod lexer;
 pub mod report;
 
@@ -31,7 +33,9 @@ use std::path::{Path, PathBuf};
 
 pub use classify::{analyze_module, Facts, FnAnalysis, Verdict};
 pub use determinism::{lint_file, Hazard};
-pub use report::{diff_lines, ChannelReport, HazardReport, Report};
+pub use report::{
+    diff_lines, ChannelReport, FlowReport, FlowRow, HazardReport, MaskFindingReport, Report,
+};
 
 use extract::functions;
 use lexer::{lex, TokenKind};
@@ -57,6 +61,7 @@ pub const LINTED_CRATES: &[&str] = &[
     "cloudsim",
     "container",
     "core",
+    "leakcheck",
     "leakscan",
     "pseudofs",
     "simkernel",
@@ -84,20 +89,27 @@ pub fn audit() -> Result<Report, String> {
 /// [`audit`] against an explicit workspace root (testable entry point).
 pub fn audit_at(root: &Path) -> Result<Report, String> {
     let render_dir = root.join("crates/pseudofs/src/render");
+    let fs_src = read(&root.join("crates/pseudofs/src/fs.rs"))?;
+    let mod_src = read(&render_dir.join("mod.rs"))?;
     let mut modules: BTreeMap<String, BTreeMap<String, FnAnalysis>> = BTreeMap::new();
+    let mut graph_modules = Vec::new();
     for m in RENDER_MODULES {
         let src = read(&render_dir.join(format!("{m}.rs")))?;
         modules.insert((*m).to_string(), analyze_module(&src));
+        graph_modules.push(callgraph::parse_module(m, Some("render"), &src));
     }
+    graph_modules.push(callgraph::parse_module("render", None, &mod_src));
+    graph_modules.push(callgraph::parse_module("fs", None, &fs_src));
+    // Classify fs.rs too so the listing row gets a verdict.
+    modules.insert("fs".to_string(), analyze_module(&fs_src));
 
     let mut channels = Vec::new();
     for r in pseudofs::ROUTES {
         channels.push(channel_report(&modules, r)?);
     }
 
-    let fs_src = read(&root.join("crates/pseudofs/src/fs.rs"))?;
     cross_check(&fs_src, &modules)?;
-    check_dep_coverage(&modules)?;
+    let flow = flow_report(&graph_modules, &modules)?;
 
     let mut hazards = Vec::new();
     for c in LINTED_CRATES {
@@ -117,7 +129,11 @@ pub fn audit_at(root: &Path) -> Result<Report, String> {
         }
     }
 
-    Ok(Report { channels, hazards })
+    Ok(Report {
+        channels,
+        flow,
+        hazards,
+    })
 }
 
 /// Resolves the route's handler to its analysis and builds the row,
@@ -128,10 +144,7 @@ fn channel_report(
     route: &pseudofs::Route,
 ) -> Result<ChannelReport, String> {
     let analysis = lookup(modules, route.handler)?;
-    let deps = (0..simkernel::dep::COUNT)
-        .filter(|i| route.deps & (1 << i) != 0)
-        .map(|i| simkernel::dep::name(1 << i).to_string())
-        .collect();
+    let deps = dep_names(route.deps);
     Ok(ChannelReport::new(
         route.pattern,
         route.handler,
@@ -153,64 +166,75 @@ fn route_kernel_reads(
     Ok(reads.into_iter().collect())
 }
 
-/// Maps a kernel accessor to the dirty-epoch subsystem it reads
-/// (`simkernel::dep` bit), or 0 for construction-time constants that no
-/// mutation can change. Unknown accessors are audit failures, so a new
-/// accessor in a handler cannot silently bypass the cache-coherence lint.
-fn accessor_dep(accessor: &str) -> Result<u32, String> {
-    use simkernel::dep;
-    Ok(match accessor {
-        "clock" => dep::CLOCK,
-        "sched" | "total_idle_ns" => dep::SCHED,
-        "hw" | "rapl" => dep::HW,
-        "irq" => dep::IRQ,
-        "mem" => dep::MEM,
-        "fs" | "boot_id" => dep::FS,
-        "net" => dep::NET,
-        "timers" => dep::TIMERS,
-        "process" | "processes" | "process_count" | "last_pid" | "total_forks" => dep::PROCESS,
-        "cgroups" => dep::CGROUP,
-        "namespaces" => dep::NS,
-        "stats" => dep::STATS,
-        "config" | "seed" => 0,
-        other => {
-            return Err(format!(
-                "kernel accessor `k.{other}()` has no dirty-epoch subsystem mapping"
-            ))
-        }
-    })
+/// Subsystem names for the set bits of `mask`, in bit order.
+fn dep_names(mask: u32) -> Vec<String> {
+    simkernel::dep::BITS
+        .iter()
+        .filter(|b| mask & **b != 0)
+        .map(|b| simkernel::dep::name(*b).to_string())
+        .collect()
 }
 
-/// The cache-coherence lint: every route's declared dependency mask must
-/// cover each kernel subsystem its handler (or fast path) reads,
-/// including reads behind context/mask gates — a gated read still makes
-/// the rendered bytes depend on that subsystem. An uncovered read means
-/// the render cache would serve stale bytes after that subsystem mutates.
-fn check_dep_coverage(
+/// Runs the interprocedural flow analysis over the parsed modules and
+/// checks every registered route — plus the listing path, whose cache
+/// rests on [`pseudofs::LIST_DEPS`] — against its declared mask. This
+/// supersedes the old module-local cache-coherence lint: the derived
+/// masks here cross module boundaries and value returns, so a declared
+/// mask missing a derived bit is a *proved* stale-cache bug, reported
+/// in [`FlowReport::missing`] for the bin/CI to enforce.
+fn flow_report(
+    graph_modules: &[callgraph::Module],
     modules: &BTreeMap<String, BTreeMap<String, FnAnalysis>>,
-) -> Result<(), String> {
-    for r in pseudofs::ROUTES {
-        let mut needed = 0u32;
-        for read in route_kernel_reads(modules, r)? {
-            let accessor = read
-                .strip_prefix("k.")
-                .and_then(|s| s.strip_suffix("()"))
-                .unwrap_or(&read);
-            needed |= accessor_dep(accessor).map_err(|e| format!("`{}`: {e}", r.pattern))?;
-        }
-        let missing = needed & !r.deps;
-        if missing != 0 {
-            return Err(format!(
-                "cache-coherence: `{}` ({}) reads subsystems [{}] not covered by its declared \
-                 deps [{}] — the render cache would serve stale bytes",
-                r.pattern,
-                r.handler,
-                simkernel::dep::mask_names(missing),
-                simkernel::dep::mask_names(r.deps),
-            ));
-        }
-    }
-    Ok(())
+) -> Result<FlowReport, String> {
+    let graph = callgraph::build(graph_modules);
+    let flows = flow::analyze(&graph);
+    let mut specs: Vec<flow::RouteSpec> = pseudofs::ROUTES
+        .iter()
+        .map(|r| flow::RouteSpec {
+            pattern: r.pattern.to_string(),
+            handler: r.handler.to_string(),
+            fast_into: r.fast_into.map(str::to_string),
+            declared: r.deps,
+        })
+        .collect();
+    // The listing renders bytes too: the set of visible paths.
+    specs.push(flow::RouteSpec {
+        pattern: "(list)".to_string(),
+        handler: "fs::list_uncached".to_string(),
+        fast_into: None,
+        declared: pseudofs::LIST_DEPS,
+    });
+    let check = flow::check_routes(&flows, &specs)?;
+
+    let rows = check
+        .routes
+        .iter()
+        .map(|r| FlowRow {
+            pattern: r.pattern.clone(),
+            handler: r.handler.clone(),
+            verdict: lookup(modules, &r.handler)
+                .map(|a| a.verdict.to_string())
+                .unwrap_or_else(|_| "unclassified".to_string()),
+            derived: dep_names(r.derived),
+            hot: dep_names(r.hot),
+            declared: dep_names(r.declared),
+        })
+        .collect();
+    let finding = |m: &flow::MaskFinding| MaskFindingReport {
+        pattern: m.pattern.clone(),
+        handler: m.handler.clone(),
+        bits: dep_names(m.bits),
+        allowed: m.allowed.clone(),
+    };
+    Ok(FlowReport {
+        subsystems: simkernel::dep::BITS
+            .iter()
+            .map(|b| simkernel::dep::name(*b).to_string())
+            .collect(),
+        rows,
+        missing: check.missing.iter().map(finding).collect(),
+        extra: check.extra.iter().map(finding).collect(),
+    })
 }
 
 /// Verifies the registry against the code: the `module::function` calls
@@ -358,6 +382,79 @@ mod tests {
             unreviewed.is_empty(),
             "unreviewed determinism hazards: {unreviewed:?}"
         );
+    }
+
+    #[test]
+    fn derived_masks_cover_every_declared_mask() {
+        let report = audit().expect("audit succeeds");
+        // One row per registered route plus the listing path.
+        assert_eq!(report.flow.rows.len(), pseudofs::ROUTES.len() + 1);
+        assert!(
+            report.flow.missing.is_empty(),
+            "declared masks missing derived bits (stale-cache bugs): {:?}",
+            report.flow.missing
+        );
+        let unreviewed: Vec<_> = report
+            .flow
+            .extra
+            .iter()
+            .filter(|x| x.allowed.is_none())
+            .collect();
+        assert!(
+            unreviewed.is_empty(),
+            "declared masks with underived bits — tighten the registry or \
+             allowlist with a reason: {unreviewed:?}"
+        );
+    }
+
+    #[test]
+    fn flow_matrix_matches_the_paper_case_studies() {
+        let report = audit().expect("audit succeeds");
+        let row = |p: &str| {
+            report
+                .flow
+                .rows
+                .iter()
+                .find(|r| r.pattern == p)
+                .unwrap_or_else(|| panic!("{p} has a flow row"))
+        };
+        // Case Study I: ifpriomap leaks host net + cgroup state unrouted.
+        let ifprio = row("/sys/fs/cgroup/net_prio/net_prio.ifpriomap");
+        assert_eq!(ifprio.hot, ["net", "cgroup"]);
+        // Uptime is host-global boot time through a neutral accessor.
+        assert!(row("/proc/uptime").hot.contains(&"clock".to_string()));
+        // Pid channels route every read through the viewer's namespace.
+        let status = row("/proc/self/status");
+        assert!(status.hot.is_empty(), "{:?}", status.hot);
+        assert!(status.derived.contains(&"ns".to_string()));
+        // The listing's pid sweep is routed; its topology reads are not.
+        let list = row("(list)");
+        assert!(!list.hot.contains(&"process".to_string()));
+        assert!(list.hot.contains(&"hw".to_string()));
+    }
+
+    #[test]
+    fn allowlist_entries_match_current_hazards() {
+        // Satellite of the panic-surface re-audit: a stale allowlist
+        // entry (its site refactored away) would silently re-arm if the
+        // function name ever came back, so prune aggressively.
+        let report = audit().expect("audit succeeds");
+        let live = |file: &str, func: &str| {
+            report
+                .hazards
+                .iter()
+                .any(|h| h.file.ends_with(file) && h.function == func)
+        };
+        for (file, func, _) in determinism::ACCEPTED
+            .iter()
+            .chain(determinism::ACCEPTED_PANICS)
+        {
+            assert!(
+                live(file, func),
+                "stale allowlist entry {file}::{func} matches no current \
+                 hazard — prune it"
+            );
+        }
     }
 
     #[test]

@@ -16,9 +16,10 @@ use crate::view::{MaskAction, View};
 const LIST_KEY: &str = "\u{0}list";
 
 /// Subsystems [`PseudoFs::list`] consults: hardware presence and package
-/// counts, ext4 partitions, visible pids (process table filtered through
-/// the view's namespaces), and NUMA topology.
-const LIST_DEPS: u32 = dep::HW | dep::FS | dep::NS | dep::PROCESS | dep::MEM;
+/// counts, ext4 partitions, visible pids, and NUMA topology. Pid
+/// visibility is read through the namespace registry, and every spawn
+/// or kill bumps NS, so the process-table bit is not needed here.
+pub const LIST_DEPS: u32 = dep::HW | dep::FS | dep::NS | dep::MEM;
 
 /// The dependency mask to tag a cached render of `path` with: the
 /// registered route's declared deps, or every subsystem for paths

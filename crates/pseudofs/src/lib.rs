@@ -43,6 +43,6 @@ pub mod render;
 pub mod view;
 
 pub use error::FsError;
-pub use fs::{PseudoFs, ReadStatus};
+pub use fs::{PseudoFs, ReadStatus, LIST_DEPS};
 pub use registry::{route_for, Route, ROUTES};
 pub use view::{Context, MaskAction, MaskPolicy, MaskRule, View};

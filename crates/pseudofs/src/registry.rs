@@ -238,13 +238,17 @@ pub const ROUTES: &[Route] = &[
         "/proc/net/snmp",
         "/proc/net/snmp",
         "proc_pid::net_snmp",
-        dep::CLOCK | dep::NET | dep::NS,
+        // Synthetic counters: scale with uptime and salt on the net
+        // namespace *id* — no `k.net()` device state reaches the bytes.
+        dep::CLOCK | dep::NS,
     ),
     route(
         "/proc/net/tcp",
         "/proc/net/tcp",
         "proc_pid::net_tcp",
-        dep::NET | dep::NS | dep::PROCESS,
+        // Rows are derived from the visible process table (ports hash
+        // the pid); no `k.net()` device state reaches the bytes.
+        dep::NS | dep::PROCESS,
     ),
     route(
         "/proc/sys/kernel/pid_max",
@@ -386,7 +390,9 @@ pub const ROUTES: &[Route] = &[
         "/proc/*/sched",
         "/proc/1/sched",
         "proc_pid::pid_sched",
-        dep::CLOCK | dep::NS | dep::PROCESS,
+        // cpu_time/vruntime only move under mutations that bump
+        // PROCESS; an idle clock advance leaves the bytes unchanged.
+        dep::NS | dep::PROCESS,
     ),
     route(
         "/sys/block/*/stat",

@@ -18,6 +18,9 @@
 //!   and exit non-zero on drift (the `ci.sh` gate)
 //! * `--write`  regenerate the committed snapshot in place
 //! * `--static-only`  skip the dynamic agreement join
+//! * `--deny-missing-dep`  exit non-zero when any declared render-cache
+//!   mask is missing an interprocedurally derived dependency bit (a
+//!   proved stale-cache bug); unreviewed extra bits always warn
 
 use std::process::ExitCode;
 
@@ -46,6 +49,33 @@ fn main() -> ExitCode {
                 h.file, h.function, h.kind, h.detail
             );
         }
+        return ExitCode::FAILURE;
+    }
+
+    for m in &report.flow.missing {
+        eprintln!(
+            "leakcheck: declared mask for {} ({}) is missing derived \
+             dependency bits [{}] — stale render-cache bug",
+            m.pattern,
+            m.handler,
+            m.bits.join(", ")
+        );
+    }
+    for x in report.flow.extra.iter().filter(|x| x.allowed.is_none()) {
+        eprintln!(
+            "leakcheck: warning: declared mask for {} ({}) carries \
+             underivable bits [{}] (lost cache hits; allowlist or tighten)",
+            x.pattern,
+            x.handler,
+            x.bits.join(", ")
+        );
+    }
+    if has("--deny-missing-dep") && !report.flow.missing.is_empty() {
+        eprintln!(
+            "leakcheck: --deny-missing-dep: {} declared mask(s) missing \
+             derived bits",
+            report.flow.missing.len()
+        );
         return ExitCode::FAILURE;
     }
 

@@ -52,6 +52,13 @@ pub mod dep {
     /// Number of subsystem bits (array length of `SubsystemEpochs`).
     pub const COUNT: usize = 12;
 
+    /// Every subsystem bit in index order (`BITS[i] == 1 << i`), for
+    /// consumers that walk the lattice dimension by dimension (the
+    /// leakcheck flow matrix, the epoch-diff tests).
+    pub const BITS: [u32; COUNT] = [
+        CLOCK, SCHED, HW, IRQ, MEM, FS, NET, TIMERS, PROCESS, CGROUP, NS, STATS,
+    ];
+
     /// Human-readable name for a single dependency bit (lint reports).
     pub fn name(bit: u32) -> &'static str {
         match bit {
@@ -69,6 +76,39 @@ pub mod dep {
             STATS => "stats",
             _ => "?",
         }
+    }
+
+    /// Parses a subsystem name back to its bit — the inverse of
+    /// [`name`]. `None` for anything that is not a subsystem name.
+    pub fn from_name(s: &str) -> Option<u32> {
+        BITS.iter().copied().find(|b| name(*b) == s)
+    }
+
+    /// Maps a public [`Kernel`](crate::Kernel) accessor to the dirty-epoch
+    /// subsystem bit its reads depend on. This table is the authoritative
+    /// source→subsystem binding of the taint analysis: `Some(0)` marks
+    /// construction-time constants no mutation can change (`config`,
+    /// `seed`), and `None` marks accessors outside the mapped render
+    /// surface — the leakcheck flow analysis treats those as hard audit
+    /// failures when they are reachable from a registered channel, so a
+    /// new accessor in a handler cannot silently bypass cache coherence.
+    pub fn accessor_bit(accessor: &str) -> Option<u32> {
+        Some(match accessor {
+            "clock" => CLOCK,
+            "sched" | "total_idle_ns" => SCHED,
+            "hw" | "rapl" => HW,
+            "irq" => IRQ,
+            "mem" => MEM,
+            "fs" | "boot_id" => FS,
+            "net" => NET,
+            "timers" => TIMERS,
+            "process" | "processes" | "process_count" | "last_pid" | "total_forks" => PROCESS,
+            "cgroups" => CGROUP,
+            "namespaces" => NS,
+            "stats" => STATS,
+            "config" | "seed" => 0,
+            _ => return None,
+        })
     }
 
     /// Renders a mask as a `+`-joined list of subsystem names.
@@ -285,5 +325,24 @@ mod tests {
     fn mask_names_renders_bits() {
         assert_eq!(dep::mask_names(dep::SCHED | dep::CLOCK), "clock+sched");
         assert_eq!(dep::mask_names(0), "(none)");
+    }
+
+    #[test]
+    fn bits_are_index_ordered_and_names_round_trip() {
+        for (i, bit) in dep::BITS.iter().enumerate() {
+            assert_eq!(*bit, 1 << i);
+            assert_eq!(dep::from_name(dep::name(*bit)), Some(*bit));
+        }
+        assert_eq!(dep::BITS.iter().fold(0, |m, b| m | b), dep::ALL);
+        assert_eq!(dep::from_name("quantum"), None);
+    }
+
+    #[test]
+    fn accessor_bits_cover_the_render_surface() {
+        assert_eq!(dep::accessor_bit("namespaces"), Some(dep::NS));
+        assert_eq!(dep::accessor_bit("total_idle_ns"), Some(dep::SCHED));
+        assert_eq!(dep::accessor_bit("boot_id"), Some(dep::FS));
+        assert_eq!(dep::accessor_bit("config"), Some(0));
+        assert_eq!(dep::accessor_bit("tracer"), None);
     }
 }
