@@ -2,8 +2,8 @@
 # Full local gate: build, tests, lints, formatting, the determinism
 # regressions for the parallel experiment runner (--jobs 1 vs --jobs 4,
 # event-horizon coalescing on vs off, and render caching on vs off must
-# all produce byte-identical EXPERIMENTS.md / .json artifacts), and the
-# bench medians gate.
+# all produce byte-identical EXPERIMENTS.md / .json artifacts), the
+# 16-seed campaign metamorphic-oracle sweep, and the bench medians gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -123,6 +123,18 @@ grep -v '"name":"pseudofs.cache_' "$tmp/f1.trace" > "$tmp/f1.trace.nocache"
 grep -v '"name":"pseudofs.cache_' "$tmp/fr0.trace" > "$tmp/fr0.trace.nocache"
 same "$tmp/f1.trace.nocache" "$tmp/fr0.trace.nocache"
 echo "byte-identical with render caching disabled and faults active (trace modulo cache occupancy)"
+
+echo "== campaign: 16-seed metamorphic sweep, --jobs 1 vs --jobs 4 =="
+# Every scenario must pass every oracle (the bin exits non-zero on any
+# violation or panic), and the report artifacts must not depend on the
+# worker count.
+cargo run --offline --release -q -p containerleaks-experiments --bin campaign -- \
+    --seeds 16 --jobs 1 --out "$tmp/camp1.md" >/dev/null 2>&1
+cargo run --offline --release -q -p containerleaks-experiments --bin campaign -- \
+    --seeds 16 --jobs 4 --out "$tmp/camp4.md" >/dev/null 2>&1
+same "$tmp/camp1.md" "$tmp/camp4.md"
+same "$tmp/camp1.json" "$tmp/camp4.json"
+echo "16 scenarios green, report byte-identical across job counts"
 
 echo "== bench medians vs committed baseline =="
 ./scripts/bench_compare.sh

@@ -15,10 +15,13 @@
 //! * `fig6_training`     — one training-interval sample collection
 //! * `fig8_model_eval`   — power-model inference per perf-counter delta
 //! * `fig9_ns_update`    — one power-namespace calibration interval
+//! * `campaign_sweep`    — one seed-derived scenario through all four
+//!   metamorphic campaign oracles
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use containerleaks::campaign::CampaignConfig;
 use containerleaks::cloudsim::{Cloud, CloudConfig, CloudProfile, HostId, InstanceSpec};
 use containerleaks::container_runtime::ContainerSpec;
 use containerleaks::leakscan::metrics::joint_entropy;
@@ -324,6 +327,17 @@ fn bench_kernel_tick(c: &mut Criterion) {
     });
 }
 
+fn bench_campaign_sweep(c: &mut Criterion) {
+    // One seed-derived scenario through all four metamorphic oracles —
+    // the campaign fuzzer's per-seed unit of work. Seed 11 derives the
+    // smallest scenario shape (one host, one tenant, light churn), so
+    // this tracks the oracle overhead itself rather than fleet size.
+    let cfg = CampaignConfig::sweep(11, 1).shrink(false);
+    c.bench_function("campaign_sweep", |b| {
+        b.iter(|| black_box(containerleaks::campaign::run(&cfg)))
+    });
+}
+
 fn bench_namespace_install(c: &mut Criterion) {
     let model = Trainer::new(11).train();
     c.bench_function("defense_namespace_install", |b| {
@@ -358,6 +372,7 @@ criterion_group!(
         bench_hardening,
         bench_hardening_cached,
         bench_kernel_tick,
+        bench_campaign_sweep,
         bench_namespace_install,
 );
 criterion_main!(pipelines);

@@ -616,6 +616,45 @@ impl Cloud {
         }
     }
 
+    /// Sets event-horizon tick coalescing on every host kernel. Campaign
+    /// scenarios flip this *per cloud* rather than via the process-wide
+    /// default, so concurrently running scenarios with different modes
+    /// never race each other.
+    pub fn set_coalescing(&mut self, on: bool) {
+        for host in &mut self.hosts {
+            host.kernel.set_coalescing(on);
+        }
+    }
+
+    /// Sets pseudo-file render caching on every host kernel (same
+    /// per-cloud rationale as [`Cloud::set_coalescing`]).
+    pub fn set_render_caching(&mut self, on: bool) {
+        for host in &mut self.hosts {
+            host.kernel.set_render_caching(on);
+        }
+    }
+
+    /// Terminates every instance a tenant owns, in instance-id order
+    /// (the bulk-departure half of tenant churn), returning how many
+    /// instances were torn down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first runtime teardown failure.
+    pub fn terminate_tenant(&mut self, tenant: &str) -> Result<usize, CloudError> {
+        let ids: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.tenant == tenant)
+            .map(|i| i.id)
+            .collect();
+        let n = ids.len();
+        for id in ids {
+            self.terminate(id)?;
+        }
+        Ok(n)
+    }
+
     /// Reboots a physical host: every instance on it is lost (as in a
     /// real power cycle), the kernel comes back with a fresh boot id and
     /// zeroed accumulators, and the wall clock continues from where the

@@ -426,6 +426,10 @@ impl Runtime {
             .containers
             .remove(&id)
             .ok_or(RuntimeError::NoSuchContainer(id))?;
+        // The dead container's view fingerprint can never recur (it folds
+        // the monotone namespace/cgroup ids), so its render-cache entries
+        // are unreachable — evict them or churn grows the cache forever.
+        kernel.render_cache_evict_view(c.view().fingerprint());
         kernel.destroy_container_env(&c.env)?;
         Ok(())
     }

@@ -2104,8 +2104,18 @@ pub fn run_entries_with(
         .collect()
 }
 
+/// The command re-running exactly one experiment at one seed — carried
+/// in panic failure entries so any failure line is actionable on its
+/// own.
+pub fn repro_command(id: &str, seed: u64) -> String {
+    format!(
+        "cargo run --release -p containerleaks-experiments --bin all -- --seed {seed} --only {id}"
+    )
+}
+
 /// Runs one driver behind a panic guard: a panicking experiment becomes a
-/// structured failure entry instead of tearing down the whole run.
+/// structured failure entry — carrying the panic message, the seed, and
+/// a copy-pasteable repro command — instead of tearing down the run.
 fn run_guarded(name: &str, f: ExperimentFn, seed: u64, fig2_days: u64) -> ExperimentResult {
     // Kernels created inside the driver flush their trace buffers under
     // deterministic `{experiment}/k{NNN}` scopes regardless of which worker
@@ -2121,7 +2131,14 @@ fn run_guarded(name: &str, f: ExperimentFn, seed: u64, fig2_days: u64) -> Experi
             } else {
                 "opaque panic payload".to_string()
             };
-            ExperimentResult::failed(name, name, format!("driver panicked: {msg}"))
+            ExperimentResult::failed(
+                name,
+                name,
+                format!(
+                    "driver panicked: {msg} (seed {seed}; repro: {})",
+                    repro_command(name, seed)
+                ),
+            )
         }
     }
 }
@@ -2196,6 +2213,15 @@ mod tests {
             assert!(
                 err.contains("injected driver panic"),
                 "panic message lost: {err:?}"
+            );
+            assert!(err.contains("seed 7"), "scenario seed lost: {err:?}");
+            assert!(
+                err.contains(&repro_command("boom", 7)),
+                "repro command lost: {err:?}"
+            );
+            assert!(
+                err.contains("--only boom"),
+                "repro must pin the experiment: {err:?}"
             );
             assert!(results[1].all_hold(), "healthy driver was disturbed");
         }

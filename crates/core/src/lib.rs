@@ -34,6 +34,7 @@
 //! assert!(leaks.contains(&"/proc/timer_list".to_string()));
 //! ```
 
+pub use campaign;
 pub use cloudsim;
 pub use container_runtime;
 pub use leakcheck;

@@ -6,7 +6,9 @@
 //! cores; `--jobs 1` reproduces the serial order), `--coalesce <on|off>`
 //! to toggle event-horizon tick coalescing (default on),
 //! `--render-cache <on|off>` to toggle epoch-keyed pseudo-file render
-//! caching (default on), `--trace <path>` to write the deterministic
+//! caching (default on), `--only <id>[,<id>...]` to run a subset of the
+//! registry (how panic-failure repro commands pin one experiment),
+//! `--trace <path>` to write the deterministic
 //! JSONL trace artifact, and `--counters` to print the per-subsystem
 //! counter and sim-time profile summary. Every experiment driver is a
 //! pure function of the seed, so the written artifacts — the trace
@@ -35,18 +37,40 @@ fn main() {
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
 
-    let total = containerleaks::experiments::EXPERIMENTS.len();
+    let entries: Vec<(&str, containerleaks::experiments::ExperimentFn)> =
+        match args.windows(2).find(|w| w[0] == "--only").map(|w| &w[1]) {
+            Some(only) => {
+                let wanted: Vec<&str> = only.split(',').collect();
+                let picked: Vec<_> = containerleaks::experiments::EXPERIMENTS
+                    .iter()
+                    .filter(|(name, _)| wanted.contains(name))
+                    .copied()
+                    .collect();
+                if picked.len() != wanted.len() {
+                    let known: Vec<&str> = containerleaks::experiments::EXPERIMENTS
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect();
+                    eprintln!("unknown experiment in --only {only}; known: {known:?}");
+                    std::process::exit(2);
+                }
+                picked
+            }
+            None => containerleaks::experiments::EXPERIMENTS.to_vec(),
+        };
+    let total = entries.len();
     let done = AtomicUsize::new(0);
-    let results = containerleaks::experiments::run_all_with(seed, days, jobs, |_, r| {
-        // Progress in completion order; the result vector (and therefore
-        // everything printed or written below) stays in paper order.
-        eprintln!(
-            "[{}/{total}] {} — {}",
-            done.fetch_add(1, Ordering::Relaxed) + 1,
-            r.id,
-            if r.all_hold() { "ok" } else { "CLAIMS FAILED" }
-        );
-    });
+    let results =
+        containerleaks::experiments::run_entries_with(&entries, seed, days, jobs, |_, r| {
+            // Progress in completion order; the result vector (and therefore
+            // everything printed or written below) stays in paper order.
+            eprintln!(
+                "[{}/{total}] {} — {}",
+                done.fetch_add(1, Ordering::Relaxed) + 1,
+                r.id,
+                if r.all_hold() { "ok" } else { "CLAIMS FAILED" }
+            );
+        });
     for r in &results {
         containerleaks_experiments::emit(r);
         println!();

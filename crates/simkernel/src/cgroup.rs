@@ -499,6 +499,19 @@ impl CgroupForest {
             }
         }
     }
+
+    /// Drops a removed host interface from every net_prio cgroup
+    /// (interface teardown, e.g. a container veth). Without this, churny
+    /// create/destroy loops grow every map without bound — and a later
+    /// interface that happens to reuse the name would resurrect the dead
+    /// device's priority instead of starting at 0.
+    pub fn unregister_host_iface(&mut self, iface: &str) {
+        for n in self.nodes.iter_mut().flatten() {
+            if let CgroupData::NetPrio { ifpriomap } = &mut n.data {
+                ifpriomap.remove(iface);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -264,6 +264,16 @@ impl RenderCache {
             .insert(path.to_string(), entry);
     }
 
+    /// Drops every entry cached under `view_fp`, returning how many were
+    /// removed. Called on container teardown: a destroyed container's
+    /// fingerprint can never be probed again (fingerprints fold the
+    /// monotone namespace and cgroup ids), so its entries are dead weight
+    /// that high-churn create/destroy loops would otherwise accumulate
+    /// without bound.
+    pub fn evict_view(&mut self, view_fp: u64) -> usize {
+        self.views.remove(&view_fp).map_or(0, |m| m.len())
+    }
+
     /// Total number of cached entries across all views (tests).
     pub fn len(&self) -> usize {
         self.views.values().map(|m| m.len()).sum()

@@ -589,6 +589,34 @@ impl Kernel {
             .store(view_fp, key, entry);
     }
 
+    /// Drops every render-cache entry stored under `view_fp`, returning
+    /// the count removed. Container runtimes call this on removal: the
+    /// dead container's fingerprint can never recur (fingerprints fold
+    /// the monotone namespace/cgroup ids), so its entries would otherwise
+    /// sit in the cache forever — unbounded growth under create/destroy
+    /// churn. Purely an occupancy operation; rendered bytes are
+    /// unaffected.
+    pub fn render_cache_evict_view(&self, view_fp: u64) -> usize {
+        let evicted = self
+            .render_cache
+            .lock()
+            .expect("render cache poisoned")
+            .evict_view(view_fp);
+        if evicted > 0 {
+            simtrace::counters::add("pseudofs.cache_evicted", evicted as u64);
+        }
+        evicted
+    }
+
+    /// Number of live render-cache entries (occupancy; tests and the
+    /// churn driver's growth-bound assertions).
+    pub fn render_cache_len(&self) -> usize {
+        self.render_cache
+            .lock()
+            .expect("render cache poisoned")
+            .len()
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
@@ -1301,6 +1329,13 @@ impl Kernel {
             self.cgroups.remove(id)?;
         }
         self.net.remove_device(&env.veth);
+        // Teardown must also unwind what creation registered elsewhere:
+        // the veth's per-cgroup net_prio entries (a name-colliding future
+        // veth must start at priority 0, not resurrect this one's) and
+        // the seven namespaces (the registry would otherwise grow without
+        // bound under container churn).
+        self.cgroups.unregister_host_iface(&env.veth);
+        self.ns.remove_container_set(&env.ns);
         self.bump_epochs(dep::NS | dep::NET | dep::CGROUP);
         Ok(())
     }

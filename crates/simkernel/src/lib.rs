@@ -44,6 +44,7 @@
 //! ```
 
 pub mod cgroup;
+pub mod churn;
 pub mod config;
 pub mod epoch;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod time;
 pub mod timers;
 
 pub use cgroup::{CgroupForest, CgroupId, CgroupKind};
+pub use churn::{ChurnDriver, ChurnEvent, ChurnPlan, ChurnStats};
 pub use config::MachineConfig;
 pub use epoch::{dep, SubsystemEpochs};
 pub use error::KernelError;

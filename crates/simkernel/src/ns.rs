@@ -339,6 +339,21 @@ impl NamespaceRegistry {
         }
     }
 
+    /// Removes a container's seven namespaces from the registry
+    /// (container teardown). Host namespaces are never removed, even if
+    /// a stale or hostile set references them — destroying a container
+    /// must not be able to tear down the initial namespaces. Without
+    /// this, high-churn create/destroy loops grow the registry without
+    /// bound and destroyed-container payloads linger forever.
+    pub fn remove_container_set(&mut self, set: &NamespaceSet) {
+        for kind in NamespaceKind::ALL {
+            let id = set.of(kind);
+            if id != self.host.of(kind) {
+                self.table.remove(&id);
+            }
+        }
+    }
+
     /// The pid of `host_pid` as seen from `pid_ns`, if visible there.
     pub fn pid_in_ns(&self, pid_ns: NsId, host_pid: HostPid) -> Option<u32> {
         match self.table.get(&pid_ns)? {

@@ -1,0 +1,88 @@
+//! End-to-end pins for the seed-derived campaign fuzzer.
+//!
+//! A small real sweep must come back green through every metamorphic
+//! oracle, byte-identically for any worker count; and the injected
+//! threshold fixture must be caught, survive panic isolation, and be
+//! shrunk to exactly its minimal failing seed-plus-overrides.
+
+use containerleaks::campaign::{
+    run, CampaignConfig, InjectedViolation, Overrides, Scenario, Status,
+};
+
+#[test]
+fn a_small_sweep_passes_every_oracle_in_any_jobs_mode() {
+    let sweep = |jobs: usize| run(&CampaignConfig::sweep(0, 6).jobs(jobs).shrink(false));
+    let serial = sweep(1);
+    assert!(
+        serial.all_green(),
+        "sweep found real failures: {}",
+        serial.render_md()
+    );
+    assert_eq!(serial.outcomes.len(), 6);
+    assert_eq!(serial.passed(), 6);
+
+    let pooled = sweep(4);
+    assert_eq!(
+        serial.render_md(),
+        pooled.render_md(),
+        "the report depends on the worker count"
+    );
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&pooled).unwrap(),
+    );
+}
+
+#[test]
+fn an_injected_violation_is_reported_and_shrunk_to_its_thresholds() {
+    // The fixture fails whenever hosts ≥ 2, tenants ≥ 2, and churn ≥ 3
+    // all hold. Pin the starting scenario well above every threshold so
+    // the shrinker has real distance to cover on each dimension.
+    let inject = InjectedViolation {
+        min_hosts: 2,
+        min_tenants: 2,
+        min_churn: 3,
+    };
+    let start = Overrides {
+        hosts: Some(4),
+        tenants: Some(5),
+        churn_cycles: Some(20),
+        faults: None,
+    };
+    let report = run(&CampaignConfig::sweep(77, 1)
+        .overrides(start)
+        .inject(inject)
+        .shrink(true));
+    assert_eq!(report.violations(), 1);
+    assert_eq!(report.panics(), 0);
+
+    let outcome = &report.outcomes[0];
+    match &outcome.status {
+        Status::Violated { oracle, .. } => assert_eq!(oracle, "injected"),
+        other => panic!("expected a violation, got {other:?}"),
+    }
+    let shrink = outcome.shrink.as_ref().expect("failure was shrunk");
+    let minimal = Scenario::derive(77).with(&shrink.minimal);
+    assert_eq!(minimal.hosts, 2, "hosts shrunk to the fixture threshold");
+    assert_eq!(
+        minimal.tenants, 2,
+        "tenants shrunk to the fixture threshold"
+    );
+    assert_eq!(
+        minimal.churn_cycles, 3,
+        "churn shrunk to the fixture threshold"
+    );
+
+    // The repro command replays the minimal scenario, not the original.
+    assert!(outcome.repro.contains("--seed 77"), "{}", outcome.repro);
+    assert!(outcome.repro.contains("--hosts 2"), "{}", outcome.repro);
+    assert!(outcome.repro.contains("--tenants 2"), "{}", outcome.repro);
+    assert!(outcome.repro.contains("--churn 3"), "{}", outcome.repro);
+
+    // And replaying the shrunk overrides still trips the same fixture.
+    let replay = run(&CampaignConfig::sweep(77, 1)
+        .overrides(shrink.minimal)
+        .inject(inject)
+        .shrink(false));
+    assert_eq!(replay.violations(), 1, "the minimal repro no longer fails");
+}
