@@ -124,6 +124,35 @@ grep -v '"name":"pseudofs.cache_' "$tmp/fr0.trace" > "$tmp/fr0.trace.nocache"
 same "$tmp/f1.trace.nocache" "$tmp/fr0.trace.nocache"
 echo "byte-identical with render caching disabled and faults active (trace modulo cache occupancy)"
 
+echo "== determinism: fleet shards 1 vs 8 =="
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --jobs 4 --shards 1 --out "$tmp/s1.md" --trace "$tmp/s1.trace" >/dev/null
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --jobs 4 --shards 8 --out "$tmp/s8.md" --trace "$tmp/s8.trace" >/dev/null
+same "$tmp/j1.md" "$tmp/s1.md"
+same "$tmp/s1.md" "$tmp/s8.md"
+same "$tmp/s1.json" "$tmp/s8.json"
+# Shard membership changes which calendar a host's horizon lives in —
+# and so the calendar-pop/sync bookkeeping, which carries the documented
+# mode-exempt tag. Every observable line must be byte-identical.
+grep -v '"group":"mode-exempt"' "$tmp/s1.trace" > "$tmp/s1.trace.portable"
+grep -v '"group":"mode-exempt"' "$tmp/s8.trace" > "$tmp/s8.trace.portable"
+same "$tmp/s1.trace.portable" "$tmp/s8.trace.portable"
+echo "byte-identical across shard counts (trace modulo mode-exempt)"
+
+echo "== determinism under faults: fleet shards 1 vs 8 =="
+cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
+    --jobs 4 --shards 1 --out "$tmp/fs1.md" --trace "$tmp/fs1.trace" >/dev/null
+cargo run --offline --release -q -p containerleaks-experiments --bin fault_matrix -- \
+    --jobs 4 --shards 8 --out "$tmp/fs8.md" --trace "$tmp/fs8.trace" >/dev/null
+same "$tmp/f1.md" "$tmp/fs1.md"
+same "$tmp/fs1.md" "$tmp/fs8.md"
+same "$tmp/fs1.json" "$tmp/fs8.json"
+grep -v '"group":"mode-exempt"' "$tmp/fs1.trace" > "$tmp/fs1.trace.portable"
+grep -v '"group":"mode-exempt"' "$tmp/fs8.trace" > "$tmp/fs8.trace.portable"
+same "$tmp/fs1.trace.portable" "$tmp/fs8.trace.portable"
+echo "byte-identical across shard counts with faults active (trace modulo mode-exempt)"
+
 echo "== campaign: 16-seed metamorphic sweep, --jobs 1 vs --jobs 4 =="
 # Every scenario must pass every oracle (the bin exits non-zero on any
 # violation or panic), and the report artifacts must not depend on the

@@ -10,6 +10,11 @@
 //! * `table2_metrics`    — entropy computation over a 60-point trace
 //! * `table3_unixbench`  — the full UnixBench overhead replay
 //! * `fig2_tick`         — one simulated second of an 8-host fleet
+//! * `fleet_10k_week`    — a simulated week across 10,000 hosts on the
+//!   sharded lazy calendar (`_unsharded` is the one-shard eager
+//!   baseline the benchgate holds it ≥5x ahead of)
+//! * `fleet_calendar_pop` — the calendar pop/sync/re-push cycle with
+//!   every host due each advance
 //! * `fig3_attack_step`  — one attack-campaign control step (RAPL sample)
 //! * `fig4_staircase`    — launching + measuring one attack container
 //! * `fig6_training`     — one training-interval sample collection
@@ -182,6 +187,95 @@ fn bench_fleet_advance_pool(c: &mut Criterion) {
     });
 }
 
+/// Shared fleet for the datacenter-scale calendar benches: 10,000
+/// hosts, no background churn, and a 32-instance active subset placed
+/// by the capacity index. The week is stepped at a one-hour control
+/// cadence — the shape `advance_secs` sees from an orchestrator that
+/// wakes up periodically over an almost entirely quiescent fleet.
+fn fleet_10k(unsharded_eager: bool) -> Cloud {
+    let mut cfg = CloudConfig::new(CloudProfile::CC2)
+        .hosts(10_000)
+        .without_background();
+    if unsharded_eager {
+        cfg = cfg.shards(1).eager_advance();
+    }
+    let mut cloud = Cloud::new(cfg, 9);
+    for i in 0..32 {
+        let tenant = format!("t{}", i % 4);
+        cloud
+            .launch(&tenant, InstanceSpec::new(format!("i{i}")).vcpus(1))
+            .expect("10k-host fleet has room for 32 instances");
+    }
+    cloud.install_faults(&containerleaks::simkernel::FaultPlan::standard(9));
+    cloud
+}
+
+fn bench_fleet_10k_week(c: &mut Criterion) {
+    // The headline calendar number: a simulated week across 10,000
+    // hosts. Each of the 168 hourly advances pops only the due hosts
+    // from the shard calendars; the quiescent thousands are never
+    // touched until the closing power observation syncs host 0.
+    let mut cloud = fleet_10k(false);
+    c.bench_function("fleet_10k_week", |b| {
+        b.iter(|| {
+            for _ in 0..168 {
+                cloud.advance_secs(3600);
+            }
+            black_box(cloud.host_power_w(HostId(0)))
+        })
+    });
+}
+
+fn bench_fleet_10k_week_unsharded(c: &mut Criterion) {
+    // Same fleet and cadence with the calendar disabled: one shard,
+    // eager advance, so every hourly step walks all 10,000 hosts. The
+    // compare gate demands `fleet_10k_week` beat this by at least 5x.
+    let mut cloud = fleet_10k(true);
+    c.bench_function("fleet_10k_week_unsharded", |b| {
+        b.iter(|| {
+            for _ in 0..168 {
+                cloud.advance_secs(3600);
+            }
+            black_box(cloud.host_power_w(HostId(0)))
+        })
+    });
+}
+
+fn bench_fleet_calendar_pop(c: &mut Criterion) {
+    // Prices the pop/sync/re-push cycle itself: 192 hosts each wired
+    // with a 1 Hz implanted timer, so every one-second advance makes
+    // every host due and the calendar cannot skip anything.
+    let mut cloud = Cloud::new(
+        CloudConfig::new(CloudProfile::CC2)
+            .hosts(192)
+            .without_background(),
+        9,
+    );
+    let ids: Vec<_> = (0..192)
+        .map(|i| {
+            cloud
+                .launch("t0", InstanceSpec::new(format!("i{i}")).vcpus(1))
+                .expect("one instance per host fits")
+        })
+        .collect();
+    // A sleeping owner process per container (timers need a live pid),
+    // then the timers themselves: every host quiescent but for its tick.
+    for (i, id) in ids.into_iter().enumerate() {
+        cloud
+            .exec(id, &format!("owner-{i}"), models::sleeper())
+            .expect("instance is live");
+        cloud
+            .implant_timer(id, &format!("tick-{i}"))
+            .expect("owner process is live");
+    }
+    c.bench_function("fleet_calendar_pop", |b| {
+        b.iter(|| {
+            cloud.advance_secs(1);
+            black_box(cloud.rack_power_w(0))
+        })
+    });
+}
+
 fn bench_fig3_attack_step(c: &mut Criterion) {
     let mut cloud = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(4), 3);
     let obs = cloud
@@ -189,12 +283,12 @@ fn bench_fig3_attack_step(c: &mut Criterion) {
         .expect("launch");
     let mut monitor = RaplMonitor::new();
     let mut t = 0.0f64;
-    let _ = monitor.sample_watts(&cloud, obs, t);
+    let _ = monitor.sample_watts(&mut cloud, obs, t);
     c.bench_function("fig3_attack_step_rapl_sample", |b| {
         b.iter(|| {
             cloud.advance_secs(1);
             t += 1.0;
-            black_box(monitor.sample_watts(&cloud, obs, t).expect("readable"))
+            black_box(monitor.sample_watts(&mut cloud, obs, t).expect("readable"))
         })
     });
 }
@@ -363,6 +457,9 @@ criterion_group!(
         bench_fig2_week_segment,
         bench_fig2_week_segment_coalesced,
         bench_fleet_advance_pool,
+        bench_fleet_10k_week,
+        bench_fleet_10k_week_unsharded,
+        bench_fleet_calendar_pop,
         bench_fig3_attack_step,
         bench_fig4_staircase,
         bench_fig6_training,

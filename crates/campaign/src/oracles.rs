@@ -8,6 +8,8 @@
 //!   increases a channel's observable entropy.
 //! * [`mode_invariance`] — the scenario transcript digest is identical
 //!   across coalescing, render-cache, and `--jobs` modes.
+//! * [`shard_invariance`] — the transcript digest is identical across
+//!   fleet shard counts, worker threads, and the eager reference path.
 //! * [`power_monotone`] — the power attack's peak aggregate power is
 //!   monotone in the number of co-resident payload hosts.
 //! * [`churn_soundness`] — under create/destroy churn, a render-caching
@@ -34,7 +36,8 @@ use crate::{fnv_fold, FNV_OFFSET};
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct Violation {
     /// Oracle name (`mask-monotonic`, `mode-invariance`,
-    /// `power-monotone`, `churn-soundness`, or `injected`).
+    /// `shard-invariance`, `power-monotone`, `churn-soundness`, or
+    /// `injected`).
     pub oracle: &'static str,
     /// What broke, with enough context to start debugging.
     pub detail: String,
@@ -74,6 +77,7 @@ const PROBE_CHANNELS: &[&str] = &[
 pub fn check_all(sc: &Scenario) -> Result<(), Violation> {
     mask_monotonic(sc)?;
     mode_invariance(sc)?;
+    shard_invariance(sc)?;
     power_monotone(sc)?;
     churn_soundness(sc)?;
     Ok(())
@@ -218,10 +222,21 @@ const TRANSCRIPT_CHANNELS: &[&str] = &[
 
 /// Runs the scenario's tenant-lifecycle transcript in the given mode and
 /// digests every observable byte (and error) into one FNV-1a value.
-fn transcript_digest(sc: &Scenario, coalesce: bool, cache: bool, threads: usize) -> u64 {
-    let cfg = CloudConfig::new(sc.profile)
+fn transcript_digest(
+    sc: &Scenario,
+    coalesce: bool,
+    cache: bool,
+    threads: usize,
+    shards: usize,
+    eager: bool,
+) -> u64 {
+    let mut cfg = CloudConfig::new(sc.profile)
         .hosts(sc.hosts)
+        .shards(shards)
         .without_background();
+    if eager {
+        cfg = cfg.eager_advance();
+    }
     let mut cloud = Cloud::new(cfg, sc.seed);
     cloud.set_coalescing(coalesce);
     cloud.set_render_caching(cache);
@@ -294,7 +309,7 @@ fn transcript_digest(sc: &Scenario, coalesce: bool, cache: bool, threads: usize)
 /// A [`Violation`] naming the mode whose digest diverged.
 pub fn mode_invariance(sc: &Scenario) -> Result<(), Violation> {
     const V: &str = "mode-invariance";
-    let base = transcript_digest(sc, sc.coalesce, sc.render_cache, 1);
+    let base = transcript_digest(sc, sc.coalesce, sc.render_cache, 1, sc.shards, false);
     let runs = [
         ("coalescing flipped", !sc.coalesce, sc.render_cache, 1),
         ("render cache flipped", sc.coalesce, !sc.render_cache, 1),
@@ -302,7 +317,40 @@ pub fn mode_invariance(sc: &Scenario) -> Result<(), Violation> {
         ("all flipped, jobs=4", !sc.coalesce, !sc.render_cache, 4),
     ];
     for (label, co, rc, threads) in runs {
-        let d = transcript_digest(sc, co, rc, threads);
+        let d = transcript_digest(sc, co, rc, threads, sc.shards, false);
+        if d != base {
+            return Err(Violation::new(
+                V,
+                format!("transcript digest diverged with {label}: {base:016x} vs {d:016x}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle: transcript bytes are invariant across fleet sharding.
+///
+/// The same scenario transcript is replayed with the shard count forced
+/// to one and to more shards than the scenario has hosts, with worker
+/// threads raised, and on the eager (calendar-free) reference path; every
+/// replay must produce the identical digest, because how the fleet is
+/// partitioned — and whether quiescent hosts are fast-forwarded lazily
+/// or stepped naively — is pure mechanism, never observable.
+///
+/// # Errors
+///
+/// A [`Violation`] naming the sharding whose digest diverged.
+pub fn shard_invariance(sc: &Scenario) -> Result<(), Violation> {
+    const V: &str = "shard-invariance";
+    let base = transcript_digest(sc, sc.coalesce, sc.render_cache, 1, sc.shards, false);
+    let runs = [
+        ("shards=1", 1usize, 1usize, false),
+        ("shards=8", 8, 1, false),
+        ("shards=8, jobs=4", 8, 4, false),
+        ("eager reference", 1, 1, true),
+    ];
+    for (label, shards, threads, eager) in runs {
+        let d = transcript_digest(sc, sc.coalesce, sc.render_cache, threads, shards, eager);
         if d != base {
             return Err(Violation::new(
                 V,

@@ -41,6 +41,8 @@ pub struct Scenario {
     pub jobs: usize,
     /// Diurnal background demand level (0.10..0.45).
     pub demand: f64,
+    /// Fleet shard count for the event calendar (1..=4).
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -60,6 +62,9 @@ impl Scenario {
         let render_cache = rng.random_range(0..2u32) == 0;
         let jobs = rng.random_range(1..5usize);
         let demand = 0.10 + 0.35 * rng.random::<f64>();
+        // Appended after the PR-4-era dimensions so every seed keeps
+        // deriving the same values for them.
+        let shards = rng.random_range(1..5usize);
         Scenario {
             seed,
             hosts,
@@ -73,6 +78,7 @@ impl Scenario {
             render_cache,
             jobs,
             demand,
+            shards,
         }
     }
 
@@ -118,7 +124,7 @@ impl Scenario {
     /// One-line summary of the derived dimensions (report tables).
     pub fn summary(&self) -> String {
         format!(
-            "{}h/{}t churn={} steps={} {} {} {}/{}/j{} d={:.2}",
+            "{}h/{}t churn={} steps={} {} {} {}/{}/j{} d={:.2} s{}",
             self.hosts,
             self.tenants,
             self.churn_cycles,
@@ -129,6 +135,7 @@ impl Scenario {
             if self.render_cache { "rc" } else { "norc" },
             self.jobs,
             self.demand,
+            self.shards,
         )
     }
 }
@@ -198,6 +205,7 @@ mod tests {
             assert!((1..=2).contains(&s.attackers));
             assert!((1..=4).contains(&s.jobs));
             assert!((0.10..0.45).contains(&s.demand));
+            assert!((1..=4).contains(&s.shards));
         }
     }
 

@@ -6,12 +6,29 @@
 //! vCPUs), a *continuous* power attack runs the meter at 100% and gets
 //! expensive, while a synergistic attack that mostly just reads RAPL is
 //! nearly free. This module meters exactly that.
+//!
+//! Tenants are identified by interned [`TenantId`]s (the cloud keeps the
+//! name table), so the per-advance metering loop indexes a dense vector
+//! instead of hashing and cloning tenant name strings.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::InstanceId;
+
+/// An interned tenant identity: index into the cloud's tenant table.
+/// Ids are dense and assigned in first-launch order, so they double as
+/// billing-ledger indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
 
 /// Pricing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,13 +69,12 @@ impl TenantBill {
     }
 }
 
-/// The provider-side metering ledger.
+/// The provider-side metering ledger, indexed by dense [`TenantId`].
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    bills: HashMap<String, TenantBill>,
+    bills: Vec<TenantBill>,
     // Last metered cumulative cpu usage per instance, to compute deltas.
     last_usage_ns: HashMap<InstanceId, u64>,
-    owner: HashMap<InstanceId, String>,
 }
 
 impl Ledger {
@@ -67,24 +83,30 @@ impl Ledger {
         Ledger::default()
     }
 
+    fn slot(&mut self, tenant: TenantId) -> &mut TenantBill {
+        let idx = tenant.0 as usize;
+        if self.bills.len() <= idx {
+            self.bills.resize(idx + 1, TenantBill::default());
+        }
+        &mut self.bills[idx]
+    }
+
     /// Opens metering for an instance.
-    pub fn open(&mut self, tenant: &str, id: InstanceId) {
+    pub fn open(&mut self, tenant: TenantId, id: InstanceId) {
         self.last_usage_ns.insert(id, 0);
-        self.owner.insert(id, tenant.to_string());
-        self.bills.entry(tenant.to_string()).or_default();
+        let _ = self.slot(tenant);
     }
 
     /// Closes metering (instance terminated). Accumulated charges remain.
     pub fn close(&mut self, id: InstanceId) {
         self.last_usage_ns.remove(&id);
-        self.owner.remove(&id);
     }
 
     /// Meters one interval: `cumulative_usage_ns` is the instance's
     /// cpuacct total; `interval_secs` the wall time since the last meter.
     pub fn meter(
         &mut self,
-        tenant: &str,
+        tenant: TenantId,
         id: InstanceId,
         cumulative_usage_ns: u64,
         interval_secs: u64,
@@ -94,15 +116,18 @@ impl Ledger {
         let delta_ns = cumulative_usage_ns.saturating_sub(*last);
         *last = cumulative_usage_ns;
         let vcpu_seconds = delta_ns as f64 / 1e9;
-        let bill = self.bills.entry(tenant.to_string()).or_default();
+        let bill = self.slot(tenant);
         bill.vcpu_seconds += vcpu_seconds;
         bill.cpu_usd += vcpu_seconds / 3600.0 * model.usd_per_vcpu_hour_utilized;
         bill.base_usd += interval_secs as f64 / 3600.0 * model.usd_per_instance_hour_base;
     }
 
     /// The bill for a tenant (zero if unknown).
-    pub fn bill(&self, tenant: &str) -> TenantBill {
-        self.bills.get(tenant).copied().unwrap_or_default()
+    pub fn bill(&self, tenant: TenantId) -> TenantBill {
+        self.bills
+            .get(tenant.0 as usize)
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -110,17 +135,19 @@ impl Ledger {
 mod tests {
     use super::*;
 
+    const T: TenantId = TenantId(0);
+
     #[test]
     fn full_utilization_matches_vmware_calculator_scale() {
         // 16 vCPUs fully busy for 30 days ≈ $167 (paper's §IV-B figure).
         let model = BillingModel::default();
         let mut ledger = Ledger::new();
         let id = InstanceId(1);
-        ledger.open("t", id);
+        ledger.open(T, id);
         let month_secs = 30 * 24 * 3600u64;
         let usage_ns = month_secs * 16 * 1_000_000_000;
-        ledger.meter("t", id, usage_ns, month_secs, &model);
-        let total = ledger.bill("t").total_usd();
+        ledger.meter(T, id, usage_ns, month_secs, &model);
+        let total = ledger.bill(T).total_usd();
         assert!((140.0..200.0).contains(&total), "monthly bill ${total}");
     }
 
@@ -129,12 +156,12 @@ mod tests {
         let model = BillingModel::default();
         let mut ledger = Ledger::new();
         let id = InstanceId(2);
-        ledger.open("t", id);
+        ledger.open(T, id);
         let month_secs = 30 * 24 * 3600u64;
         // 1% utilization of 16 vCPUs.
         let usage_ns = (month_secs as f64 * 0.16 * 1e9) as u64;
-        ledger.meter("t", id, usage_ns, month_secs, &model);
-        let total = ledger.bill("t").total_usd();
+        ledger.meter(T, id, usage_ns, month_secs, &model);
+        let total = ledger.bill(T).total_usd();
         assert!((2.0..6.0).contains(&total), "1% bill ${total}");
     }
 
@@ -143,12 +170,12 @@ mod tests {
         let model = BillingModel::default();
         let mut ledger = Ledger::new();
         let id = InstanceId(3);
-        ledger.open("t", id);
-        ledger.meter("t", id, 3_600_000_000_000, 3600, &model);
-        let after_first = ledger.bill("t").vcpu_seconds;
+        ledger.open(T, id);
+        ledger.meter(T, id, 3_600_000_000_000, 3600, &model);
+        let after_first = ledger.bill(T).vcpu_seconds;
         // Same cumulative value again → zero delta.
-        ledger.meter("t", id, 3_600_000_000_000, 3600, &model);
-        assert!((ledger.bill("t").vcpu_seconds - after_first).abs() < 1e-9);
+        ledger.meter(T, id, 3_600_000_000_000, 3600, &model);
+        assert!((ledger.bill(T).vcpu_seconds - after_first).abs() < 1e-9);
     }
 
     #[test]
@@ -156,10 +183,23 @@ mod tests {
         let model = BillingModel::default();
         let mut ledger = Ledger::new();
         let id = InstanceId(4);
-        ledger.open("t", id);
-        ledger.meter("t", id, 1_000_000_000, 60, &model);
-        let before = ledger.bill("t").total_usd();
+        ledger.open(T, id);
+        ledger.meter(T, id, 1_000_000_000, 60, &model);
+        let before = ledger.bill(T).total_usd();
         ledger.close(id);
-        assert!((ledger.bill("t").total_usd() - before).abs() < 1e-12);
+        assert!((ledger.bill(T).total_usd() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenants_are_billed_independently() {
+        let model = BillingModel::default();
+        let mut ledger = Ledger::new();
+        ledger.open(TenantId(0), InstanceId(1));
+        ledger.open(TenantId(3), InstanceId(2));
+        ledger.meter(TenantId(3), InstanceId(2), 7_200_000_000_000, 3600, &model);
+        assert!(ledger.bill(TenantId(3)).total_usd() > 0.0);
+        assert!((ledger.bill(TenantId(0)).total_usd()).abs() < 1e-12);
+        // Unknown tenants read as zero.
+        assert!((ledger.bill(TenantId(9)).total_usd()).abs() < 1e-12);
     }
 }

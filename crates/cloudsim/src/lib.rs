@@ -7,6 +7,24 @@
 //! the utilization-metered billing models that make continuous power
 //! attacks expensive (§IV-B).
 //!
+//! # Fleet scale: shards, the event calendar, and lazy hosts
+//!
+//! The fleet is split into shards (whole racks by default; explicit via
+//! [`CloudConfig::shards`] or the process-wide [`set_shards_default`]).
+//! Each shard keeps a min-calendar of its hosts' next observable events —
+//! fault-plan edges, reboots, timer fires, or "now" for hosts with
+//! runnable work — so [`Cloud::advance_secs`] pops only the hosts that
+//! are actually due and leaves everything quiescent *lagged*: its kernel
+//! untouched, fast-forwarded in closed form the moment something reads or
+//! mutates it. Because idle kernel evolution is anchor-absolute
+//! (`advance(a); advance(b)` ≡ `advance(a + b)` while quiescent) and a
+//! quiescent host can only wake via an external call or a calendared
+//! event, the lazy fleet is byte-identical to stepping every host every
+//! call — the mode [`CloudConfig::eager_advance`] preserves as the
+//! reference baseline. Shards advance in parallel via shard-affine work
+//! stealing; per-host state never crosses a shard, so results are
+//! byte-identical across worker counts and shard counts alike.
+//!
 //! # Example
 //!
 //! ```
@@ -25,14 +43,16 @@
 pub mod billing;
 pub mod placement;
 pub mod profile;
+mod shard;
 
-pub use billing::{BillingModel, TenantBill};
+pub use billing::{BillingModel, TenantBill, TenantId};
 pub use placement::PlacementPolicy;
 pub use profile::CloudProfile;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use container_runtime::{ContainerId, ContainerSpec, Runtime, RuntimeError};
 use rand::rngs::StdRng;
@@ -40,6 +60,25 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simkernel::{HostPid, Kernel, MachineConfig, NANOS_PER_SEC};
 use workloads::WorkloadSpec;
+
+use placement::CapacityIndex;
+use shard::Shard;
+
+/// Process-wide default shard count consumed by [`CloudConfig::new`]
+/// (`0` = auto: rack-aligned shards of ~128 hosts). What the `--shards`
+/// flag on the repro binaries sets, mirroring the coalescing and
+/// render-cache defaults in `simkernel`.
+static SHARDS_DEFAULT: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default shard count (`0` = auto).
+pub fn set_shards_default(n: usize) {
+    SHARDS_DEFAULT.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default shard count (`0` = auto).
+pub fn shards_default() -> usize {
+    SHARDS_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// Identifies a physical host in the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -118,11 +157,14 @@ pub struct CloudConfig {
     placement: PlacementPolicy,
     billing: BillingModel,
     background_per_host: bool,
+    shards: usize,
+    eager_advance: bool,
 }
 
 impl CloudConfig {
     /// A config for the given provider profile with paper-scale defaults:
-    /// 8 cloud servers per rack, spread placement, utilization billing.
+    /// 8 cloud servers per rack, spread placement, utilization billing,
+    /// sharding per the process-wide default.
     pub fn new(profile: CloudProfile) -> Self {
         CloudConfig {
             profile,
@@ -132,6 +174,8 @@ impl CloudConfig {
             placement: PlacementPolicy::Spread,
             billing: BillingModel::default(),
             background_per_host: true,
+            shards: shards_default(),
+            eager_advance: false,
         }
     }
 
@@ -176,6 +220,24 @@ impl CloudConfig {
         self.background_per_host = false;
         self
     }
+
+    /// Sets the shard count explicitly (`0` = auto: rack-aligned shards
+    /// of ~128 hosts). The fleet's behavior is byte-identical for every
+    /// value; shards only change how the advance work is batched.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Forces the historical eager advance: every host stepped on every
+    /// [`Cloud::advance_secs`], no calendar, no lag. The reference
+    /// baseline the lazy path is benchmarked and tested against.
+    #[must_use]
+    pub fn eager_advance(mut self) -> Self {
+        self.eager_advance = true;
+        self
+    }
 }
 
 /// One physical host.
@@ -213,10 +275,10 @@ impl Host {
 }
 
 /// A tenant-visible instance record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Instance {
     id: InstanceId,
-    tenant: String,
+    tenant: TenantId,
     host: HostId,
     container: ContainerId,
     vcpus: u16,
@@ -228,9 +290,9 @@ impl Instance {
     pub fn id(&self) -> InstanceId {
         self.id
     }
-    /// The owning tenant.
-    pub fn tenant(&self) -> &str {
-        &self.tenant
+    /// The owning tenant (resolve the name via [`Cloud::tenant_name`]).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
     /// vCPUs allotted.
     pub fn vcpus(&self) -> u16 {
@@ -275,15 +337,67 @@ impl InstanceSpec {
     }
 }
 
-/// The cloud: fleet + scheduler + billing.
+/// Interned tenant names: dense [`TenantId`]s in first-launch order.
+#[derive(Debug, Default)]
+struct TenantTable {
+    names: Vec<String>,
+    index: HashMap<String, TenantId>,
+}
+
+impl TenantTable {
+    fn intern(&mut self, name: &str) -> TenantId {
+        if let Some(&t) = self.index.get(name) {
+            return t;
+        }
+        let t = TenantId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), t);
+        t
+    }
+
+    fn lookup(&self, name: &str) -> Option<TenantId> {
+        self.index.get(name).copied()
+    }
+
+    fn name(&self, t: TenantId) -> Option<&str> {
+        self.names.get(t.0 as usize).map(String::as_str)
+    }
+}
+
+/// The cloud: sharded fleet + scheduler + billing.
 #[derive(Debug)]
 pub struct Cloud {
     cfg: CloudConfig,
-    hosts: Vec<Host>,
+    shards: Vec<Shard>,
+    shard_span: usize,
+    nhosts: usize,
+    nracks: u32,
+    cpus: u16,
+    /// Fleet-absolute sim time: total seconds fed to `advance_secs`, in ns.
+    fleet_ns: u64,
+    capacity: CapacityIndex,
     instances: BTreeMap<InstanceId, Instance>,
     next_instance: u64,
     rng: StdRng,
+    tenants: TenantTable,
     billing: billing::Ledger,
+    /// Persistent metering scratch — reused across advances so the
+    /// per-advance hot loop allocates nothing.
+    charges: Vec<(InstanceId, TenantId, u64)>,
+}
+
+/// Hosts per shard for a fleet: explicit shard counts split the fleet
+/// evenly (ragged tail allowed); auto aims for whole-rack shards of ~128
+/// hosts.
+fn shard_span(shards: usize, hosts: usize, hosts_per_rack: usize) -> usize {
+    let hosts = hosts.max(1);
+    if shards > 0 {
+        hosts.div_ceil(shards)
+    } else {
+        let hpr = hosts_per_rack.max(1);
+        let racks_per_shard = 128usize.max(hpr).div_ceil(hpr);
+        (racks_per_shard * hpr).min(hosts)
+    }
 }
 
 impl Cloud {
@@ -336,22 +450,46 @@ impl Cloud {
             } else {
                 Vec::new()
             };
-            hosts.push(Host {
+            hosts.push(Box::new(Host {
                 id: HostId(i as u32),
                 kernel,
                 runtime,
                 rack,
                 background,
                 instances: 0,
-            });
+            }));
         }
+        let nhosts = cfg.hosts;
+        let nracks = hosts.last().map(|h| h.rack + 1).unwrap_or(0);
+        let cpus = cfg.machine.cpus;
+        let span = shard_span(cfg.shards, cfg.hosts, cfg.hosts_per_rack);
+        let mut shards = Vec::with_capacity(nhosts.div_ceil(span));
+        let mut pending: Vec<Box<Host>> = Vec::with_capacity(span);
+        for h in hosts {
+            pending.push(h);
+            if pending.len() == span {
+                shards.push(Shard::new(std::mem::take(&mut pending), cfg.eager_advance));
+            }
+        }
+        if !pending.is_empty() {
+            shards.push(Shard::new(pending, cfg.eager_advance));
+        }
+        let capacity = CapacityIndex::new(nhosts, span, cpus);
         Cloud {
             cfg,
-            hosts,
+            shards,
+            shard_span: span,
+            nhosts,
+            nracks,
+            cpus,
+            fleet_ns: 0,
+            capacity,
             instances: BTreeMap::new(),
             next_instance: 0,
             rng,
+            tenants: TenantTable::default(),
             billing: billing::Ledger::new(),
+            charges: Vec::new(),
         }
     }
 
@@ -360,19 +498,85 @@ impl Cloud {
         self.cfg.profile
     }
 
-    /// The fleet.
-    pub fn hosts(&self) -> &[Host] {
-        &self.hosts
+    fn locate(&self, idx: usize) -> (usize, usize) {
+        (idx / self.shard_span, idx % self.shard_span)
     }
 
-    /// A host by id.
-    pub fn host(&self, id: HostId) -> Option<&Host> {
-        self.hosts.get(id.0 as usize)
+    /// Brings one host to the current fleet instant (no-op when current).
+    fn sync_host(&mut self, idx: usize) {
+        let (s, slot) = self.locate(idx);
+        if self.shards[s].sync_to(slot, self.fleet_ns) {
+            // Mode-exempt: how often the lazy path fast-forwards depends
+            // on the access pattern, not on any simulated result.
+            simtrace::counters::add_exempt("cloud.host_syncs", 1);
+        }
+    }
+
+    fn host_ref(&self, idx: usize) -> &Host {
+        let (s, slot) = self.locate(idx);
+        &self.shards[s].hosts[slot]
+    }
+
+    /// Brings every host to the current fleet instant, flushing all
+    /// calendar lag. Read accessors do this on demand; bulk inspections
+    /// ([`Cloud::hosts`]) call it up front.
+    pub fn sync_all(&mut self) {
+        let target = self.fleet_ns;
+        let mut synced = 0u64;
+        for shard in &mut self.shards {
+            for slot in 0..shard.len() {
+                if shard.sync_to(slot, target) {
+                    synced += 1;
+                }
+            }
+        }
+        if synced > 0 {
+            simtrace::counters::add_exempt("cloud.host_syncs", synced);
+        }
+    }
+
+    /// The fleet, synced to the current instant, in host-id order.
+    pub fn hosts(&mut self) -> impl Iterator<Item = &Host> {
+        self.sync_all();
+        self.shards
+            .iter()
+            .flat_map(|s| s.hosts.iter().map(|h| &**h))
+    }
+
+    /// Fleet size.
+    pub fn host_count(&self) -> usize {
+        self.nhosts
+    }
+
+    /// Number of shards the fleet advances in.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total calendar entries across shards, stale ones included
+    /// (diagnostics for growth-bound tests; eager fleets report 0).
+    pub fn calendar_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.calendar_len()).sum()
+    }
+
+    /// A host by id, synced to the current instant.
+    pub fn host(&mut self, id: HostId) -> Option<&Host> {
+        let idx = id.0 as usize;
+        if idx >= self.nhosts {
+            return None;
+        }
+        self.sync_host(idx);
+        Some(self.host_ref(idx))
     }
 
     /// Number of racks.
     pub fn racks(&self) -> u32 {
-        self.hosts.last().map(|h| h.rack + 1).unwrap_or(0)
+        self.nracks
+    }
+
+    /// The interned name of a tenant seen by [`Cloud::launch`].
+    pub fn tenant_name(&self, t: TenantId) -> Option<&str> {
+        self.tenants.name(t)
     }
 
     /// Launches an instance for `tenant`, choosing a host per the
@@ -383,12 +587,17 @@ impl Cloud {
     /// [`CloudError::CapacityExhausted`] when no host can take the vCPUs;
     /// runtime errors otherwise.
     pub fn launch(&mut self, tenant: &str, spec: InstanceSpec) -> Result<InstanceId, CloudError> {
+        let per_host = u32::from(self.cpus / spec.vcpus.max(1));
         let host_idx = self
-            .cfg
-            .placement
-            .choose(&self.hosts, spec.vcpus, &mut self.rng)
+            .capacity
+            .choose(self.cfg.placement, per_host, &mut self.rng)
             .ok_or(CloudError::CapacityExhausted)?;
-        let host = &mut self.hosts[host_idx];
+        let tid = self.tenants.intern(tenant);
+        self.sync_host(host_idx);
+        let (s, slot) = self.locate(host_idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let host = &mut shard.hosts[slot];
         let ncpus = host.kernel.config().cpus;
         // Allot a deterministic contiguous cpuset.
         let base = (host.instances as u16 * spec.vcpus) % ncpus;
@@ -398,26 +607,35 @@ impl Cloud {
             .cpus(cpus)
             .mem_limit(mem_limit)
             .policy(self.cfg.profile.mask_policy());
-        let container = host.runtime.create(&mut host.kernel, cspec)?;
+        let container = match host.runtime.create(&mut host.kernel, cspec) {
+            Ok(c) => c,
+            Err(e) => {
+                shard.refresh(slot, now);
+                return Err(e.into());
+            }
+        };
         host.instances += 1;
+        let count = host.instances as u32;
+        let launched_at_ns = host.kernel.clock().since_boot_ns();
+        shard.refresh(slot, now);
+        self.capacity.set(host_idx, count);
         let id = InstanceId(self.next_instance);
         self.next_instance += 1;
-        let launched_at_ns = host.kernel.clock().since_boot_ns();
         self.instances.insert(
             id,
             Instance {
                 id,
-                tenant: tenant.to_string(),
+                tenant: tid,
                 host: HostId(host_idx as u32),
                 container,
                 vcpus: spec.vcpus,
                 launched_at_ns,
             },
         );
-        self.billing.open(tenant, id);
+        self.billing.open(tid, id);
         if simtrace::enabled() {
             simtrace::counters::add("cloud.placements", 1);
-            let host = &self.hosts[host_idx];
+            let host = self.host_ref(host_idx);
             if let Some(tr) = host.kernel.tracer() {
                 let now = host.kernel.lifetime_ns();
                 tr.emit(
@@ -450,15 +668,21 @@ impl Cloud {
         name: &str,
         workload: WorkloadSpec,
     ) -> Result<HostPid, CloudError> {
-        let inst = self
+        let inst = *self
             .instances
             .get(&id)
-            .ok_or(CloudError::NoSuchInstance(id))?
-            .clone();
-        let host = &mut self.hosts[inst.host.0 as usize];
-        Ok(host
+            .ok_or(CloudError::NoSuchInstance(id))?;
+        let idx = inst.host.0 as usize;
+        self.sync_host(idx);
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let host = &mut shard.hosts[slot];
+        let res = host
             .runtime
-            .exec(&mut host.kernel, inst.container, name, workload)?)
+            .exec(&mut host.kernel, inst.container, name, workload);
+        shard.refresh(slot, now);
+        Ok(res?)
     }
 
     /// Reads a pseudo file from inside an instance (tenant's eye view,
@@ -467,12 +691,14 @@ impl Cloud {
     /// # Errors
     ///
     /// [`CloudError::NoSuchInstance`] or fs errors.
-    pub fn read_file(&self, id: InstanceId, path: &str) -> Result<String, CloudError> {
-        let inst = self
+    pub fn read_file(&mut self, id: InstanceId, path: &str) -> Result<String, CloudError> {
+        let inst = *self
             .instances
             .get(&id)
             .ok_or(CloudError::NoSuchInstance(id))?;
-        let host = &self.hosts[inst.host.0 as usize];
+        let idx = inst.host.0 as usize;
+        self.sync_host(idx);
+        let host = self.host_ref(idx);
         Ok(host.runtime.read_file(&host.kernel, inst.container, path)?)
     }
 
@@ -481,12 +707,14 @@ impl Cloud {
     /// # Errors
     ///
     /// [`CloudError::NoSuchInstance`].
-    pub fn list_files(&self, id: InstanceId) -> Result<Vec<String>, CloudError> {
-        let inst = self
+    pub fn list_files(&mut self, id: InstanceId) -> Result<Vec<String>, CloudError> {
+        let inst = *self
             .instances
             .get(&id)
             .ok_or(CloudError::NoSuchInstance(id))?;
-        let host = &self.hosts[inst.host.0 as usize];
+        let idx = inst.host.0 as usize;
+        self.sync_host(idx);
+        let host = self.host_ref(idx);
         Ok(host.runtime.list_files(&host.kernel, inst.container)?)
     }
 
@@ -496,15 +724,21 @@ impl Cloud {
     ///
     /// [`CloudError::NoSuchInstance`] or runtime errors.
     pub fn implant_timer(&mut self, id: InstanceId, comm: &str) -> Result<(), CloudError> {
-        let inst = self
+        let inst = *self
             .instances
             .get(&id)
-            .ok_or(CloudError::NoSuchInstance(id))?
-            .clone();
-        let host = &mut self.hosts[inst.host.0 as usize];
-        Ok(host
+            .ok_or(CloudError::NoSuchInstance(id))?;
+        let idx = inst.host.0 as usize;
+        self.sync_host(idx);
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let host = &mut shard.hosts[slot];
+        let res = host
             .runtime
-            .implant_timer(&mut host.kernel, inst.container, comm, NANOS_PER_SEC)?)
+            .implant_timer(&mut host.kernel, inst.container, comm, NANOS_PER_SEC);
+        shard.refresh(slot, now);
+        Ok(res?)
     }
 
     /// Swaps the workload of a process previously started in `id` via
@@ -520,15 +754,21 @@ impl Cloud {
         pid: HostPid,
         workload: WorkloadSpec,
     ) -> Result<(), CloudError> {
-        let inst = self
+        let inst = *self
             .instances
             .get(&id)
-            .ok_or(CloudError::NoSuchInstance(id))?
-            .clone();
-        let host = &mut self.hosts[inst.host.0 as usize];
-        host.kernel
+            .ok_or(CloudError::NoSuchInstance(id))?;
+        let idx = inst.host.0 as usize;
+        self.sync_host(idx);
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let res = shard.hosts[slot]
+            .kernel
             .set_workload(pid, workload)
-            .map_err(|e| CloudError::Runtime(RuntimeError::Kernel(e)))
+            .map_err(|e| CloudError::Runtime(RuntimeError::Kernel(e)));
+        shard.refresh(slot, now);
+        res
     }
 
     /// Terminates an instance and closes its billing record.
@@ -541,13 +781,24 @@ impl Cloud {
             .instances
             .remove(&id)
             .ok_or(CloudError::NoSuchInstance(id))?;
-        let host = &mut self.hosts[inst.host.0 as usize];
-        host.runtime.remove(&mut host.kernel, inst.container)?;
-        host.instances = host.instances.saturating_sub(1);
+        let idx = inst.host.0 as usize;
+        self.sync_host(idx);
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let host = &mut shard.hosts[slot];
+        let removed = host.runtime.remove(&mut host.kernel, inst.container);
+        if removed.is_ok() {
+            host.instances = host.instances.saturating_sub(1);
+        }
+        let count = host.instances as u32;
+        shard.refresh(slot, now);
+        removed?;
+        self.capacity.set(idx, count);
         self.billing.close(id);
         if simtrace::enabled() {
             simtrace::counters::add("cloud.terminations", 1);
-            let host = &self.hosts[inst.host.0 as usize];
+            let host = self.host_ref(idx);
             if let Some(tr) = host.kernel.tracer() {
                 tr.emit(
                     host.kernel.lifetime_ns(),
@@ -570,9 +821,11 @@ impl Cloud {
     }
 
     /// Advances the whole fleet by `secs`, metering utilization billing.
-    /// Hosts are stepped concurrently (round-robin batches on the
-    /// persistent worker pool); each kernel owns its RNG, so the result
-    /// is bitwise identical to the serial order.
+    /// Shards advance concurrently (shard-affine work stealing on the
+    /// persistent worker pool); within a shard only calendar-due hosts
+    /// are touched, the rest stay lagged. Each kernel owns its RNG and
+    /// hosts never migrate between shards mid-call, so the result is
+    /// bitwise identical to the serial, eager order.
     pub fn advance_secs(&mut self, secs: u64) {
         self.advance_secs_threads(secs, simkernel::parallel::default_threads());
     }
@@ -580,22 +833,32 @@ impl Cloud {
     /// [`Cloud::advance_secs`] with an explicit worker count; `threads = 1`
     /// runs the historical serial loop.
     pub fn advance_secs_threads(&mut self, secs: u64, threads: usize) {
-        simkernel::parallel::par_for_each_mut_threads(&mut self.hosts, threads, move |host| {
-            host.kernel.advance_secs(secs);
-        });
-        // Meter: charge each open instance its cpu-time delta.
-        let mut charges = Vec::new();
+        if secs > 0 {
+            let target = self.fleet_ns + secs * NANOS_PER_SEC;
+            simkernel::parallel::par_claim_mut_threads(
+                &mut self.shards,
+                threads,
+                move |_, shard: &mut Shard| shard.advance_to(target),
+            );
+            self.fleet_ns = target;
+        }
+        // Meter: charge each open instance its cpu-time delta. Hosts left
+        // lagged by the calendar are quiescent — their cpuacct totals are
+        // static — so metering reads them without forcing a sync.
+        let mut charges = std::mem::take(&mut self.charges);
+        charges.clear();
         for inst in self.instances.values() {
-            let host = &self.hosts[inst.host.0 as usize];
+            let host = self.host_ref(inst.host.0 as usize);
             if let Some(used) = host.runtime.cpu_usage_ns(&host.kernel, inst.container) {
-                charges.push((inst.id, inst.tenant.clone(), used, secs));
+                charges.push((inst.id, inst.tenant, used));
             }
         }
         simtrace::counters::add("cloud.billing_charges", charges.len() as u64);
-        for (id, tenant, used_ns, dt) in charges {
+        for &(id, tenant, used_ns) in charges.iter() {
             self.billing
-                .meter(&tenant, id, used_ns, dt, &self.cfg.billing);
+                .meter(tenant, id, used_ns, secs, &self.cfg.billing);
         }
+        self.charges = charges;
     }
 
     /// Installs a fault plan on every host kernel, anchored at the
@@ -603,34 +866,52 @@ impl Cloud {
     /// seeded and the fleet steps deterministically, so a faulted fleet
     /// remains byte-identical across worker counts.
     pub fn install_faults(&mut self, plan: &simkernel::FaultPlan) {
-        for host in &mut self.hosts {
-            host.kernel.install_faults(plan.clone());
+        self.sync_all();
+        let now = self.fleet_ns;
+        for shard in &mut self.shards {
+            for slot in 0..shard.len() {
+                shard.hosts[slot].kernel.install_faults(plan.clone());
+                shard.refresh(slot, now);
+            }
         }
     }
 
     /// Installs a fault plan on a single host's kernel; no-op for an
     /// unknown id.
     pub fn install_faults_on(&mut self, id: HostId, plan: &simkernel::FaultPlan) {
-        if let Some(host) = self.hosts.get_mut(id.0 as usize) {
-            host.kernel.install_faults(plan.clone());
+        let idx = id.0 as usize;
+        if idx >= self.nhosts {
+            return;
         }
+        self.sync_host(idx);
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        shard.hosts[slot].kernel.install_faults(plan.clone());
+        shard.refresh(slot, now);
     }
 
     /// Sets event-horizon tick coalescing on every host kernel. Campaign
     /// scenarios flip this *per cloud* rather than via the process-wide
     /// default, so concurrently running scenarios with different modes
-    /// never race each other.
+    /// never race each other. Lagged hosts are synced first so their
+    /// backlog replays under the mode it accrued in.
     pub fn set_coalescing(&mut self, on: bool) {
-        for host in &mut self.hosts {
-            host.kernel.set_coalescing(on);
+        self.sync_all();
+        for shard in &mut self.shards {
+            for host in &mut shard.hosts {
+                host.kernel.set_coalescing(on);
+            }
         }
     }
 
     /// Sets pseudo-file render caching on every host kernel (same
     /// per-cloud rationale as [`Cloud::set_coalescing`]).
     pub fn set_render_caching(&mut self, on: bool) {
-        for host in &mut self.hosts {
-            host.kernel.set_render_caching(on);
+        for shard in &mut self.shards {
+            for host in &mut shard.hosts {
+                host.kernel.set_render_caching(on);
+            }
         }
     }
 
@@ -642,10 +923,13 @@ impl Cloud {
     ///
     /// Propagates the first runtime teardown failure.
     pub fn terminate_tenant(&mut self, tenant: &str) -> Result<usize, CloudError> {
+        let Some(tid) = self.tenants.lookup(tenant) else {
+            return Ok(0);
+        };
         let ids: Vec<InstanceId> = self
             .instances
             .values()
-            .filter(|i| i.tenant == tenant)
+            .filter(|i| i.tenant == tid)
             .map(|i| i.id)
             .collect();
         let n = ids.len();
@@ -665,9 +949,13 @@ impl Cloud {
     /// [`CloudError::NoSuchInstance`] never occurs here; the method
     /// returns the ids of the instances that were lost.
     pub fn reboot_host(&mut self, id: HostId) -> Vec<InstanceId> {
-        let Some(host) = self.hosts.get_mut(id.0 as usize) else {
+        let idx = id.0 as usize;
+        if idx >= self.nhosts {
             return Vec::new();
-        };
+        }
+        // Sync first: the replacement kernel's boot wall time snapshots
+        // the old kernel's *current* wall clock.
+        self.sync_host(idx);
         simtrace::counters::add("cloud.host_reboots", 1);
         // Casualties: every instance placed here.
         let lost: Vec<InstanceId> = self
@@ -680,6 +968,10 @@ impl Cloud {
             self.instances.remove(inst);
             self.billing.close(*inst);
         }
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let host = &mut shard.hosts[slot];
         // Fresh kernel on the same hardware: boot time = now.
         let mut machine = host.kernel.config().clone();
         machine.boot_wall_secs = host.kernel.clock().wall_secs();
@@ -713,6 +1005,8 @@ impl Cloud {
         host.runtime = runtime;
         host.background = background;
         host.instances = 0;
+        shard.refresh(slot, now);
+        self.capacity.set(idx, 0);
         lost
     }
 
@@ -720,47 +1014,66 @@ impl Cloud {
     /// `demand` in `[0, 1]` is the per-service duty cycle; the 12 services
     /// together can occupy up to 12 of the host's cores.
     pub fn set_background_demand(&mut self, host: HostId, demand: f64) {
-        if let Some(h) = self.hosts.get_mut(host.0 as usize) {
-            // Same clamp `web_service` applies at construction; the demand
-            // is retargeted in place so trace-driven fleets do not rebuild
-            // (and clone) a workload spec per service per interval.
-            let demand = demand.clamp(0.01, 1.0);
-            for i in 0..h.background.len() {
-                let pid = h.background[i];
-                let _ = h.kernel.set_workload_demand(pid, demand);
-            }
+        let idx = host.0 as usize;
+        if idx >= self.nhosts {
+            return;
         }
+        self.sync_host(idx);
+        let (s, slot) = self.locate(idx);
+        let now = self.fleet_ns;
+        let shard = &mut self.shards[s];
+        let h = &mut shard.hosts[slot];
+        // Same clamp `web_service` applies at construction; the demand
+        // is retargeted in place so trace-driven fleets do not rebuild
+        // (and clone) a workload spec per service per interval.
+        let demand = demand.clamp(0.01, 1.0);
+        for i in 0..h.background.len() {
+            let pid = h.background[i];
+            let _ = h.kernel.set_workload_demand(pid, demand);
+        }
+        shard.refresh(slot, now);
     }
 
     /// Sets the simulation tick on every host's kernel (coarser ticks make
     /// week-long traces cheap; finer ticks resolve 1 s power spikes).
     pub fn set_tick_secs(&mut self, secs: u64) {
-        for h in &mut self.hosts {
-            h.kernel.set_tick_ns(secs.max(1) * NANOS_PER_SEC);
+        self.sync_all();
+        for shard in &mut self.shards {
+            for host in &mut shard.hosts {
+                host.kernel.set_tick_ns(secs.max(1) * NANOS_PER_SEC);
+            }
         }
     }
 
     /// Wall power of one host, watts.
-    pub fn host_power_w(&self, host: HostId) -> f64 {
-        self.hosts
-            .get(host.0 as usize)
-            .map(|h| h.kernel.wall_watts())
-            .unwrap_or(0.0)
+    pub fn host_power_w(&mut self, host: HostId) -> f64 {
+        let idx = host.0 as usize;
+        if idx >= self.nhosts {
+            return 0.0;
+        }
+        self.sync_host(idx);
+        self.host_ref(idx).kernel.wall_watts()
     }
 
     /// Aggregate wall power of a rack, watts (what its branch breaker
     /// carries).
-    pub fn rack_power_w(&self, rack: u32) -> f64 {
-        self.hosts
-            .iter()
-            .filter(|h| h.rack == rack)
-            .map(|h| h.kernel.wall_watts())
-            .sum()
+    pub fn rack_power_w(&mut self, rack: u32) -> f64 {
+        let mut sum = 0.0;
+        for idx in 0..self.nhosts {
+            if self.host_ref(idx).rack == rack {
+                self.sync_host(idx);
+                sum += self.host_ref(idx).kernel.wall_watts();
+            }
+        }
+        sum
     }
 
     /// The accumulated bill for a tenant.
     pub fn bill(&self, tenant: &str) -> TenantBill {
-        self.billing.bill(tenant)
+        self.tenants
+            .lookup(tenant)
+            .map(|t| self.billing.bill(t))
+            .unwrap_or_default()
     }
 
     /// All live instances, id-ordered.
@@ -770,9 +1083,12 @@ impl Cloud {
 
     /// The live instances belonging to one tenant, id-ordered.
     pub fn tenant_instances(&self, tenant: &str) -> Vec<InstanceId> {
+        let Some(tid) = self.tenants.lookup(tenant) else {
+            return Vec::new();
+        };
         self.instances
             .values()
-            .filter(|i| i.tenant == tenant)
+            .filter(|i| i.tenant == tid)
             .map(|i| i.id)
             .collect()
     }
@@ -789,10 +1105,9 @@ mod tests {
 
     #[test]
     fn fleet_boots_with_distinct_identities() {
-        let c = cloud(4);
+        let mut c = cloud(4);
         let mut boot_ids: Vec<String> = c
             .hosts()
-            .iter()
             .map(|h| h.kernel().boot_id().to_string())
             .collect();
         boot_ids.sort();
@@ -806,16 +1121,19 @@ mod tests {
 
     #[test]
     fn rack_mates_share_install_epoch() {
-        let c = Cloud::new(
+        let mut c = Cloud::new(
             CloudConfig::new(CloudProfile::CC1)
                 .hosts(8)
                 .hosts_per_rack(4),
             7,
         );
         assert_eq!(c.racks(), 2);
-        let boot = |i: usize| c.hosts()[i].kernel().config().boot_wall_secs;
-        let same_rack = boot(0).abs_diff(boot(1));
-        let cross_rack = boot(0).abs_diff(boot(4));
+        let boots: Vec<u64> = c
+            .hosts()
+            .map(|h| h.kernel().config().boot_wall_secs)
+            .collect();
+        let same_rack = boots[0].abs_diff(boots[1]);
+        let cross_rack = boots[0].abs_diff(boots[4]);
         assert!(same_rack < 3_600, "in-rack boot delta {same_rack}");
         assert!(cross_rack > 86_400, "cross-rack boot delta {cross_rack}");
     }
@@ -940,5 +1258,63 @@ mod tests {
         let rack = c.rack_power_w(0);
         assert!((sum - rack).abs() < 1e-9);
         assert!(rack > 300.0, "4 idle cloud servers ≈ 450 W: {rack}");
+    }
+
+    #[test]
+    fn explicit_shards_split_the_fleet() {
+        let c = Cloud::new(CloudConfig::new(CloudProfile::CC1).hosts(10).shards(4), 1);
+        // span = ceil(10/4) = 3 → shards of 3, 3, 3, 1.
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.host_count(), 10);
+    }
+
+    #[test]
+    fn auto_sharding_is_rack_aligned() {
+        let c = Cloud::new(
+            CloudConfig::new(CloudProfile::CC1)
+                .hosts(300)
+                .hosts_per_rack(8)
+                .without_background(),
+            1,
+        );
+        // 16 racks of 8 ≈ 128 hosts per shard → 128 + 128 + 44.
+        assert_eq!(c.shard_count(), 3);
+        // Small fleets collapse to one shard.
+        let small = cloud(4);
+        assert_eq!(small.shard_count(), 1);
+    }
+
+    /// The load-bearing equivalence: a lazy sharded fleet and an eager
+    /// single-shard fleet driven through the same script expose
+    /// byte-identical tenant-visible state and bills.
+    #[test]
+    fn lazy_fleet_matches_eager_fleet() {
+        let run = |cfg: CloudConfig| {
+            let mut c = Cloud::new(cfg.hosts(6).hosts_per_rack(2), 31);
+            let a = c.launch("alice", InstanceSpec::new("a")).unwrap();
+            let b = c.launch("bob", InstanceSpec::new("b")).unwrap();
+            c.exec(a, "svc", models::web_service(0.4)).unwrap();
+            c.advance_secs(7);
+            c.exec(b, "burst", models::power_virus()).unwrap();
+            c.advance_secs(11);
+            c.terminate(b).unwrap();
+            c.advance_secs(23);
+            let mut out = String::new();
+            out.push_str(&c.read_file(a, "/proc/uptime").unwrap());
+            out.push_str(&c.read_file(a, "/proc/stat").unwrap());
+            let watts: Vec<String> = (0..6)
+                .map(|i| format!("{:.6}", c.host_power_w(HostId(i))))
+                .collect();
+            (
+                out,
+                watts.join(","),
+                format!("{:?}{:?}", c.bill("alice"), c.bill("bob")),
+            )
+        };
+        let lazy = run(CloudConfig::new(CloudProfile::CC1).shards(3));
+        let eager = run(CloudConfig::new(CloudProfile::CC1)
+            .shards(1)
+            .eager_advance());
+        assert_eq!(lazy, eager);
     }
 }

@@ -1,15 +1,23 @@
-//! Container placement policies.
+//! Container placement policies and the per-shard free-capacity index.
 //!
 //! The attacker's orchestration loop (§IV-C) works *against* the
 //! scheduler: it keeps launching and terminating instances until the
 //! channels confirm co-residence. How quickly that converges depends on
 //! the provider's placement policy, so all three common ones are modeled.
+//!
+//! Placement used to be an O(hosts) scan per launch; at datacenter scale
+//! that dominates churn-heavy campaigns. `CapacityIndex` keeps a
+//! per-shard ordered view of instance counts — updated on every
+//! launch/terminate/reboot — so a decision costs O(shards · log span)
+//! while producing *exactly* the host the linear scan would have picked
+//! (pinned by `index_matches_linear_scan_across_churn` below, including
+//! the Random policy's RNG draw).
+
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-
-use crate::Host;
 
 /// Placement policy for new instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,30 +32,165 @@ pub enum PlacementPolicy {
 }
 
 impl PlacementPolicy {
-    /// Picks the index of the host for an instance needing `vcpus`
-    /// (capacity: one instance per `vcpus` of the host's CPUs, matching
-    /// the paper's 4-core CC1 instances). Returns `None` when full.
-    pub fn choose(&self, hosts: &[Host], vcpus: u16, rng: &mut StdRng) -> Option<usize> {
-        let capacity = |h: &Host| -> usize { (h.kernel().config().cpus / vcpus.max(1)) as usize };
-        let candidates: Vec<usize> = hosts
+    /// Reference implementation: the historical O(hosts) linear scan over
+    /// per-host instance counts (`capacity` = instances a host can take,
+    /// uniform across the fleet). Kept as the behavioral baseline the
+    /// indexed `CapacityIndex::choose` is pinned against.
+    pub fn choose_linear(&self, counts: &[u32], capacity: u32, rng: &mut StdRng) -> Option<usize> {
+        let candidates: Vec<usize> = counts
             .iter()
             .enumerate()
-            .filter(|(_, h)| h.instance_count() < capacity(h))
+            .filter(|(_, &c)| c < capacity)
             .map(|(i, _)| i)
             .collect();
         if candidates.is_empty() {
             return None;
         }
         match self {
-            PlacementPolicy::Spread => candidates
-                .into_iter()
-                .min_by_key(|i| (hosts[*i].instance_count(), *i)),
+            PlacementPolicy::Spread => candidates.into_iter().min_by_key(|i| (counts[*i], *i)),
             PlacementPolicy::BinPack => candidates
                 .into_iter()
-                .max_by_key(|i| (hosts[*i].instance_count(), usize::MAX - *i)),
+                .max_by_key(|i| (counts[*i], usize::MAX - *i)),
             PlacementPolicy::Random => {
                 let pick = rng.random_range(0..candidates.len());
                 Some(candidates[pick])
+            }
+        }
+    }
+}
+
+/// Per-shard free-capacity index: instance counts mirrored three ways —
+/// a dense `counts` lane, an ordered `(count, slot)` set for the
+/// min/max policies, and a count histogram for Random's candidate
+/// arithmetic. `set` keeps all three current on launch/terminate/reboot.
+#[derive(Debug)]
+pub(crate) struct CapacityIndex {
+    span: usize,
+    shards: Vec<ShardIndex>,
+}
+
+#[derive(Debug)]
+struct ShardIndex {
+    base: u32,
+    counts: Vec<u32>,
+    by_count: BTreeSet<(u32, u32)>,
+    // hist[c] = number of slots currently holding c instances. Counts
+    // never exceed the machine's cpu count (capacity ≤ cpus for every
+    // vcpu size), so `cpus + 1` buckets suffice.
+    hist: Vec<u32>,
+}
+
+impl CapacityIndex {
+    /// An index over `hosts` empty hosts split into spans of `span`.
+    pub(crate) fn new(hosts: usize, span: usize, cpus: u16) -> Self {
+        let mut shards = Vec::with_capacity(hosts.div_ceil(span.max(1)));
+        let mut base = 0usize;
+        while base < hosts {
+            let len = span.min(hosts - base);
+            let mut hist = vec![0u32; usize::from(cpus) + 1];
+            hist[0] = len as u32;
+            shards.push(ShardIndex {
+                base: base as u32,
+                counts: vec![0; len],
+                by_count: (0..len as u32).map(|slot| (0, slot)).collect(),
+                hist,
+            });
+            base += len;
+        }
+        CapacityIndex { span, shards }
+    }
+
+    /// Records `host` now holding `count` instances.
+    pub(crate) fn set(&mut self, host: usize, count: u32) {
+        let sh = &mut self.shards[host / self.span];
+        let slot = (host % self.span) as u32;
+        let old = sh.counts[slot as usize];
+        if old == count {
+            return;
+        }
+        sh.by_count.remove(&(old, slot));
+        sh.hist[old as usize] -= 1;
+        sh.counts[slot as usize] = count;
+        sh.by_count.insert((count, slot));
+        sh.hist[count as usize] += 1;
+    }
+
+    /// Picks the host for an instance, given the fleet-uniform per-host
+    /// `capacity` for its vCPU size. Decision (and, for Random, the RNG
+    /// consumption) is identical to
+    /// [`PlacementPolicy::choose_linear`] over the same counts.
+    pub(crate) fn choose(
+        &self,
+        policy: PlacementPolicy,
+        capacity: u32,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        match policy {
+            PlacementPolicy::Spread => {
+                // Global min (count, host); each shard's first set entry
+                // is its local min, already in global-index order.
+                let mut best: Option<(u32, usize)> = None;
+                for sh in &self.shards {
+                    if let Some(&(c, slot)) = sh.by_count.iter().next() {
+                        if c < capacity {
+                            let g = sh.base as usize + slot as usize;
+                            if best.is_none_or(|b| (c, g) < b) {
+                                best = Some((c, g));
+                            }
+                        }
+                    }
+                }
+                best.map(|(_, g)| g)
+            }
+            PlacementPolicy::BinPack => {
+                // Fullest host still below capacity; ties to the lowest
+                // host index, as the scan's `usize::MAX - i` key does.
+                let mut best: Option<(u32, usize)> = None;
+                for sh in &self.shards {
+                    let Some(&(c, _)) = sh.by_count.range(..(capacity, 0)).next_back() else {
+                        continue;
+                    };
+                    let &(_, slot) = sh
+                        .by_count
+                        .range((c, 0)..(c + 1, 0))
+                        .next()
+                        .expect("a count just seen in the set has a first slot");
+                    let g = sh.base as usize + slot as usize;
+                    if best.is_none_or(|(bc, bg)| c > bc || (c == bc && g < bg)) {
+                        best = Some((c, g));
+                    }
+                }
+                best.map(|(_, g)| g)
+            }
+            PlacementPolicy::Random => {
+                let cap = (capacity as usize).min(self.shards.first().map_or(0, |s| s.hist.len()));
+                let per_shard: Vec<u32> = self
+                    .shards
+                    .iter()
+                    .map(|sh| sh.hist[..cap].iter().sum())
+                    .collect();
+                let total: u32 = per_shard.iter().sum();
+                if total == 0 {
+                    return None;
+                }
+                // Same draw the scan makes over its candidate vector;
+                // candidate k in global host order is the same host.
+                let mut k = rng.random_range(0..total as usize);
+                for (sh, &here) in self.shards.iter().zip(&per_shard) {
+                    if k >= here as usize {
+                        k -= here as usize;
+                        continue;
+                    }
+                    for (slot, &c) in sh.counts.iter().enumerate() {
+                        if c < capacity {
+                            if k == 0 {
+                                return Some(sh.base as usize + slot);
+                            }
+                            k -= 1;
+                        }
+                    }
+                }
+                unreachable!("histogram total covered the drawn candidate index")
             }
         }
     }
@@ -57,7 +200,7 @@ impl PlacementPolicy {
 mod tests {
     use super::*;
     use crate::{Cloud, CloudConfig, CloudProfile, InstanceSpec};
-    use rand::SeedableRng;
+    use rand::{RngExt, SeedableRng};
 
     fn fleet(policy: PlacementPolicy, hosts: usize) -> Cloud {
         Cloud::new(
@@ -111,10 +254,63 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let pick = |seed: u64| {
-            let c = fleet(PlacementPolicy::Random, 5);
+            let counts = [0u32, 2, 4, 1, 3];
             let mut rng = StdRng::seed_from_u64(seed);
-            PlacementPolicy::Random.choose(c.hosts(), 4, &mut rng)
+            PlacementPolicy::Random.choose_linear(&counts, 4, &mut rng)
         };
         assert_eq!(pick(1), pick(1));
+    }
+
+    /// The pinning test for the indexed fast path: a scripted churn of
+    /// launches (mixed vCPU sizes → mixed capacities) and terminations,
+    /// replayed against the linear scan and the index with identical RNG
+    /// seeds, must agree on every single decision — across shard spans
+    /// that divide the fleet evenly, raggedly, and not at all.
+    #[test]
+    fn index_matches_linear_scan_across_churn() {
+        let hosts = 40;
+        let cpus = 16u16;
+        for span in [1usize, 3, 8, 64] {
+            for policy in [
+                PlacementPolicy::Spread,
+                PlacementPolicy::BinPack,
+                PlacementPolicy::Random,
+            ] {
+                let mut counts = vec![0u32; hosts];
+                let mut index = CapacityIndex::new(hosts, span, cpus);
+                let mut script = StdRng::seed_from_u64(0x9a11_0c47 ^ span as u64);
+                for step in 0..400 {
+                    let vcpus = [1u32, 2, 4, 8, 16][script.random_range(0..5)];
+                    let capacity = u32::from(cpus) / vcpus;
+                    if script.random_range(0..100) < 60 {
+                        let draw = script.random::<u64>();
+                        let scan = policy.choose_linear(
+                            &counts,
+                            capacity,
+                            &mut StdRng::seed_from_u64(draw),
+                        );
+                        let indexed =
+                            index.choose(policy, capacity, &mut StdRng::seed_from_u64(draw));
+                        assert_eq!(scan, indexed, "span {span} policy {policy:?} step {step}");
+                        if let Some(h) = scan {
+                            counts[h] += 1;
+                            index.set(h, counts[h]);
+                        }
+                    } else {
+                        let occupied: Vec<usize> = counts
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &c)| c > 0)
+                            .map(|(i, _)| i)
+                            .collect();
+                        if !occupied.is_empty() {
+                            let h = occupied[script.random_range(0..occupied.len())];
+                            counts[h] -= 1;
+                            index.set(h, counts[h]);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

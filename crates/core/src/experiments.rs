@@ -934,7 +934,7 @@ fn orchestration_inner(seed: u64) -> Result<ExperimentResult, String> {
     }
     cloud.advance_secs(1);
     let groups = orch
-        .uptime_groups(&cloud, &ids, 3.0 * 3_600.0)
+        .uptime_groups(&mut cloud, &ids, 3.0 * 3_600.0)
         .ctx("uptime groups")?;
 
     let mut rendered = String::new();
@@ -1222,7 +1222,7 @@ fn rack_attack_inner(seed: u64) -> Result<ExperimentResult, String> {
         cloud.advance_secs(1);
         let mut est = 0.0;
         for inst in &agg.kept {
-            if let Ok(Some(w)) = monitor.sample_watts(&cloud, *inst, t as f64) {
+            if let Ok(Some(w)) = monitor.sample_watts(&mut cloud, *inst, t as f64) {
                 est += w;
             }
         }

@@ -157,6 +157,21 @@ pub const ACCEPTED_PANICS: &[(&str, &str, &str)] = &[
          container and workload; runs before any fault plan exists",
     ),
     (
+        "cloudsim/src/placement.rs",
+        "choose",
+        "capacity-index invariants: a count observed in the ordered set \
+         has a first slot at that count, and the histogram prefix sums \
+         bound the Random draw — both pinned against the linear scan by \
+         index_matches_linear_scan_across_churn",
+    ),
+    (
+        "simkernel/src/parallel.rs",
+        "par_claim_mut_threads",
+        "claim-slot restoration: every lane returns each claimed item to \
+         its slot before reporting, and all lanes have reported when the \
+         slots are drained, so no slot can be empty",
+    ),
+    (
         "cloudsim/src/lib.rs",
         "reboot_host",
         "re-seeds the background service on the freshly rebooted (empty) \

@@ -328,7 +328,7 @@ impl CoResDetector {
     /// readout multiplies in measurement noise (co-resident tenants,
     /// prefetchers, scheduler jitter).
     fn probe_latency(&mut self, cloud: &mut Cloud, instance: InstanceId) -> f64 {
-        let rate = |cloud: &Cloud| -> f64 {
+        let rate = |cloud: &mut Cloud| -> f64 {
             let inst = cloud.instance(instance).expect("instance exists");
             let host = cloud.host(inst.host()).expect("host exists");
             host.kernel()

@@ -49,7 +49,11 @@ impl HostFingerprint {
     /// # Errors
     ///
     /// Propagates channel-read failures (masked clouds).
-    pub fn capture(cloud: &Cloud, instance: InstanceId, now_s: f64) -> Result<Self, CloudError> {
+    pub fn capture(
+        cloud: &mut Cloud,
+        instance: InstanceId,
+        now_s: f64,
+    ) -> Result<Self, CloudError> {
         let boot_id = cloud
             .read_file(instance, "/proc/sys/kernel/random/boot_id")?
             .trim()
@@ -132,7 +136,7 @@ mod tests {
 
         // First visit: capture and remember, then leave.
         let first = cloud.launch("t", InstanceSpec::new("v1")).unwrap();
-        let remembered = HostFingerprint::capture(&cloud, first, 0.0).unwrap();
+        let remembered = HostFingerprint::capture(&mut cloud, first, 0.0).unwrap();
         let first_host = cloud.instance(first).unwrap().host();
         cloud.terminate(first).unwrap();
         cloud.advance_secs(30);
@@ -144,7 +148,7 @@ mod tests {
                 .launch("t", InstanceSpec::new(format!("v2-{i}")))
                 .unwrap();
             let now = 30.0 + i as f64;
-            let fp = HostFingerprint::capture(&cloud, inst, now).unwrap();
+            let fp = HostFingerprint::capture(&mut cloud, inst, now).unwrap();
             let verdict = remembered.matches(&fp);
             let truth = cloud.instance(inst).unwrap().host() == first_host;
             assert_eq!(
@@ -174,8 +178,8 @@ mod tests {
         let a = cloud.launch("t", InstanceSpec::new("a")).unwrap();
         let b = cloud.launch("t", InstanceSpec::new("b")).unwrap();
         assert_eq!(cloud.coresident(a, b), Some(false));
-        let fa = HostFingerprint::capture(&cloud, a, 0.0).unwrap();
-        let fb = HostFingerprint::capture(&cloud, b, 0.0).unwrap();
+        let fa = HostFingerprint::capture(&mut cloud, a, 0.0).unwrap();
+        let fb = HostFingerprint::capture(&mut cloud, b, 0.0).unwrap();
         // Same hardware SKU but different uptimes and boot ids: the
         // verdict must not be SameBoot.
         assert_ne!(fa.matches(&fb), FingerprintMatch::SameBoot);
@@ -191,13 +195,13 @@ mod tests {
         );
         cloud.advance_secs(2);
         let before = cloud.launch("t", InstanceSpec::new("pre")).unwrap();
-        let fp_before = HostFingerprint::capture(&cloud, before, 0.0).unwrap();
+        let fp_before = HostFingerprint::capture(&mut cloud, before, 0.0).unwrap();
         let host = cloud.instance(before).unwrap().host();
 
         cloud.reboot_host(host);
         cloud.advance_secs(10);
         let after = cloud.launch("t", InstanceSpec::new("post")).unwrap();
-        let fp_after = HostFingerprint::capture(&cloud, after, 12.0).unwrap();
+        let fp_after = HostFingerprint::capture(&mut cloud, after, 12.0).unwrap();
 
         assert_ne!(fp_before.boot_id, fp_after.boot_id);
         assert_eq!(
@@ -230,6 +234,6 @@ mod tests {
         let inst = cloud.launch("t", InstanceSpec::new("probe")).unwrap();
         cloud.advance_secs(1);
         // CC5 masks ifpriomap (and uptime), so capture fails.
-        assert!(HostFingerprint::capture(&cloud, inst, 0.0).is_err());
+        assert!(HostFingerprint::capture(&mut cloud, inst, 0.0).is_err());
     }
 }

@@ -61,17 +61,17 @@ impl CloudInspector {
         cloud.advance_secs(2);
         TABLE1_CHANNELS
             .iter()
-            .map(|ch| self.measure(&cloud, probe, ch))
+            .map(|ch| self.measure(&mut cloud, probe, ch))
             .collect()
     }
 
-    fn measure(&self, cloud: &Cloud, probe: cloudsim::InstanceId, ch: &Channel) -> Exposure {
+    fn measure(&self, cloud: &mut Cloud, probe: cloudsim::InstanceId, ch: &Channel) -> Exposure {
         match cloud.read_file(probe, ch.probe) {
             Err(_) => Exposure::Absent,
             Ok(content) => {
                 // Distinguish full from partial by comparing with what the
                 // host context sees for the same path.
-                let inst = cloud.instance(probe).expect("probe exists");
+                let inst = *cloud.instance(probe).expect("probe exists");
                 let host = cloud.host(inst.host()).expect("host exists");
                 match host.runtime().container(inst.container()) {
                     Some(_) => {

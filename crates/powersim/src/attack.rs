@@ -98,7 +98,7 @@ impl AttackCampaign {
         payload_hosts: usize,
         tenant: &str,
     ) -> Result<Self, CloudError> {
-        let nhosts = cloud.hosts().len();
+        let nhosts = cloud.host_count();
         let mut observers = Vec::new();
         // Spread placement assigns round-robin over least-loaded hosts, so
         // launching exactly one observer per host covers the fleet.
@@ -178,7 +178,7 @@ impl AttackCampaign {
             trace.apply(cloud, t0_s + t);
             cloud.advance_secs(1);
 
-            let aggregate_w: f64 = (0..cloud.hosts().len())
+            let aggregate_w: f64 = (0..cloud.host_count())
                 .map(|h| cloud.host_power_w(HostId(h as u32)))
                 .sum();
             peak_w = peak_w.max(aggregate_w);

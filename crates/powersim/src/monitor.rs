@@ -44,7 +44,7 @@ impl RaplMonitor {
     /// lacks RAPL — exactly the situations §VII-A discusses.
     pub fn sample_watts(
         &mut self,
-        cloud: &Cloud,
+        cloud: &mut Cloud,
         instance: InstanceId,
         now_s: f64,
     ) -> Result<Option<f64>, CloudError> {
@@ -110,10 +110,8 @@ impl RaplMonitor {
         if simtrace::enabled() {
             if let Some(watts) = result {
                 simtrace::counters::add("powersim.rapl_samples", 1);
-                if let Some(host) = cloud
-                    .instance(instance)
-                    .and_then(|inst| cloud.host(inst.host()))
-                {
+                let host_id = cloud.instance(instance).map(|inst| inst.host());
+                if let Some(host) = host_id.and_then(|h| cloud.host(h)) {
                     if let Some(tr) = host.kernel().tracer() {
                         tr.emit(
                             host.kernel().lifetime_ns(),
@@ -161,9 +159,12 @@ mod tests {
             .unwrap();
         cloud.advance_secs(2);
         let mut mon = RaplMonitor::new();
-        assert_eq!(mon.sample_watts(&cloud, observer, 0.0).unwrap(), None);
+        assert_eq!(mon.sample_watts(&mut cloud, observer, 0.0).unwrap(), None);
         cloud.advance_secs(10);
-        let idle_w = mon.sample_watts(&cloud, observer, 10.0).unwrap().unwrap();
+        let idle_w = mon
+            .sample_watts(&mut cloud, observer, 10.0)
+            .unwrap()
+            .unwrap();
 
         // A co-resident tenant starts heavy work: the observer sees it
         // without consuming any CPU itself.
@@ -174,7 +175,10 @@ mod tests {
                 .unwrap();
         }
         cloud.advance_secs(10);
-        let busy_w = mon.sample_watts(&cloud, observer, 20.0).unwrap().unwrap();
+        let busy_w = mon
+            .sample_watts(&mut cloud, observer, 20.0)
+            .unwrap()
+            .unwrap();
         assert!(
             busy_w > idle_w + 15.0,
             "observer blind to co-resident load: {idle_w} -> {busy_w}"
@@ -192,7 +196,7 @@ mod tests {
         let mut mon = RaplMonitor::new();
         for t in 0..120 {
             cloud.advance_secs(1);
-            let _ = mon.sample_watts(&cloud, observer, t as f64);
+            let _ = mon.sample_watts(&mut cloud, observer, t as f64);
         }
         // Two minutes of monitoring bills only the base instance floor.
         let bill = cloud.bill("spy");
@@ -217,7 +221,7 @@ mod tests {
         for t in 0..40u64 {
             cloud.advance_secs(1);
             let w = mon
-                .sample_watts(&cloud, observer, t as f64)
+                .sample_watts(&mut cloud, observer, t as f64)
                 .expect("rapl stays readable across the reboot");
             if let Some(w) = w {
                 assert!(
@@ -251,7 +255,7 @@ mod tests {
         let mut good = 0u32;
         for t in 0..90u64 {
             cloud.advance_secs(1);
-            match mon.sample_watts(&cloud, observer, t as f64) {
+            match mon.sample_watts(&mut cloud, observer, t as f64) {
                 Ok(Some(w)) => {
                     good += 1;
                     assert!(w >= 0.0 && w < wall * 2.0, "bad estimate at t={t}: {w} W");
@@ -273,6 +277,6 @@ mod tests {
         let observer = cloud.launch("spy", InstanceSpec::new("obs")).unwrap();
         cloud.advance_secs(1);
         let mut mon = RaplMonitor::new();
-        assert!(mon.sample_watts(&cloud, observer, 1.0).is_err());
+        assert!(mon.sample_watts(&mut cloud, observer, 1.0).is_err());
     }
 }

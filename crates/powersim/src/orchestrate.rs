@@ -91,7 +91,7 @@ impl Orchestrator {
     /// Propagates read failures.
     pub fn uptime_groups(
         &self,
-        cloud: &Cloud,
+        cloud: &mut Cloud,
         instances: &[InstanceId],
         tolerance_s: f64,
     ) -> Result<Vec<Vec<InstanceId>>, CloudError> {
@@ -128,11 +128,11 @@ impl Orchestrator {
     /// Propagates read failures.
     pub fn same_server_by_uptime(
         &self,
-        cloud: &Cloud,
+        cloud: &mut Cloud,
         a: InstanceId,
         b: InstanceId,
     ) -> Result<bool, CloudError> {
-        let read = |id| -> Result<(f64, f64), CloudError> {
+        let mut read = |id| -> Result<(f64, f64), CloudError> {
             let raw = cloud.read_file(id, "/proc/uptime")?;
             let mut it = raw.split_whitespace();
             let up: f64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0.0);
@@ -161,7 +161,7 @@ impl Orchestrator {
         count: usize,
         max_launches: u32,
     ) -> Result<AggregationOutcome, CloudError> {
-        let uptime_of = |cloud: &Cloud, id: InstanceId| -> Result<f64, CloudError> {
+        let uptime_of = |cloud: &mut Cloud, id: InstanceId| -> Result<f64, CloudError> {
             let raw = cloud.read_file(id, "/proc/uptime")?;
             Ok(raw
                 .split_whitespace()
@@ -169,7 +169,7 @@ impl Orchestrator {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0.0))
         };
-        let boot_of = |cloud: &Cloud, id: InstanceId| -> Result<String, CloudError> {
+        let boot_of = |cloud: &mut Cloud, id: InstanceId| -> Result<String, CloudError> {
             cloud.read_file(id, "/proc/sys/kernel/random/boot_id")
         };
         let ref_uptime = uptime_of(cloud, reference)?;
@@ -293,7 +293,7 @@ mod tests {
         cloud.advance_secs(1);
         let orch = Orchestrator::new();
         // Rack installs are days apart; in-rack jitter is < 2 h.
-        let groups = orch.uptime_groups(&cloud, &ids, 3.0 * 3_600.0).unwrap();
+        let groups = orch.uptime_groups(&mut cloud, &ids, 3.0 * 3_600.0).unwrap();
         assert_eq!(groups.len(), 2, "{groups:?}");
         for g in &groups {
             assert_eq!(g.len(), 4);
@@ -324,7 +324,7 @@ mod tests {
         let b = cloud.launch("t", InstanceSpec::new("b")).unwrap();
         cloud.advance_secs(1);
         let orch = Orchestrator::new();
-        let same = orch.same_server_by_uptime(&cloud, a, b).unwrap();
+        let same = orch.same_server_by_uptime(&mut cloud, a, b).unwrap();
         assert_eq!(Some(same), cloud.coresident(a, b));
     }
 

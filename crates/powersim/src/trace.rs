@@ -116,7 +116,7 @@ impl DiurnalTrace {
     /// Applies the demand at `t_s` to every host of the cloud
     /// (autocorrelated noise on top of the nominal curve).
     pub fn apply(&mut self, cloud: &mut Cloud, t_s: u64) {
-        let n = cloud.hosts().len();
+        let n = cloud.host_count();
         if self.noise_state.len() != n {
             self.noise_state = vec![0.0; n];
         }

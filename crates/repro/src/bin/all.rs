@@ -24,6 +24,7 @@ fn main() {
     let jobs = containerleaks_experiments::jobs_arg();
     containerleaks_experiments::apply_coalesce_arg();
     containerleaks_experiments::apply_render_cache_arg();
+    containerleaks_experiments::apply_shards_arg();
     containerleaks_experiments::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let days = args

@@ -3,6 +3,7 @@
 
 fn main() {
     let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    containerleaks_experiments::apply_shards_arg();
     let args: Vec<String> = std::env::args().collect();
     let days = args
         .windows(2)

@@ -3,5 +3,6 @@
 
 fn main() {
     let seed = containerleaks_experiments::seed_arg(77);
+    containerleaks_experiments::apply_shards_arg();
     containerleaks_experiments::emit(&containerleaks::experiments::rack_attack(seed));
 }

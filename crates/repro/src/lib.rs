@@ -74,6 +74,24 @@ pub fn apply_render_cache_arg() {
     }
 }
 
+/// Applies `--shards <n>` process-wide (the default, absent the flag,
+/// is auto-sharding: rack-aligned shards of at least 128 hosts). CI
+/// runs the experiment binaries at `--shards 1` and `--shards 8` and
+/// byte-compares the artifacts — how the fleet is partitioned across
+/// event calendars must be an invisible optimization.
+pub fn apply_shards_arg() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--shards") {
+        match w[1].parse::<usize>() {
+            Ok(n) => containerleaks::cloudsim::set_shards_default(n),
+            Err(_) => {
+                eprintln!("--shards takes a shard count (0 = auto), got `{}`", w[1]);
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Parses `--trace <path>` from argv.
 pub fn trace_arg() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

@@ -475,7 +475,11 @@ impl Kernel {
     /// are identical across `--jobs` and `--coalesce` settings.
     fn bump_epochs(&mut self, mask: u32) {
         self.epochs.bump(mask);
-        simtrace::counters::add("kernel.epoch_bump", u64::from(mask.count_ones()));
+        // Mode-exempt: the fleet calendar's lazy fast-forward path folds
+        // what the eager path spreads over many `advance` calls into one
+        // covering call, so the *number* of bumps (unlike every epoch
+        // comparison outcome) legitimately differs across stepping modes.
+        simtrace::counters::add_exempt("kernel.epoch_bump", u64::from(mask.count_ones()));
     }
 
     /// Probes the render cache for `(view_fp, path)`. On [`RenderHit::Fresh`]
@@ -660,6 +664,40 @@ impl Kernel {
     /// Crash-reboots this kernel has gone through.
     pub fn reboot_count(&self) -> u32 {
         self.reboots
+    }
+
+    /// Whether any process is currently runnable. A runnable kernel must
+    /// be stepped through every interval (its state is load-dependent);
+    /// only quiescent kernels may be fast-forwarded lazily.
+    pub fn has_runnable(&self) -> bool {
+        self.procs.runnable() > 0
+    }
+
+    /// The earliest pending observable event, as an absolute lifetime
+    /// instant strictly after now: the next fault-plan window edge, the
+    /// next scheduled crash-reboot, or the next one-shot timer expiry.
+    /// `None` when nothing is pending — a quiescent kernel with an empty
+    /// horizon evolves in closed form indefinitely, which is what lets
+    /// the fleet calendar skip it entirely between external operations.
+    pub fn next_event_horizon_ns(&self) -> Option<u64> {
+        let mut horizon: Option<u64> = None;
+        let mut fold = |candidate: u64| {
+            horizon = Some(horizon.map_or(candidate, |h: u64| h.min(candidate)));
+        };
+        if let Some(f) = &self.faults {
+            let rel = self.lifetime_ns.saturating_sub(f.base_ns);
+            if let Some(r) = f.plan.next_reboot_after(rel) {
+                fold(f.base_ns + r);
+            }
+            if let Some(e) = f.plan.next_event_after(rel) {
+                fold(f.base_ns + e);
+            }
+        }
+        let now = self.clock.since_boot_ns();
+        if let Some(e) = self.timers.next_event_after(now) {
+            fold(self.lifetime_ns + (e - now));
+        }
+        horizon
     }
 
     /// The read fault currently active for `path`, per the installed

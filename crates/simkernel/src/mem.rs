@@ -304,7 +304,11 @@ impl MemoryState {
         }
         for z in &mut self.zones {
             let share = z.managed_pages as f64 / managed_total as f64;
-            z.free_pages = ((free / PAGE_SIZE) as f64 * share) as u64;
+            // `free_bytes()` is measured against the full RAM while
+            // zones only manage ~97% of it; on a nearly idle machine the
+            // proportional share can exceed the zone — clamp to keep the
+            // free ≤ managed invariant every renderer assumes.
+            z.free_pages = (((free / PAGE_SIZE) as f64 * share) as u64).min(z.managed_pages);
         }
     }
 }

@@ -254,6 +254,176 @@ where
     par_for_each_mut_threads(items, default_threads(), f);
 }
 
+/// Contiguous home block of lane `lane` when `n` items are split across
+/// `lanes` lanes: `[n*lane/lanes, n*(lane+1)/lanes)`. A pure function of
+/// `(n, lanes)`, so the item→home-lane assignment never depends on OS
+/// scheduling.
+fn home_block(n: usize, lanes: usize, lane: usize) -> (usize, usize) {
+    (n * lane / lanes, n * (lane + 1) / lanes)
+}
+
+/// One lane of [`par_claim_mut_threads`]: drains its own home block via
+/// the block's shared claim cursor, then steals whole items from the
+/// other lanes' cursors round-robin. `fetch_add` hands every index to
+/// exactly one lane; which lane runs an item can vary run to run, but
+/// `f` only ever sees `&mut` of one item at a time, so results cannot.
+#[allow(clippy::type_complexity)]
+fn claim_lane_run<T, F>(
+    lane: usize,
+    lanes: usize,
+    slots: &[Mutex<Option<T>>],
+    cursors: &[std::sync::atomic::AtomicUsize],
+    f: &F,
+) -> (u64, u64, Option<(usize, Box<dyn Any + Send>)>)
+where
+    F: Fn(usize, &mut T),
+{
+    use std::sync::atomic::Ordering;
+    let n = slots.len();
+    let mut claims = 0u64;
+    let mut steals = 0u64;
+    let mut panic: Option<(usize, Box<dyn Any + Send>)> = None;
+    let mut run = |idx: usize, stolen: bool| {
+        let mut guard = match slots[idx].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(item) = guard.as_mut() {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+                if panic.as_ref().is_none_or(|(i, _)| idx < *i) {
+                    panic = Some((idx, p));
+                }
+            }
+        }
+        if stolen {
+            steals += 1;
+        } else {
+            claims += 1;
+        }
+    };
+    for victim in 0..lanes {
+        let victim_lane = (lane + victim) % lanes;
+        let (_, end) = home_block(n, lanes, victim_lane);
+        loop {
+            let idx = cursors[victim_lane].fetch_add(1, Ordering::Relaxed);
+            if idx >= end {
+                break;
+            }
+            run(idx, victim != 0);
+        }
+    }
+    (claims, steals, panic)
+}
+
+/// Applies `f(index, &mut item)` to every element, fanning across
+/// `threads` lanes (the caller plus persistent pool workers) with
+/// **whole-item work stealing**: each lane first drains a contiguous home
+/// block of items through an atomic claim cursor, then steals items one
+/// at a time from the other lanes' blocks. Designed for *shards* — coarse
+/// units whose internal work varies wildly (one shard may pop a dozen
+/// calendar events while its neighbors fast-forward in closed form) — so
+/// an idle lane picks up a whole remaining shard instead of splitting
+/// one.
+///
+/// Determinism contract: identical to [`par_for_each_mut_threads`] — `f`
+/// must confine its effects to the claimed item (plus commutative trace
+/// counters), so which lane runs a shard is unobservable in the results.
+/// Item order in `items` is preserved; a panic propagates after every
+/// item has been collected back, lowest item index winning.
+pub fn par_claim_mut_threads<T, F>(items: &mut Vec<T>, threads: usize, f: F)
+where
+    T: Send + 'static,
+    F: Fn(usize, &mut T) + Send + Sync + 'static,
+{
+    use std::sync::atomic::AtomicUsize;
+    let lanes = if IS_POOL_WORKER.get() {
+        1
+    } else {
+        threads.min(items.len())
+    };
+    if lanes <= 1 {
+        for (idx, item) in items.iter_mut().enumerate() {
+            f(idx, item);
+        }
+        return;
+    }
+    let senders = pool_senders(lanes - 1);
+    let lanes = senders.len() + 1;
+    if lanes <= 1 {
+        for (idx, item) in items.iter_mut().enumerate() {
+            f(idx, item);
+        }
+        return;
+    }
+
+    simtrace::counters::add_exec("pool.claim_fanouts", 1);
+
+    let n = items.len();
+    let slots: Arc<Vec<Mutex<Option<T>>>> =
+        Arc::new(items.drain(..).map(|t| Mutex::new(Some(t))).collect());
+    let cursors: Arc<Vec<AtomicUsize>> = Arc::new(
+        (0..lanes)
+            .map(|lane| AtomicUsize::new(home_block(n, lanes, lane).0))
+            .collect(),
+    );
+    type LaneResult = (u64, u64, Option<(usize, Box<dyn Any + Send>)>);
+    let (tx, rx) = channel::<LaneResult>();
+    let f = Arc::new(f);
+    for lane in 1..lanes {
+        let tx = tx.clone();
+        let f = Arc::clone(&f);
+        let slots = Arc::clone(&slots);
+        let cursors = Arc::clone(&cursors);
+        let job: Job = Box::new(move || {
+            let _ = tx.send(claim_lane_run(lane, lanes, &slots, &cursors, &*f));
+        });
+        if let Err(returned) = senders[lane - 1].send(job) {
+            // The worker is gone (shutdown race): run its lane inline —
+            // the cursors make this safe; the lane just claims nothing
+            // anyone else already took.
+            (returned.0)();
+        }
+    }
+    drop(tx);
+
+    let mut results = vec![claim_lane_run(0, lanes, &slots, &cursors, &*f)];
+    while let Some(r) = recv_spin(&rx) {
+        results.push(r);
+    }
+    // Every lane has reported, so no lane touches the slots again; the
+    // worker may still be dropping its `Arc` clones, so items are taken
+    // out of the slots rather than unwrapping the `Arc` itself.
+    items.extend(slots.iter().map(|m| {
+        match m.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+        .expect("every claimed item is returned to its slot")
+    }));
+    let mut claims = 0u64;
+    let mut steals = 0u64;
+    let mut panic: Option<(usize, Box<dyn Any + Send>)> = None;
+    for (c, s, p) in results {
+        claims += c;
+        steals += s;
+        if let Some((idx, payload)) = p {
+            if panic.as_ref().is_none_or(|(i, _)| idx < *i) {
+                panic = Some((idx, payload));
+            }
+        }
+    }
+    if claims > 0 {
+        simtrace::counters::add_exec("pool.shard_claims", claims);
+    }
+    if steals > 0 {
+        simtrace::counters::add_exec("pool.shard_steals", steals);
+    }
+    // Deterministic propagation: the lowest item index's panic wins.
+    if let Some((_, p)) = panic {
+        resume_unwind(p);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +531,83 @@ mod tests {
             seen.iter().all(|&id| id == caller),
             "--jobs 1 must bypass the pool entirely"
         );
+    }
+
+    #[test]
+    fn claim_serial_and_stolen_agree() {
+        let step = |i: usize, x: &mut u64| {
+            // Deliberately skewed per-item cost so lanes actually steal.
+            for _ in 0..(i % 7) * 400 + 1 {
+                *x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + i as u64);
+            }
+        };
+        let mut a: Vec<u64> = (0..53).collect();
+        let mut b = a.clone();
+        par_claim_mut_threads(&mut a, 1, step);
+        par_claim_mut_threads(&mut b, 8, step);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn claim_runs_every_item_exactly_once() {
+        for lanes in [1usize, 2, 3, 5, 16] {
+            let mut items = vec![0u32; 37];
+            par_claim_mut_threads(&mut items, lanes, |_, x| *x += 1);
+            assert_eq!(items, vec![1u32; 37], "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn claim_preserves_order_and_index_mapping() {
+        let mut items: Vec<usize> = vec![0; 29];
+        par_claim_mut_threads(&mut items, 4, |i, slot| *slot = i * 3);
+        assert_eq!(items, (0..29).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn home_blocks_partition_the_items() {
+        for n in [0usize, 1, 7, 16, 53] {
+            for lanes in [1usize, 2, 3, 8] {
+                let mut covered = Vec::new();
+                for lane in 0..lanes {
+                    let (s, e) = home_block(n, lanes, lane);
+                    covered.extend(s..e);
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn claim_panics_propagate_lowest_index_and_preserve_items() {
+        let mut items: Vec<u32> = (0..9).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_claim_mut_threads(&mut items, 3, |_, x| {
+                if *x % 4 == 3 {
+                    panic!("boom at {x}");
+                }
+                *x += 100;
+            });
+        }));
+        let msg = *caught
+            .expect_err("must propagate")
+            .downcast::<String>()
+            .expect("string payload");
+        assert_eq!(msg, "boom at 3", "lowest panicking index wins");
+        assert_eq!(items.len(), 9, "items survive a lane panic");
+        assert_eq!(items[0], 100);
+        assert_eq!(items[3], 3, "panicking item keeps its prior state");
+    }
+
+    #[test]
+    fn claim_nested_from_a_pool_worker_runs_serial() {
+        let mut outer: Vec<Vec<u32>> = (0..6).map(|_| vec![0u32; 6]).collect();
+        par_claim_mut_threads(&mut outer, 3, |_, inner| {
+            par_claim_mut_threads(inner, 3, |_, x| *x += 1);
+        });
+        assert!(outer.iter().flatten().all(|&x| x == 1));
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Visit 1: remember where we are.
     let first = cloud.launch("tenant", InstanceSpec::new("visit-1"))?;
-    let remembered = HostFingerprint::capture(&cloud, first, 0.0)?;
+    let remembered = HostFingerprint::capture(&mut cloud, first, 0.0)?;
     let home = cloud.instance(first).expect("instance").host();
     println!("visit 1 landed on {home} — fingerprint captured:");
     println!("  boot_id       {}", remembered.boot_id);
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cloud.advance_secs(2);
         clock += 2.0;
         let probe = cloud.launch("tenant", InstanceSpec::new(format!("probe-{attempt}")))?;
-        let fp = HostFingerprint::capture(&cloud, probe, clock)?;
+        let fp = HostFingerprint::capture(&mut cloud, probe, clock)?;
         let verdict = remembered.matches(&fp);
         let actual = cloud.instance(probe).expect("instance").host();
         println!("attempt {attempt:>2}: landed on {actual} -> {verdict:?}");
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cloud.terminate(post)?;
                 post = cloud.launch("tenant", InstanceSpec::new("post-reboot"))?;
             }
-            let fp2 = HostFingerprint::capture(&cloud, post, clock)?;
+            let fp2 = HostFingerprint::capture(&mut cloud, post, clock)?;
             println!(
                 "after rebooting {actual}: boot_id rotated, verdict {:?}",
                 remembered.matches(&fp2)

@@ -34,4 +34,5 @@ cargo run --offline --release -q -p containerleaks-experiments --bin benchcmp --
     --threshold-pct "${BENCH_THRESHOLD_PCT:-25}" \
     --floor-ns "${BENCH_FLOOR_NS:-20000}" \
     --require-speedup "table1_scan_cached:table1_scan:${BENCH_CACHE_SPEEDUP:-5.0}" \
-    --require-speedup "hardening_policy_generation_cached:hardening_policy_generation:${BENCH_CACHE_SPEEDUP:-5.0}"
+    --require-speedup "hardening_policy_generation_cached:hardening_policy_generation:${BENCH_CACHE_SPEEDUP:-5.0}" \
+    --require-speedup "fleet_10k_week:fleet_10k_week_unsharded:${BENCH_FLEET_SPEEDUP:-5.0}"

@@ -48,19 +48,19 @@ fn discover_exploit_defend() {
     let mut monitor = RaplMonitor::new();
     let observer = agg.kept[0];
     let _ = monitor
-        .sample_watts(&cloud, observer, 0.0)
+        .sample_watts(&mut cloud, observer, 0.0)
         .expect("rapl readable");
     let victim_host = cloud.instance(observer).expect("observer").host();
     cloud.set_background_demand(victim_host, 0.05);
     cloud.advance_secs(10);
     let calm = monitor
-        .sample_watts(&cloud, observer, 10.0)
+        .sample_watts(&mut cloud, observer, 10.0)
         .expect("rapl readable")
         .expect("warm");
     cloud.set_background_demand(victim_host, 0.85);
     cloud.advance_secs(10);
     let busy = monitor
-        .sample_watts(&cloud, observer, 20.0)
+        .sample_watts(&mut cloud, observer, 20.0)
         .expect("rapl readable")
         .expect("warm");
     assert!(busy > calm + 10.0, "attacker blind: {calm} -> {busy}");
@@ -130,7 +130,7 @@ fn masked_clouds_stop_the_rapl_monitor_but_not_cc1() {
             .expect("launch");
         cloud.advance_secs(1);
         let mut monitor = RaplMonitor::new();
-        let ok = monitor.sample_watts(&cloud, inst, 1.0).is_ok();
+        let ok = monitor.sample_watts(&mut cloud, inst, 1.0).is_ok();
         assert_eq!(ok, expect_readable, "{profile:?}");
     }
 }
@@ -198,10 +198,12 @@ fn host_power_sums_match_between_views() {
         .launch("t", InstanceSpec::new("probe").vcpus(1))
         .expect("launch");
     let mut monitor = RaplMonitor::new();
-    let _ = monitor.sample_watts(&cloud, inst, 0.0).expect("readable");
+    let _ = monitor
+        .sample_watts(&mut cloud, inst, 0.0)
+        .expect("readable");
     cloud.advance_secs(30);
     let pkg_w = monitor
-        .sample_watts(&cloud, inst, 30.0)
+        .sample_watts(&mut cloud, inst, 30.0)
         .expect("readable")
         .expect("warm");
     let wall_w = cloud.host_power_w(HostId(0));

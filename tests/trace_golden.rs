@@ -48,7 +48,7 @@ fn run_scenario() {
     let mut mon = RaplMonitor::new();
     for t in 0..60u64 {
         cloud.advance_secs(1);
-        let _ = mon.sample_watts(&cloud, observer, t as f64);
+        let _ = mon.sample_watts(&mut cloud, observer, t as f64);
         if t % 5 == 0 {
             for path in [
                 "/proc/stat",
