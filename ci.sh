@@ -3,7 +3,8 @@
 # regressions for the parallel experiment runner (--jobs 1 vs --jobs 4,
 # event-horizon coalescing on vs off, and render caching on vs off must
 # all produce byte-identical EXPERIMENTS.md / .json artifacts), the
-# 16-seed campaign metamorphic-oracle sweep, and the bench medians gate.
+# detector-on replays of the detection experiment, the 16-seed campaign
+# metamorphic-oracle sweep, and the bench medians gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -152,6 +153,37 @@ grep -v '"group":"mode-exempt"' "$tmp/fs1.trace" > "$tmp/fs1.trace.portable"
 grep -v '"group":"mode-exempt"' "$tmp/fs8.trace" > "$tmp/fs8.trace.portable"
 same "$tmp/fs1.trace.portable" "$tmp/fs8.trace.portable"
 echo "byte-identical across shard counts with faults active (trace modulo mode-exempt)"
+
+echo "== determinism with detector on: --jobs 1 vs --jobs 4 =="
+# The online detector observes every read and swaps masking policies
+# mid-run, so it exercises the cross-thread verdict/apply path directly.
+# Its verdicts, policy updates, and counters are all portable-group:
+# the traced run must be byte-identical across worker counts.
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --only detection --detector on --jobs 1 \
+    --out "$tmp/d1.md" --trace "$tmp/d1.trace" >/dev/null
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --only detection --detector on --jobs 4 \
+    --out "$tmp/d4.md" --trace "$tmp/d4.trace" >/dev/null
+same "$tmp/d1.md" "$tmp/d4.md"
+same "$tmp/d1.json" "$tmp/d4.json"
+same "$tmp/d1.trace" "$tmp/d4.trace"
+echo "byte-identical across job counts with detector on (trace included)"
+
+echo "== determinism with detector on: fleet shards 1 vs 8 =="
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --only detection --detector on --jobs 4 --shards 1 \
+    --out "$tmp/ds1.md" --trace "$tmp/ds1.trace" >/dev/null
+cargo run --offline --release -q -p containerleaks-experiments --bin all -- \
+    --only detection --detector on --jobs 4 --shards 8 \
+    --out "$tmp/ds8.md" --trace "$tmp/ds8.trace" >/dev/null
+same "$tmp/d1.md" "$tmp/ds1.md"
+same "$tmp/ds1.md" "$tmp/ds8.md"
+same "$tmp/ds1.json" "$tmp/ds8.json"
+grep -v '"group":"mode-exempt"' "$tmp/ds1.trace" > "$tmp/ds1.trace.portable"
+grep -v '"group":"mode-exempt"' "$tmp/ds8.trace" > "$tmp/ds8.trace.portable"
+same "$tmp/ds1.trace.portable" "$tmp/ds8.trace.portable"
+echo "byte-identical across shard counts with detector on (trace modulo mode-exempt)"
 
 echo "== campaign: 16-seed metamorphic sweep, --jobs 1 vs --jobs 4 =="
 # Every scenario must pass every oracle (the bin exits non-zero on any

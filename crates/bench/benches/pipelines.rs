@@ -22,6 +22,9 @@
 //! * `fig9_ns_update`    — one power-namespace calibration interval
 //! * `campaign_sweep`    — one seed-derived scenario through all four
 //!   metamorphic campaign oracles
+//! * `detector_week`     — a simulated week at hourly cadence with the
+//!   online detector observing a bursty prober: prices the read-tap,
+//!   the per-advance verdict evaluation, and the live policy swap
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -432,6 +435,49 @@ fn bench_campaign_sweep(c: &mut Criterion) {
     });
 }
 
+fn bench_detector_week(c: &mut Criterion) {
+    // A simulated week of a detector-on fleet at the hourly control
+    // cadence. The prober bursts four full channel sweeps per wake —
+    // enough to trip the rate floor inside one window — so the first
+    // hour pays the verdict + live policy swap and the remaining 167
+    // price the steady state: denied probes still observed, windows
+    // evicted, no further updates. Each iteration rebuilds the cloud so
+    // the flag always lands inside the measured week.
+    use containerleaks::cloudsim::{DetectorConfig, PlacementPolicy};
+    use containerleaks::leakscan::{AdaptiveAttacker, AttackerMode};
+    c.bench_function("detector_week", |b| {
+        b.iter_batched(
+            || {
+                let cfg = CloudConfig::new(CloudProfile::CC1)
+                    .hosts(8)
+                    .placement(PlacementPolicy::BinPack)
+                    .without_background()
+                    .detector(DetectorConfig::default());
+                let mut cloud = Cloud::new(cfg, 15);
+                let benign = cloud
+                    .launch("alice", InstanceSpec::new("web"))
+                    .expect("benign");
+                let prober = cloud
+                    .launch("mallory", InstanceSpec::new("probe"))
+                    .expect("prober");
+                let atk = AdaptiveAttacker::new(AttackerMode::Persistent, prober, None);
+                (cloud, atk, benign)
+            },
+            |(mut cloud, mut atk, benign)| {
+                for hour in 0..168u64 {
+                    let _ = cloud.read_file(benign, "/proc/meminfo");
+                    for _ in 0..4 {
+                        atk.step(&mut cloud, hour * 3600);
+                    }
+                    cloud.advance_secs(3600);
+                }
+                black_box(cloud.detector().map(|d| d.report().len()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_namespace_install(c: &mut Criterion) {
     let model = Trainer::new(11).train();
     c.bench_function("defense_namespace_install", |b| {
@@ -470,6 +516,7 @@ criterion_group!(
         bench_hardening_cached,
         bench_kernel_tick,
         bench_campaign_sweep,
+        bench_detector_week,
         bench_namespace_install,
 );
 criterion_main!(pipelines);

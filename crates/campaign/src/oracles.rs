@@ -15,11 +15,15 @@
 //! * [`churn_soundness`] — under create/destroy churn, a render-caching
 //!   kernel stays byte-identical to an uncached twin, reads never bump
 //!   epochs, and fresh containers never see a stale namespace view.
+//! * [`detector_soundness`] — masking a flagged tenant never increases
+//!   any channel's subsequent empirical entropy, and a passive (never
+//!   flagging) detector tap is byte-invisible: its transcript digest
+//!   matches a detector-free run exactly.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
-use cloudsim::{Cloud, CloudConfig, CloudError, InstanceId, InstanceSpec};
+use cloudsim::{Cloud, CloudConfig, CloudError, DetectorConfig, InstanceId, InstanceSpec};
 use powersim::{AttackCampaign, AttackStrategy, DiurnalTrace};
 use pseudofs::{MaskAction, MaskPolicy, MaskRule, PseudoFs, View};
 use rand::rngs::StdRng;
@@ -80,6 +84,7 @@ pub fn check_all(sc: &Scenario) -> Result<(), Violation> {
     shard_invariance(sc)?;
     power_monotone(sc)?;
     churn_soundness(sc)?;
+    detector_soundness(sc)?;
     Ok(())
 }
 
@@ -230,10 +235,41 @@ fn transcript_digest(
     shards: usize,
     eager: bool,
 ) -> u64 {
+    transcript_digest_with(
+        sc,
+        coalesce,
+        cache,
+        threads,
+        shards,
+        eager,
+        sc.detector.then(DetectorConfig::default),
+    )
+}
+
+/// [`transcript_digest`] with the detector chosen explicitly (the
+/// detector-soundness oracle compares a passive tap against no tap).
+/// The digest folds in the detector's verdict and policy-update logs —
+/// the enforcement surface that must be byte-identical across modes —
+/// but not its observation counters, so a never-flagging detector
+/// digests identically to none at all.
+#[allow(clippy::fn_params_excessive_bools)]
+fn transcript_digest_with(
+    sc: &Scenario,
+    coalesce: bool,
+    cache: bool,
+    threads: usize,
+    shards: usize,
+    eager: bool,
+    det: Option<DetectorConfig>,
+) -> u64 {
     let mut cfg = CloudConfig::new(sc.profile)
         .hosts(sc.hosts)
         .shards(shards)
         .without_background();
+    cfg = match det {
+        Some(d) => cfg.detector(d),
+        None => cfg.without_detector(),
+    };
     if eager {
         cfg = cfg.eager_advance();
     }
@@ -292,6 +328,14 @@ fn transcript_digest(
                 Ok(files) => fold(&mut digest, &format!("files={}", files.len())),
                 Err(e) => fold(&mut digest, &format!("<{e:?}>")),
             }
+        }
+    }
+    if let Some(d) = cloud.detector() {
+        for v in d.verdicts() {
+            fold(&mut digest, &v.render());
+        }
+        for u in d.updates() {
+            fold(&mut digest, &u.render());
         }
     }
     digest
@@ -558,6 +602,117 @@ pub fn churn_soundness(sc: &Scenario) -> Result<(), Violation> {
         cached.render_cache_evict_view(*fp);
     }
     compare_surfaces(&fs, &cached, &plain, &[("host".to_string(), View::host())])?;
+    Ok(())
+}
+
+/// Oracle 5: online detection is sound.
+///
+/// Two relations, both scenario-independent:
+///
+/// 1. **Masking monotonicity, online edition.** A probing tenant is
+///    driven until the detector flags and masks it; for every probed
+///    channel, the empirical entropy of the reads *after* the mask
+///    landed must not exceed the entropy of the reads before it. The
+///    detector's intervention can only remove information.
+/// 2. **Tap invisibility.** A passive detector (thresholds set so it
+///    observes everything but never flags) must leave the scenario
+///    transcript digest exactly equal to a detector-free run — the
+///    inline tap itself is not allowed to perturb a single byte. This is
+///    the executable form of the `--detector off` byte-compat guarantee.
+///
+/// # Errors
+///
+/// A [`Violation`] naming the channel or digest that broke.
+pub fn detector_soundness(sc: &Scenario) -> Result<(), Violation> {
+    const V: &str = "detector-soundness";
+
+    // Relation 1: entropy never rises across the masking event.
+    let cfg = CloudConfig::new(sc.profile)
+        .hosts(1)
+        .without_background()
+        .detector(DetectorConfig::default());
+    let mut cloud = Cloud::new(cfg, sc.seed);
+    cloud.set_coalescing(sc.coalesce);
+    cloud.set_render_caching(sc.render_cache);
+    let prober = match cloud.launch("prober", InstanceSpec::new("probe")) {
+        Ok(id) => id,
+        Err(e) => return Err(Violation::new(V, format!("launch failed: {e:?}"))),
+    };
+    let channels = [
+        "/proc/meminfo",
+        "/proc/stat",
+        "/proc/timer_list",
+        "/proc/loadavg",
+        "/proc/uptime",
+    ];
+    let read_round = |cloud: &mut Cloud, out: &mut Vec<Vec<String>>| {
+        for (ci, ch) in channels.iter().enumerate() {
+            let s = match cloud.read_file(prober, ch) {
+                Ok(bytes) => bytes,
+                Err(e) => format!("<{e:?}>"),
+            };
+            out[ci].push(s);
+        }
+    };
+    let mut pre: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
+    let mut post: Vec<Vec<String>> = vec![Vec::new(); channels.len()];
+    // Hammer until flagged (8 samples), then keep reading masked (8 more).
+    let mut flagged_after = None;
+    for s in 0..120u64 {
+        let masked = cloud.detector().is_some_and(|d| d.level(0) > 0);
+        if !masked {
+            read_round(&mut cloud, &mut pre);
+        } else {
+            if flagged_after.is_none() {
+                flagged_after = Some(s);
+            }
+            read_round(&mut cloud, &mut post);
+            if post[0].len() >= pre[0].len() {
+                break;
+            }
+        }
+        cloud.advance_secs(1);
+    }
+    if flagged_after.is_none() {
+        return Err(Violation::new(
+            V,
+            "a full-set 1 Hz prober was never flagged".to_string(),
+        ));
+    }
+    for (ci, ch) in channels.iter().enumerate() {
+        let (h_pre, h_post) = (entropy_of(&pre[ci]), entropy_of(&post[ci]));
+        if h_post > h_pre + 1e-9 {
+            return Err(Violation::new(
+                V,
+                format!(
+                    "{ch}: entropy rose from {h_pre:.4} to {h_post:.4} bits after the \
+                     detector masked the tenant"
+                ),
+            ));
+        }
+    }
+
+    // Relation 2: a passive tap is byte-invisible.
+    let without =
+        transcript_digest_with(sc, sc.coalesce, sc.render_cache, 1, sc.shards, false, None);
+    let passive = transcript_digest_with(
+        sc,
+        sc.coalesce,
+        sc.render_cache,
+        1,
+        sc.shards,
+        false,
+        Some(DetectorConfig::passive()),
+    );
+    if passive != without {
+        return Err(Violation::new(
+            V,
+            format!(
+                "a passive detector tap changed the transcript digest: \
+                 {without:016x} vs {passive:016x}"
+            ),
+        ));
+    }
     Ok(())
 }
 

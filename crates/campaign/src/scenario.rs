@@ -43,6 +43,9 @@ pub struct Scenario {
     pub demand: f64,
     /// Fleet shard count for the event calendar (1..=4).
     pub shards: usize,
+    /// Whether the online leak detector (and its live masking-policy
+    /// enforcement) is attached to this scenario's clouds (~25%).
+    pub detector: bool,
 }
 
 impl Scenario {
@@ -65,6 +68,8 @@ impl Scenario {
         // Appended after the PR-4-era dimensions so every seed keeps
         // deriving the same values for them.
         let shards = rng.random_range(1..5usize);
+        // Appended after the shard dimension for the same reason.
+        let detector = rng.random_range(0..4u32) == 0;
         Scenario {
             seed,
             hosts,
@@ -79,6 +84,7 @@ impl Scenario {
             jobs,
             demand,
             shards,
+            detector,
         }
     }
 
@@ -124,7 +130,7 @@ impl Scenario {
     /// One-line summary of the derived dimensions (report tables).
     pub fn summary(&self) -> String {
         format!(
-            "{}h/{}t churn={} steps={} {} {} {}/{}/j{} d={:.2} s{}",
+            "{}h/{}t churn={} steps={} {} {} {}/{}/j{} d={:.2} s{}{}",
             self.hosts,
             self.tenants,
             self.churn_cycles,
@@ -136,6 +142,7 @@ impl Scenario {
             self.jobs,
             self.demand,
             self.shards,
+            if self.detector { " det" } else { "" },
         )
     }
 }
@@ -196,6 +203,7 @@ mod tests {
 
     #[test]
     fn dimensions_stay_in_their_documented_ranges() {
+        let mut with_detector = 0usize;
         for seed in 0..500u64 {
             let s = Scenario::derive(seed);
             assert!((1..=4).contains(&s.hosts));
@@ -206,7 +214,11 @@ mod tests {
             assert!((1..=4).contains(&s.jobs));
             assert!((0.10..0.45).contains(&s.demand));
             assert!((1..=4).contains(&s.shards));
+            with_detector += usize::from(s.detector);
         }
+        // ~25% of scenarios run with the online detector attached; both
+        // arms of the dimension must actually occur in a sweep.
+        assert!((50..=450).contains(&with_detector), "{with_detector}");
     }
 
     #[test]

@@ -46,19 +46,22 @@ pub mod profile;
 mod shard;
 
 pub use billing::{BillingModel, TenantBill, TenantId};
+pub use detector::{Detector, DetectorConfig, MaskLevel, PolicyUpdate, Verdict};
 pub use placement::PlacementPolicy;
 pub use profile::CloudProfile;
 
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use container_runtime::{ContainerId, ContainerSpec, Runtime, RuntimeError};
+use pseudofs::FsError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simkernel::{HostPid, Kernel, MachineConfig, NANOS_PER_SEC};
+use simtrace::ReadTap as _;
 use workloads::WorkloadSpec;
 
 use placement::CapacityIndex;
@@ -78,6 +81,23 @@ pub fn set_shards_default(n: usize) {
 /// The process-wide default shard count (`0` = auto).
 pub fn shards_default() -> usize {
     SHARDS_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Process-wide default for the provider-side online detector, consumed
+/// by [`CloudConfig::new`] (what the `--detector on|off` flag on the
+/// repro binaries sets; compiled default: off, so existing runs are
+/// byte-identical to the pre-detector code). Per-cloud overrides:
+/// [`CloudConfig::detector`] / [`CloudConfig::without_detector`].
+static DETECTOR_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide default for attaching the online detector.
+pub fn set_detector_default(on: bool) {
+    DETECTOR_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide default for attaching the online detector.
+pub fn detector_default() -> bool {
+    DETECTOR_DEFAULT.load(Ordering::Relaxed)
 }
 
 /// Identifies a physical host in the fleet.
@@ -159,6 +179,7 @@ pub struct CloudConfig {
     background_per_host: bool,
     shards: usize,
     eager_advance: bool,
+    detector: Option<DetectorConfig>,
 }
 
 impl CloudConfig {
@@ -176,6 +197,7 @@ impl CloudConfig {
             background_per_host: true,
             shards: shards_default(),
             eager_advance: false,
+            detector: detector_default().then(DetectorConfig::default),
         }
     }
 
@@ -236,6 +258,21 @@ impl CloudConfig {
     #[must_use]
     pub fn eager_advance(mut self) -> Self {
         self.eager_advance = true;
+        self
+    }
+
+    /// Attaches the provider-side online detector with the given
+    /// thresholds (overriding the process-wide default either way).
+    #[must_use]
+    pub fn detector(mut self, cfg: DetectorConfig) -> Self {
+        self.detector = Some(cfg);
+        self
+    }
+
+    /// Detaches the detector regardless of the process-wide default.
+    #[must_use]
+    pub fn without_detector(mut self) -> Self {
+        self.detector = None;
         self
     }
 }
@@ -384,6 +421,11 @@ pub struct Cloud {
     /// Persistent metering scratch — reused across advances so the
     /// per-advance hot loop allocates nothing.
     charges: Vec<(InstanceId, TenantId, u64)>,
+    /// The provider-side online detector, when configured. Fed from the
+    /// driver thread only (tenant reads in program order, evaluation at
+    /// advance boundaries), so its state is byte-deterministic across
+    /// `--jobs` and `--shards`.
+    detector: Option<Detector>,
 }
 
 /// Hosts per shard for a fleet: explicit shard counts split the fleet
@@ -475,6 +517,7 @@ impl Cloud {
             shards.push(Shard::new(pending, cfg.eager_advance));
         }
         let capacity = CapacityIndex::new(nhosts, span, cpus);
+        let det = cfg.detector.clone().map(Detector::new);
         Cloud {
             cfg,
             shards,
@@ -490,6 +533,7 @@ impl Cloud {
             tenants: TenantTable::default(),
             billing: billing::Ledger::new(),
             charges: Vec::new(),
+            detector: det,
         }
     }
 
@@ -603,10 +647,21 @@ impl Cloud {
         let base = (host.instances as u16 * spec.vcpus) % ncpus;
         let cpus: Vec<u16> = (0..spec.vcpus).map(|i| (base + i) % ncpus).collect();
         let mem_limit = host.kernel.config().mem_bytes / 8;
+        // Masking follows the tenant, not the container: a flagged tenant
+        // relaunching does not shed its detector mask.
+        let mut policy = self.cfg.profile.mask_policy();
+        if let Some(deny) = self
+            .detector
+            .as_ref()
+            .and_then(|d| d.deny_patterns_for(tid.0))
+        {
+            policy = detector::composed_policy(&policy, deny);
+            simtrace::counters::add("detector.policies_applied", 1);
+        }
         let cspec = ContainerSpec::new(&spec.name)
             .cpus(cpus)
             .mem_limit(mem_limit)
-            .policy(self.cfg.profile.mask_policy());
+            .policy(policy);
         let container = match host.runtime.create(&mut host.kernel, cspec) {
             Ok(c) => c,
             Err(e) => {
@@ -698,8 +753,18 @@ impl Cloud {
             .ok_or(CloudError::NoSuchInstance(id))?;
         let idx = inst.host.0 as usize;
         self.sync_host(idx);
-        let host = self.host_ref(idx);
-        Ok(host.runtime.read_file(&host.kernel, inst.container, path)?)
+        let res = {
+            let host = self.host_ref(idx);
+            host.runtime.read_file(&host.kernel, inst.container, path)
+        };
+        // The online tap: every tenant read reaches the detector inline,
+        // on the driver thread, stamped with fleet-absolute sim time.
+        // Denied reads count too — probing a closed channel is signal.
+        if let Some(det) = self.detector.as_mut() {
+            let denied = matches!(&res, Err(RuntimeError::Fs(FsError::PermissionDenied(_))));
+            det.on_read(self.fleet_ns, inst.tenant.0, path, denied);
+        }
+        Ok(res?)
     }
 
     /// Lists pseudo files visible inside an instance.
@@ -859,6 +924,82 @@ impl Cloud {
                 .meter(tenant, id, used_ns, secs, &self.cfg.billing);
         }
         self.charges = charges;
+        self.apply_detector_updates();
+    }
+
+    /// Scores the detector at the advance boundary and applies any newly
+    /// emitted masking-policy updates to every live container of each
+    /// flagged tenant, in tenant-id then instance-id order. Runs on the
+    /// driver thread after billing, so verdicts and the apply sequence
+    /// are byte-identical across `--jobs` and `--shards`.
+    fn apply_detector_updates(&mut self) {
+        let (updates, verdicts) = match self.detector.as_mut() {
+            Some(det) => {
+                let before = det.verdicts().len();
+                let ups = det.evaluate(self.fleet_ns);
+                if ups.is_empty() {
+                    return;
+                }
+                let vs = det.verdicts()[before..].to_vec();
+                (ups, vs)
+            }
+            None => return,
+        };
+        let base = self.cfg.profile.mask_policy();
+        for (u, v) in updates.iter().zip(&verdicts) {
+            let policy = detector::composed_policy(&base, &u.deny);
+            let targets: Vec<(InstanceId, usize, ContainerId)> = self
+                .instances
+                .values()
+                .filter(|i| i.tenant.0 == u.tenant)
+                .map(|i| (i.id, i.host.0 as usize, i.container))
+                .collect();
+            let mut flag_pending = true;
+            for (iid, idx, cid) in targets {
+                self.sync_host(idx);
+                let (s, slot) = self.locate(idx);
+                let now = self.fleet_ns;
+                let shard = &mut self.shards[s];
+                let host = &mut shard.hosts[slot];
+                let _ = host
+                    .runtime
+                    .set_policy(&mut host.kernel, cid, policy.clone());
+                shard.refresh(slot, now);
+                simtrace::counters::add("detector.policies_applied", 1);
+                if simtrace::enabled() {
+                    let host = self.host_ref(idx);
+                    if let Some(tr) = host.kernel.tracer() {
+                        let t = host.kernel.lifetime_ns();
+                        if flag_pending {
+                            tr.emit(
+                                t,
+                                simtrace::TraceEvent::TenantFlagged {
+                                    tenant: u.tenant,
+                                    level: u.level.as_u8(),
+                                    reads: v.reads,
+                                },
+                            );
+                        }
+                        tr.emit(
+                            t,
+                            simtrace::TraceEvent::PolicyUpdated {
+                                instance: iid.0,
+                                tenant: u.tenant,
+                                level: u.level.as_u8(),
+                                rules: u.deny.len() as u32,
+                            },
+                        );
+                    }
+                }
+                flag_pending = false;
+            }
+        }
+    }
+
+    /// The online detector, when one is attached (verdict and
+    /// policy-update logs for scoring and byte-compare tests).
+    pub fn detector(&self) -> Option<&Detector> {
+        self.detector.as_ref()
     }
 
     /// Installs a fault plan on every host kernel, anchored at the

@@ -415,6 +415,38 @@ impl Runtime {
         Ok(())
     }
 
+    /// Swaps the container's masking policy *live* (the provider-side
+    /// detector escalating a flagged tenant mid-run). The swap changes
+    /// the container's view fingerprint, so render-cache entries under
+    /// the old fingerprint become unreachable — they are evicted — and
+    /// the subsystem epochs of every route whose mask treatment changed
+    /// are dirtied via [`Kernel::note_policy_swap`], so no consumer can
+    /// ever be served pre-swap bytes. A no-op when `policy` equals the
+    /// current one.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoSuchContainer`].
+    pub fn set_policy(
+        &mut self,
+        kernel: &mut Kernel,
+        id: ContainerId,
+        policy: MaskPolicy,
+    ) -> Result<(), RuntimeError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(RuntimeError::NoSuchContainer(id))?;
+        if c.spec.policy == policy {
+            return Ok(());
+        }
+        let old_fp = c.view().fingerprint();
+        let deps = pseudofs::changed_mask_deps(&c.spec.policy, &policy);
+        c.spec.policy = policy;
+        kernel.note_policy_swap(old_fp, deps);
+        Ok(())
+    }
+
     /// Removes a container entirely (stop + environment teardown).
     ///
     /// # Errors

@@ -37,6 +37,7 @@
 pub use campaign;
 pub use cloudsim;
 pub use container_runtime;
+pub use detector;
 pub use leakcheck;
 pub use leakscan;
 pub use powerns;

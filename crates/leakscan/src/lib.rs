@@ -18,6 +18,7 @@
 //! * [`inspect`] — the cloud inspector that regenerates the Table I
 //!   exposure matrix across provider profiles CC1–CC5.
 
+pub mod adaptive;
 pub mod agreement;
 pub mod channels;
 pub mod coresidence;
@@ -31,6 +32,7 @@ pub mod lab;
 pub mod metrics;
 pub mod parse;
 
+pub use adaptive::{AdaptiveAttacker, AttackCost, AttackerMode, PROBE_SET};
 pub use channels::{Channel, ManipulationKind, UniquenessKind, TABLE1_CHANNELS, TABLE2_CHANNELS};
 pub use coresidence::{CoResDetector, CoResOutcome, CoResVerdict, DetectorKind};
 pub use covert::{CovertLink, CovertMedium, CovertOutcome};

@@ -44,5 +44,5 @@ pub mod view;
 
 pub use error::FsError;
 pub use fs::{PseudoFs, ReadStatus, LIST_DEPS};
-pub use registry::{route_for, Route, ROUTES};
-pub use view::{Context, MaskAction, MaskPolicy, MaskRule, View};
+pub use registry::{changed_mask_deps, route_for, Route, ROUTES};
+pub use view::{glob_match, Context, MaskAction, MaskPolicy, MaskRule, View};

@@ -498,6 +498,21 @@ pub fn route_for(path: &str) -> Option<&'static Route> {
     ROUTES.iter().find(|r| glob_match(r.pattern, path))
 }
 
+/// The OR of the dependency masks of every route whose mask treatment
+/// differs between `old` and `new` — the subsystem epochs a *live*
+/// policy swap must dirty so the render cache revalidates everything the
+/// swap can have changed. Each route is probed through its concrete
+/// representative path, matching how the masking layer evaluates rules.
+pub fn changed_mask_deps(old: &crate::MaskPolicy, new: &crate::MaskPolicy) -> u32 {
+    let mut deps = 0u32;
+    for r in ROUTES {
+        if old.action_for(r.probe) != new.action_for(r.probe) {
+            deps |= r.deps;
+        }
+    }
+    deps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,9 @@
 //! cores; `--jobs 1` reproduces the serial order), `--coalesce <on|off>`
 //! to toggle event-horizon tick coalescing (default on),
 //! `--render-cache <on|off>` to toggle epoch-keyed pseudo-file render
-//! caching (default on), `--only <id>[,<id>...]` to run a subset of the
+//! caching (default on), `--detector <on|off>` to attach the online
+//! leak detector to every cloud (default off — the historical
+//! artifacts), `--only <id>[,<id>...]` to run a subset of the
 //! registry (how panic-failure repro commands pin one experiment),
 //! `--trace <path>` to write the deterministic
 //! JSONL trace artifact, and `--counters` to print the per-subsystem
@@ -25,6 +27,7 @@ fn main() {
     containerleaks_experiments::apply_coalesce_arg();
     containerleaks_experiments::apply_render_cache_arg();
     containerleaks_experiments::apply_shards_arg();
+    containerleaks_experiments::apply_detector_arg();
     containerleaks_experiments::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let days = args

@@ -1,0 +1,17 @@
+//! Regenerates the detection extension experiment: online detection
+//! latency vs. adaptive attacker cost across Table I exposure tiers.
+//!
+//! Flags: `--seed <u64>`, `--json`, and the process-wide execution-mode
+//! toggles `--coalesce <on|off>`, `--render-cache <on|off>`,
+//! `--shards <n>`, `--detector <on|off>` (this experiment attaches its
+//! own detector explicitly, so the flag only affects other clouds built
+//! in-process).
+
+fn main() {
+    let seed = containerleaks_experiments::seed_arg(containerleaks::DEFAULT_SEED);
+    containerleaks_experiments::apply_coalesce_arg();
+    containerleaks_experiments::apply_render_cache_arg();
+    containerleaks_experiments::apply_shards_arg();
+    containerleaks_experiments::apply_detector_arg();
+    containerleaks_experiments::emit(&containerleaks::experiments::detection(seed));
+}

@@ -92,6 +92,26 @@ pub fn apply_shards_arg() {
     }
 }
 
+/// Applies `--detector <on|off>` process-wide (the default, absent the
+/// flag, is off, which reproduces the historical artifacts byte for
+/// byte). With `on`, every cloud built in-process attaches the online
+/// leak detector and its masking-policy enforcement; CI runs the
+/// detection experiment with the flag at several `--jobs`/`--shards`
+/// settings and byte-compares verdicts, policy updates, and counters.
+pub fn apply_detector_arg() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--detector") {
+        match w[1].as_str() {
+            "on" => containerleaks::cloudsim::set_detector_default(true),
+            "off" => containerleaks::cloudsim::set_detector_default(false),
+            other => {
+                eprintln!("--detector takes `on` or `off`, got `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Parses `--trace <path>` from argv.
 pub fn trace_arg() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

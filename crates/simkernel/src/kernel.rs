@@ -482,6 +482,23 @@ impl Kernel {
         simtrace::counters::add_exempt("kernel.epoch_bump", u64::from(mask.count_ones()));
     }
 
+    /// Records a *live* masking-policy swap on a container view: evicts
+    /// every render-cache entry keyed under the superseded view
+    /// fingerprint and dirties the subsystem epochs in `deps` (the union
+    /// of the dependency masks of every route whose mask treatment
+    /// changed). The eviction alone would suffice for reads through the
+    /// *new* fingerprint — policy is folded into the fingerprint — but
+    /// the epoch bump closes the latent gap for consumers that memoized
+    /// epoch sums *before* the swap: their next freshness check misses
+    /// and re-renders, so the cache can never serve pre-mask bytes.
+    pub fn note_policy_swap(&mut self, old_view_fp: u64, deps: u32) {
+        self.render_cache_evict_view(old_view_fp);
+        if deps != 0 {
+            self.bump_epochs(deps & dep::ALL);
+        }
+        simtrace::counters::add("kernel.policy_swaps", 1);
+    }
+
     /// Probes the render cache for `(view_fp, path)`. On [`RenderHit::Fresh`]
     /// the returned handle shares the cached bytes; on [`RenderHit::Denied`]
     /// the path is policy-denied for this view; on [`RenderHit::Stale`] an

@@ -136,6 +136,26 @@ pub enum TraceEvent {
         /// Instance id.
         instance: u64,
     },
+    /// The provider-side detector flagged a tenant as a prober.
+    TenantFlagged {
+        /// Dense cloud tenant id.
+        tenant: u32,
+        /// Escalation level reached (1 = targeted mask, 2 = full mask).
+        level: u8,
+        /// Watched-channel reads in the detection window.
+        reads: u32,
+    },
+    /// A live masking-policy update was applied to a running container.
+    PolicyUpdated {
+        /// Instance id the new policy landed on.
+        instance: u64,
+        /// Owning tenant id.
+        tenant: u32,
+        /// Escalation level of the policy (1 = targeted, 2 = full).
+        level: u8,
+        /// Number of deny rules in the update.
+        rules: u32,
+    },
     /// A consumer degraded gracefully instead of failing (retry, re-scan,
     /// dropped sample, re-baseline).
     Degraded {
@@ -167,6 +187,8 @@ impl TraceEvent {
             TraceEvent::Placement { .. } => "placement",
             TraceEvent::BillingOpen { .. } => "billing_open",
             TraceEvent::BillingClose { .. } => "billing_close",
+            TraceEvent::TenantFlagged { .. } => "tenant_flagged",
+            TraceEvent::PolicyUpdated { .. } => "policy_updated",
             TraceEvent::Degraded { .. } => "degraded",
         }
     }
@@ -238,6 +260,24 @@ impl TraceEvent {
             }
             TraceEvent::BillingClose { instance } => {
                 let _ = write!(out, "instance={instance}");
+            }
+            TraceEvent::TenantFlagged {
+                tenant,
+                level,
+                reads,
+            } => {
+                let _ = write!(out, "tenant={tenant} level={level} reads={reads}");
+            }
+            TraceEvent::PolicyUpdated {
+                instance,
+                tenant,
+                level,
+                rules,
+            } => {
+                let _ = write!(
+                    out,
+                    "instance={instance} tenant={tenant} level={level} rules={rules}"
+                );
             }
             TraceEvent::Degraded { subsystem, detail } => {
                 let _ = write!(out, "subsystem={subsystem} detail={detail}");

@@ -79,6 +79,12 @@ pub fn tracer_for_new_kernel() -> Option<KernelTracer> {
 #[derive(Debug, Default)]
 struct Inner {
     seq: u64,
+    /// Mode-exempt events number their own stream: a coalesced span
+    /// exists only while coalescing is on, and letting it consume a
+    /// portable sequence number would shift every later portable line
+    /// across modes — breaking the filtered byte-compare that the
+    /// mode-exempt tag exists to enable.
+    exempt_seq: u64,
     events: Vec<TimedEvent>,
 }
 
@@ -107,10 +113,18 @@ impl KernelTracer {
     }
 
     /// Appends an event at the given kernel-lifetime timestamp.
+    /// Portable and mode-exempt events are numbered independently (see
+    /// `Inner::exempt_seq`); buffer order still totally orders the
+    /// combined stream.
     pub fn emit(&self, t_ns: u64, event: TraceEvent) {
         let mut inner = self.inner.lock().expect("kernel tracer poisoned");
-        let seq = inner.seq;
-        inner.seq += 1;
+        let ctr = if event.group() == crate::Group::ModeExempt {
+            &mut inner.exempt_seq
+        } else {
+            &mut inner.seq
+        };
+        let seq = *ctr;
+        *ctr += 1;
         inner.events.push(TimedEvent { t_ns, seq, event });
     }
 }
@@ -147,5 +161,25 @@ mod tests {
         assert_eq!(inner.events[1].t_ns, 9);
         drop(inner);
         // Dropping without an installed sink must not panic.
+    }
+
+    #[test]
+    fn exempt_events_do_not_consume_portable_seq() {
+        let tracer = KernelTracer::new("unit/k000".to_string());
+        tracer.emit(5, TraceEvent::SchedExit { pid: 1 });
+        tracer.emit(
+            7,
+            TraceEvent::CoalescedSpan {
+                from_ns: 5,
+                to_ns: 7,
+            },
+        );
+        tracer.emit(9, TraceEvent::SchedExit { pid: 2 });
+        let inner = tracer.inner.lock().unwrap();
+        // The span numbers its own stream; the portable lines read
+        // 0, 1 — exactly what a run without the span would produce.
+        assert_eq!(inner.events[0].seq, 0);
+        assert_eq!(inner.events[1].seq, 0);
+        assert_eq!(inner.events[2].seq, 1);
     }
 }
